@@ -1,0 +1,44 @@
+#include "bench/experiment_util.h"
+
+#include <cstdio>
+
+#include <cstdlib>
+
+#include "src/base/string_util.h"
+
+namespace elsc {
+
+VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms, uint64_t seed) {
+  VolanoConfig volano;
+  volano.rooms = rooms;
+  const MachineConfig machine = MakeMachineConfig(kernel, scheduler, seed);
+  return RunVolano(machine, volano);
+}
+
+std::string FmtF(double value, int decimals) {
+  return StrFormat("%.*f", decimals, value);
+}
+
+std::string FmtI(uint64_t value) { return WithThousandsSeparators(value); }
+
+void MaybeExportCsv(const std::string& name, const TextTable& table) {
+  const char* dir = std::getenv("ELSC_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  if (table.WriteCsv(path)) {
+    std::printf("(csv written to %s)\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+  }
+}
+
+void PrintBenchHeader(const std::string& experiment, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace elsc

@@ -1,0 +1,56 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§6). They all run VolanoMark/kcompile/webserver simulations
+// through the public API and print the same rows/series the paper reports,
+// alongside the paper's published values where available so the shapes can
+// be compared directly.
+
+#ifndef BENCH_EXPERIMENT_UTIL_H_
+#define BENCH_EXPERIMENT_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/simulation.h"
+#include "src/stats/table.h"
+
+namespace elsc {
+
+// The paper's four kernel configurations, in presentation order.
+inline std::vector<KernelConfig> PaperConfigs() {
+  return {KernelConfig::kUp, KernelConfig::kSmp1, KernelConfig::kSmp2, KernelConfig::kSmp4};
+}
+
+// The paper's room counts for the VolanoMark sweeps.
+inline std::vector<int> PaperRoomCounts() { return {5, 10, 15, 20}; }
+
+// The two schedulers compared throughout the evaluation; the paper labels
+// the stock scheduler "reg".
+inline std::vector<SchedulerKind> PaperSchedulers() {
+  return {SchedulerKind::kLinux, SchedulerKind::kElsc};
+}
+
+inline const char* PaperLabel(SchedulerKind kind) {
+  return kind == SchedulerKind::kLinux ? "reg" : SchedulerKindName(kind);
+}
+
+// Runs one VolanoMark cell (config x scheduler x rooms) to completion.
+VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms,
+                        uint64_t seed = 1);
+
+// Formatting helpers for table cells.
+std::string FmtF(double value, int decimals = 1);
+std::string FmtI(uint64_t value);
+
+// Prints the standard bench header (experiment id + workload summary).
+void PrintBenchHeader(const std::string& experiment, const std::string& description);
+
+// If the ELSC_BENCH_CSV_DIR environment variable is set, writes `table` to
+// <dir>/<name>.csv and prints the path; otherwise does nothing.
+void MaybeExportCsv(const std::string& name, const TextTable& table);
+
+}  // namespace elsc
+
+#endif  // BENCH_EXPERIMENT_UTIL_H_

@@ -1,0 +1,56 @@
+// Ablation A4: all four scheduler designs head-to-head on VolanoMark.
+//
+// The paper's future-work section (§8) sketches two alternative designs
+// beyond ELSC — heaps sorted by static goodness, and multi-queue schemes
+// that "help the scheduler scale to multiple processors" and "spend less
+// time waiting for spin locks". Both are implemented here; this bench races
+// them against the stock and ELSC schedulers.
+//
+//   usage: future_schedulers [rooms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/experiment_util.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  const int rooms = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  elsc::PrintBenchHeader("Future work: scheduler design shoot-out",
+                         std::to_string(rooms) + "-room VolanoMark, all configurations");
+
+  elsc::TextTable table({"config", "sched", "throughput", "cycles/sched", "lock-wait %",
+                         "tasks examined", "new-cpu %", "recalcs"});
+  for (const auto kernel : elsc::PaperConfigs()) {
+    for (const auto kind : elsc::AllSchedulerKinds()) {
+      const elsc::VolanoRun run = RunVolanoCell(kernel, kind, rooms);
+      if (!run.result.completed) {
+        std::fprintf(stderr, "%s/%s did not complete!\n", KernelConfigLabel(kernel),
+                     SchedulerKindName(kind));
+        return 1;
+      }
+      const elsc::SchedStats& s = run.stats.sched;
+      const double lock_pct =
+          s.cycles_in_schedule + s.lock_wait_cycles == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(s.lock_wait_cycles) /
+                    static_cast<double>(s.cycles_in_schedule + s.lock_wait_cycles);
+      const double newcpu_pct = s.schedule_calls == 0
+                                    ? 0.0
+                                    : 100.0 * static_cast<double>(s.picks_new_processor) /
+                                          static_cast<double>(s.schedule_calls);
+      table.AddRow({KernelConfigLabel(kernel), SchedulerKindName(kind),
+                    elsc::FmtF(run.result.throughput, 0), elsc::FmtF(s.CyclesPerSchedule(), 0),
+                    elsc::FmtF(lock_pct, 1) + "%", elsc::FmtF(s.TasksExaminedPerCall(), 2),
+                    elsc::FmtF(newcpu_pct, 2) + "%", elsc::FmtI(s.recalc_entries)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nReading: the heap matches ELSC's bounded selection cost but ignores the\n"
+      "dynamic bonuses; the per-CPU multi-queue design eliminates global-lock\n"
+      "waiting entirely and preserves affinity by construction — the direction\n"
+      "Linux ultimately took (the 2.5 O(1) scheduler).\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation A3 (google-benchmark): raw run-queue operation costs of the three
+// schedulers versus runnable-queue depth.
+//
+// Two complementary measurements per operation:
+//  * wall-clock time of this library's implementation (benchmark's metric) —
+//    the host-side algorithmic complexity;
+//  * simulated cycles charged by the cost model (exported as a counter) —
+//    the quantity the paper's Figure 5 reports.
+//
+// The stock scheduler's Schedule() is O(queue depth); ELSC's is bounded by
+// its search limit; the heap's is O(log n).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sched/cost_model.h"
+#include "src/sched/factory.h"
+#include "tests/sched_test_util.h"
+
+namespace elsc {
+namespace {
+
+// Builds a scheduler with `depth` runnable SCHED_OTHER tasks of varied
+// static goodness.
+struct Population {
+  Population(SchedulerKind kind, int depth) {
+    SchedulerConfig config{2, true};
+    scheduler = MakeScheduler(kind, CostModel::PentiumII(), factory.task_list(), config);
+    Rng rng(42);
+    tasks.reserve(static_cast<size_t>(depth));
+    for (int i = 0; i < depth; ++i) {
+      const long priority = static_cast<long>(1 + rng.NextBelow(40));
+      const long counter = static_cast<long>(1 + rng.NextBelow(static_cast<uint64_t>(2 * priority)));
+      Task* t = factory.NewTask(counter, priority);
+      t->processor = static_cast<int>(rng.NextBelow(2));
+      scheduler->AddToRunQueue(t);
+      tasks.push_back(t);
+    }
+  }
+
+  TaskFactory factory;
+  std::unique_ptr<Scheduler> scheduler;
+  std::vector<Task*> tasks;
+};
+
+void BM_Schedule(benchmark::State& state, SchedulerKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  Population pop(kind, depth);
+  uint64_t sim_cycles = 0;
+  uint64_t calls = 0;
+  for (auto _ : state) {
+    CostMeter meter(pop.scheduler->cost_model());
+    Task* next = pop.scheduler->Schedule(0, nullptr, meter);
+    benchmark::DoNotOptimize(next);
+    sim_cycles += meter.cycles();
+    ++calls;
+    if (next != nullptr) {
+      // Put the pick back so the queue depth stays constant.
+      state.PauseTiming();
+      pop.scheduler->DelFromRunQueue(next);
+      next->run_list.next = nullptr;
+      next->run_list.prev = nullptr;
+      pop.scheduler->AddToRunQueue(next);
+      state.ResumeTiming();
+    }
+  }
+  state.counters["sim_cycles/op"] =
+      benchmark::Counter(static_cast<double>(sim_cycles) / static_cast<double>(calls));
+}
+
+void BM_AddDel(benchmark::State& state, SchedulerKind kind) {
+  const int depth = static_cast<int>(state.range(0));
+  Population pop(kind, depth);
+  Task* extra = pop.factory.NewTask(20, 20);
+  for (auto _ : state) {
+    pop.scheduler->AddToRunQueue(extra);
+    pop.scheduler->DelFromRunQueue(extra);
+    extra->run_list.next = nullptr;
+    extra->run_list.prev = nullptr;
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Schedule, linux, SchedulerKind::kLinux)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_Schedule, elsc, SchedulerKind::kElsc)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_Schedule, heap, SchedulerKind::kHeap)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_AddDel, linux, SchedulerKind::kLinux)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_AddDel, elsc, SchedulerKind::kElsc)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_AddDel, heap, SchedulerKind::kHeap)->RangeMultiplier(4)->Range(8, 2048);
+
+}  // namespace
+}  // namespace elsc
+
+BENCHMARK_MAIN();

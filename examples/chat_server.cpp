@@ -1,0 +1,46 @@
+// Chat-server example: a VolanoMark-style run comparing the stock Linux
+// 2.3.99 scheduler with the ELSC scheduler on the configuration of your
+// choice.
+//
+//   $ ./chat_server [UP|1P|2P|4P] [rooms] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/api/simulation.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  const std::string config_label = argc > 1 ? argv[1] : "2P";
+  const int rooms = argc > 2 ? std::atoi(argv[2]) : 4;
+  const uint64_t seed = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3])) : 1;
+
+  elsc::VolanoConfig volano;
+  volano.rooms = rooms;
+
+  const elsc::KernelConfig kernel = elsc::KernelConfigFromLabel(config_label);
+
+  std::printf("VolanoMark-sim: %d rooms x %d users x %d messages on %s\n", volano.rooms,
+              volano.users_per_room, volano.messages_per_user, config_label.c_str());
+  std::printf("threads: %d   expected deliveries: %llu\n\n", volano.total_threads(),
+              static_cast<unsigned long long>(volano.expected_deliveries()));
+
+  elsc::TextTable table({"scheduler", "completed", "elapsed_s", "msgs/sec", "cycles/sched",
+                         "tasks_examined", "recalcs", "sched_calls"});
+
+  for (const auto kind : {elsc::SchedulerKind::kLinux, elsc::SchedulerKind::kElsc}) {
+    const elsc::MachineConfig mc = elsc::MakeMachineConfig(kernel, kind, seed);
+    const elsc::VolanoRun run = elsc::RunVolano(mc, volano);
+    char elapsed[32], tput[32], cps[32], tex[32];
+    std::snprintf(elapsed, sizeof(elapsed), "%.2f", run.result.elapsed_sec);
+    std::snprintf(tput, sizeof(tput), "%.0f", run.result.throughput);
+    std::snprintf(cps, sizeof(cps), "%.0f", run.stats.sched.CyclesPerSchedule());
+    std::snprintf(tex, sizeof(tex), "%.2f", run.stats.sched.TasksExaminedPerCall());
+    table.AddRow({elsc::SchedulerKindName(kind), run.result.completed ? "yes" : "NO", elapsed,
+                  tput, cps, tex, std::to_string(run.stats.sched.recalc_entries),
+                  std::to_string(run.stats.sched.schedule_calls)});
+  }
+  table.Print();
+  return 0;
+}

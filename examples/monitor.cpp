@@ -1,0 +1,67 @@
+// Monitor example: top-style periodic snapshots of a running VolanoMark
+// simulation — load averages, scheduler statistics deltas, the run-queue
+// structure (paper Figure 1 rendering), and the busiest tasks.
+//
+//   $ ./monitor [linux|elsc|heap|multiqueue] [rooms] [interval_sec]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/sched/factory.h"
+#include "src/smp/machine.h"
+#include "src/stats/proc_report.h"
+#include "src/stats/ps_report.h"
+#include "src/workloads/volano.h"
+
+int main(int argc, char** argv) {
+  const std::string sched_name = argc > 1 ? argv[1] : "linux";
+  const int rooms = argc > 2 ? std::atoi(argv[2]) : 2;
+  const int interval_sec = argc > 3 ? std::atoi(argv[3]) : 5;
+
+  elsc::MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = elsc::SchedulerKindFromName(sched_name);
+  elsc::Machine machine(config);
+
+  elsc::VolanoConfig volano;
+  volano.rooms = rooms;
+  elsc::VolanoWorkload workload(machine, volano);
+  workload.Setup();
+  machine.Start();
+
+  uint64_t last_calls = 0;
+  uint64_t last_delivered = 0;
+  int snapshot = 0;
+  while (!workload.Done() && elsc::CyclesToSec(machine.Now()) < 600.0) {
+    machine.RunFor(elsc::SecToCycles(static_cast<uint64_t>(interval_sec)));
+    ++snapshot;
+    const auto& stats = machine.scheduler().stats();
+    const uint64_t delivered = workload.messages_delivered();
+    std::printf("--- t=%.0fs  snapshot %d ---\n", elsc::CyclesToSec(machine.Now()), snapshot);
+    std::printf("load: %.2f %.2f %.2f   msgs/s: %.0f   sched calls/s: %.0f   cyc/sched: %.0f\n",
+                machine.LoadAvg(0), machine.LoadAvg(1), machine.LoadAvg(2),
+                static_cast<double>(delivered - last_delivered) / interval_sec,
+                static_cast<double>(stats.schedule_calls - last_calls) / interval_sec,
+                stats.CyclesPerSchedule());
+    last_calls = stats.schedule_calls;
+    last_delivered = delivered;
+
+    // Run-queue structure (truncated) + top tasks.
+    std::string structure = machine.scheduler().DebugString();
+    if (structure.size() > 400) {
+      structure.resize(400);
+      structure += "...";
+    }
+    std::printf("%s\n", structure.c_str());
+    elsc::PsOptions top;
+    top.sort_by_cpu = true;
+    top.max_rows = 5;
+    std::printf("%s\n", RenderPs(machine, top).c_str());
+  }
+
+  std::printf("final: %s\n", workload.Done() ? "workload completed" : "deadline reached");
+  std::printf("%s", elsc::RenderProcSchedStats(machine).c_str());
+  return workload.Done() ? 0 : 1;
+}

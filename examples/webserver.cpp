@@ -1,0 +1,48 @@
+// Web-server example: the paper's future-work scenario (§8).
+//
+// Runs an Apache-style prefork worker pool under increasing request rates
+// and reports throughput and latency percentiles for both schedulers, so
+// you can see where (and whether) the scheduler becomes the bottleneck.
+//
+//   $ ./webserver [workers] [config]
+//   $ ./webserver 150 4P
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/api/simulation.h"
+#include "src/stats/table.h"
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 150;
+  const std::string config_label = argc > 2 ? argv[2] : "2P";
+  const elsc::KernelConfig kernel = elsc::KernelConfigFromLabel(config_label);
+
+  std::printf("Apache-style prefork server: %d workers on %s, 10 s windows\n\n", workers,
+              config_label.c_str());
+
+  elsc::TextTable table({"rate/s", "sched", "req/s", "p50 us", "p95 us", "p99 us", "drops",
+                         "sched calls", "cycles/sched"});
+  for (const double rate : {200.0, 600.0, 1200.0, 2400.0}) {
+    for (const auto sched : {elsc::SchedulerKind::kLinux, elsc::SchedulerKind::kElsc}) {
+      elsc::WebserverConfig workload;
+      workload.workers = workers;
+      workload.arrival_rate_per_sec = rate;
+      workload.duration = elsc::SecToCycles(10);
+      const elsc::MachineConfig machine = MakeMachineConfig(kernel, sched);
+      const elsc::WebserverRun run = RunWebserver(machine, workload);
+      char req[32], cps[32];
+      std::snprintf(req, sizeof(req), "%.0f", run.result.throughput);
+      std::snprintf(cps, sizeof(cps), "%.0f", run.stats.sched.CyclesPerSchedule());
+      table.AddRow({std::to_string(static_cast<int>(rate)), SchedulerKindName(sched), req,
+                    std::to_string(run.result.latency_p50_us),
+                    std::to_string(run.result.latency_p95_us),
+                    std::to_string(run.result.latency_p99_us),
+                    std::to_string(run.result.requests_dropped),
+                    std::to_string(run.stats.sched.schedule_calls), cps});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "src/api/simulation.h"
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+const char* KernelConfigLabel(KernelConfig config) {
+  switch (config) {
+    case KernelConfig::kUp:
+      return "UP";
+    case KernelConfig::kSmp1:
+      return "1P";
+    case KernelConfig::kSmp2:
+      return "2P";
+    case KernelConfig::kSmp4:
+      return "4P";
+  }
+  return "?";
+}
+
+KernelConfig KernelConfigFromLabel(const std::string& label) {
+  if (label == "UP" || label == "up") {
+    return KernelConfig::kUp;
+  }
+  if (label == "1P" || label == "1p") {
+    return KernelConfig::kSmp1;
+  }
+  if (label == "2P" || label == "2p") {
+    return KernelConfig::kSmp2;
+  }
+  if (label == "4P" || label == "4p") {
+    return KernelConfig::kSmp4;
+  }
+  ELSC_CHECK_MSG(false, "unknown kernel config label (expected UP|1P|2P|4P)");
+  __builtin_unreachable();
+}
+
+MachineConfig MakeMachineConfig(KernelConfig config, SchedulerKind scheduler, uint64_t seed) {
+  MachineConfig mc;
+  mc.scheduler = scheduler;
+  mc.seed = seed;
+  switch (config) {
+    case KernelConfig::kUp:
+      mc.num_cpus = 1;
+      mc.smp = false;
+      break;
+    case KernelConfig::kSmp1:
+      mc.num_cpus = 1;
+      mc.smp = true;
+      break;
+    case KernelConfig::kSmp2:
+      mc.num_cpus = 2;
+      mc.smp = true;
+      break;
+    case KernelConfig::kSmp4:
+      mc.num_cpus = 4;
+      mc.smp = true;
+      break;
+  }
+  return mc;
+}
+
+namespace {
+
+RunStats CollectStats(const Machine& machine) {
+  RunStats stats;
+  stats.sched = machine.scheduler().stats();
+  stats.machine = machine.stats();
+  stats.elapsed_sec = CyclesToSec(machine.Now());
+  return stats;
+}
+
+}  // namespace
+
+VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,
+                    Cycles deadline) {
+  Machine machine(machine_config);
+  VolanoWorkload workload(machine, workload_config);
+  workload.Setup();
+  machine.Start();
+  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
+  VolanoRun run;
+  run.result = workload.Result();
+  run.stats = CollectStats(machine);
+  return run;
+}
+
+KcompileRun RunKcompile(const MachineConfig& machine_config,
+                        const KcompileConfig& workload_config, Cycles deadline) {
+  Machine machine(machine_config);
+  KcompileWorkload workload(machine, workload_config);
+  workload.Setup();
+  machine.Start();
+  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
+  KcompileRun run;
+  run.result = workload.Result();
+  run.stats = CollectStats(machine);
+  return run;
+}
+
+WebserverRun RunWebserver(const MachineConfig& machine_config,
+                          const WebserverConfig& workload_config, Cycles deadline) {
+  Machine machine(machine_config);
+  WebserverWorkload workload(machine, workload_config);
+  workload.Setup();
+  machine.Start();
+  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
+  WebserverRun run;
+  run.result = workload.Result();
+  run.stats = CollectStats(machine);
+  return run;
+}
+
+}  // namespace elsc

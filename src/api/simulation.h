@@ -1,0 +1,72 @@
+// Public facade: one-call experiment runners.
+//
+// Most users of this library want "run workload W on an N-CPU machine under
+// scheduler S and give me the numbers". These helpers assemble a fresh
+// Machine, set up the workload, run it to completion (with a generous
+// simulated-time safety deadline), and return the workload result together
+// with the scheduler/machine statistics the paper reports.
+
+#ifndef SRC_API_SIMULATION_H_
+#define SRC_API_SIMULATION_H_
+
+#include <string>
+
+#include "src/sched/sched_stats.h"
+#include "src/smp/machine.h"
+#include "src/workloads/kcompile.h"
+#include "src/workloads/volano.h"
+#include "src/workloads/webserver.h"
+
+namespace elsc {
+
+// The paper's four kernel configurations.
+enum class KernelConfig {
+  kUp,       // Uniprocessor kernel (no SMP semantics), 1 CPU.
+  kSmp1,     // SMP kernel on 1 CPU.
+  kSmp2,     // SMP kernel on 2 CPUs.
+  kSmp4,     // SMP kernel on 4 CPUs.
+};
+
+const char* KernelConfigLabel(KernelConfig config);
+// "UP" -> kUp etc.; aborts on unknown labels.
+KernelConfig KernelConfigFromLabel(const std::string& label);
+// Applies the kernel configuration to a MachineConfig (cpu count + smp flag).
+MachineConfig MakeMachineConfig(KernelConfig config, SchedulerKind scheduler, uint64_t seed = 1);
+
+struct RunStats {
+  SchedStats sched;
+  MachineStats machine;
+  double elapsed_sec = 0.0;
+};
+
+struct VolanoRun {
+  VolanoResult result;
+  RunStats stats;
+};
+
+struct KcompileRun {
+  KcompileResult result;
+  RunStats stats;
+};
+
+struct WebserverRun {
+  WebserverResult result;
+  RunStats stats;
+};
+
+// Runs VolanoMark to completion. `deadline` bounds simulated time (default
+// one simulated hour); the run aborts the process if the workload deadlocks
+// past it with completed == false in the result.
+VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,
+                    Cycles deadline = SecToCycles(3600));
+
+KcompileRun RunKcompile(const MachineConfig& machine_config, const KcompileConfig& workload_config,
+                        Cycles deadline = SecToCycles(7200));
+
+WebserverRun RunWebserver(const MachineConfig& machine_config,
+                          const WebserverConfig& workload_config,
+                          Cycles deadline = SecToCycles(3600));
+
+}  // namespace elsc
+
+#endif  // SRC_API_SIMULATION_H_

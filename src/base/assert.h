@@ -1,0 +1,52 @@
+// Assertion macros used throughout the library.
+//
+// ELSC_CHECK(cond)      — always-on invariant check; aborts with a message.
+// ELSC_CHECK_MSG(c, m)  — always-on check with an extra human-readable message.
+// ELSC_DCHECK(cond)     — debug-only check, compiled out in NDEBUG builds.
+//
+// These are used instead of <cassert> so that release builds (the default for
+// benchmarks) still validate the simulation's kernel invariants: a scheduler
+// that silently corrupts its run queue produces plausible-looking garbage.
+
+#ifndef SRC_BASE_ASSERT_H_
+#define SRC_BASE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace elsc {
+
+[[noreturn]] inline void AssertFail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "ELSC_CHECK failed: %s\n  at %s:%d\n", expr, file, line);
+  if (msg != nullptr) {
+    std::fprintf(stderr, "  %s\n", msg);
+  }
+  std::abort();
+}
+
+}  // namespace elsc
+
+#define ELSC_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::elsc::AssertFail(#cond, __FILE__, __LINE__, nullptr);   \
+    }                                                           \
+  } while (0)
+
+#define ELSC_CHECK_MSG(cond, msg)                               \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::elsc::AssertFail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                           \
+  } while (0)
+
+#ifdef NDEBUG
+#define ELSC_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define ELSC_DCHECK(cond) ELSC_CHECK(cond)
+#endif
+
+#endif  // SRC_BASE_ASSERT_H_

@@ -1,0 +1,129 @@
+// Circular doubly-linked intrusive list, mirroring the Linux kernel's
+// `struct list_head` idiom.
+//
+// The schedulers in this library are faithful ports of kernel code that
+// manipulates `run_list` nodes directly — including the ELSC trick of setting
+// a node's `prev` pointer to null while leaving `next` non-null to mean
+// "logically on the run queue but not present in any list" (paper §5.1,
+// footnote 3). A typed std-style container cannot express that, so we expose
+// the raw kernel operations plus a typed iteration helper for tests.
+
+#ifndef SRC_BASE_INTRUSIVE_LIST_H_
+#define SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+struct ListHead {
+  ListHead* next = nullptr;
+  ListHead* prev = nullptr;
+};
+
+// Initializes a head (or detached node) to point at itself, the kernel's
+// INIT_LIST_HEAD.
+inline void InitListHead(ListHead* head) {
+  head->next = head;
+  head->prev = head;
+}
+
+namespace list_internal {
+
+inline void ListInsert(ListHead* entry, ListHead* before, ListHead* after) {
+  after->prev = entry;
+  entry->next = after;
+  entry->prev = before;
+  before->next = entry;
+}
+
+}  // namespace list_internal
+
+// Inserts `entry` immediately after `head` (i.e. at the front of the list).
+inline void ListAdd(ListHead* entry, ListHead* head) {
+  list_internal::ListInsert(entry, head, head->next);
+}
+
+// Inserts `entry` immediately before `head` (i.e. at the back of the list).
+inline void ListAddTail(ListHead* entry, ListHead* head) {
+  list_internal::ListInsert(entry, head->prev, head);
+}
+
+// Unlinks `entry` from its list. Like the kernel's __list_del, this does not
+// reinitialize the entry's own pointers; callers that care set them
+// explicitly (the ELSC scheduler relies on this).
+inline void ListDel(ListHead* entry) {
+  ELSC_DCHECK(entry->next != nullptr && entry->prev != nullptr);
+  entry->next->prev = entry->prev;
+  entry->prev->next = entry->next;
+}
+
+inline bool ListEmpty(const ListHead* head) { return head->next == head; }
+
+// Moves `entry` to the front of the list rooted at `head`.
+inline void ListMove(ListHead* entry, ListHead* head) {
+  ListDel(entry);
+  ListAdd(entry, head);
+}
+
+// Moves `entry` to the back of the list rooted at `head`.
+inline void ListMoveTail(ListHead* entry, ListHead* head) {
+  ListDel(entry);
+  ListAddTail(entry, head);
+}
+
+// Number of entries (excluding the head). O(n); used by tests and stats only.
+inline size_t ListLength(const ListHead* head) {
+  size_t n = 0;
+  for (const ListHead* p = head->next; p != head; p = p->next) {
+    ++n;
+  }
+  return n;
+}
+
+// container_of: recovers the enclosing object from a pointer to its member.
+template <typename T, ListHead T::* Member>
+T* ListEntry(ListHead* node) {
+  // Offset-of computation via a null-pointer cast is UB; use a real dummy
+  // object address computation instead.
+  alignas(T) static char probe_storage[sizeof(T)];
+  T* probe = reinterpret_cast<T*>(probe_storage);
+  auto offset = reinterpret_cast<char*>(&(probe->*Member)) - reinterpret_cast<char*>(probe);
+  return reinterpret_cast<T*>(reinterpret_cast<char*>(node) - offset);
+}
+
+// Typed iteration helper:
+//   for (Task* t : ListRange<Task, &Task::run_list>(&head)) { ... }
+// Iteration order is front (head->next) to back. The current entry must not
+// be removed during iteration (same contract as list_for_each).
+template <typename T, ListHead T::* Member>
+class ListRange {
+ public:
+  explicit ListRange(ListHead* head) : head_(head) {}
+
+  class Iterator {
+   public:
+    Iterator(ListHead* node, ListHead* head) : node_(node), head_(head) {}
+    T* operator*() const { return ListEntry<T, Member>(node_); }
+    Iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return node_ != other.node_; }
+
+   private:
+    ListHead* node_;
+    ListHead* head_;
+  };
+
+  Iterator begin() const { return Iterator(head_->next, head_); }
+  Iterator end() const { return Iterator(head_, head_); }
+
+ private:
+  ListHead* head_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,38 @@
+// Minimal leveled logger for the simulation library.
+//
+// Logging is off by default (level kWarning) so that benchmark output stays
+// clean; tests and examples can raise the level to trace scheduler decisions.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <cstdarg>
+
+namespace elsc {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+};
+
+// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging. Cheap when the level is disabled (single comparison).
+void LogMessage(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+bool LogEnabled(LogLevel level);
+
+}  // namespace elsc
+
+#define ELSC_LOG_TRACE(...) ::elsc::LogMessage(::elsc::LogLevel::kTrace, __VA_ARGS__)
+#define ELSC_LOG_DEBUG(...) ::elsc::LogMessage(::elsc::LogLevel::kDebug, __VA_ARGS__)
+#define ELSC_LOG_INFO(...) ::elsc::LogMessage(::elsc::LogLevel::kInfo, __VA_ARGS__)
+#define ELSC_LOG_WARN(...) ::elsc::LogMessage(::elsc::LogLevel::kWarning, __VA_ARGS__)
+#define ELSC_LOG_ERROR(...) ::elsc::LogMessage(::elsc::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,77 @@
+#include "src/base/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cmath>
+
+namespace elsc {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string WithThousandsSeparators(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string FormatMinSec(double seconds) {
+  if (seconds < 0) {
+    seconds = 0;
+  }
+  // Round to centiseconds first so 59.999 carries into the next minute
+  // instead of printing "0:60.00".
+  const auto centis = static_cast<uint64_t>(seconds * 100.0 + 0.5);
+  const uint64_t whole_minutes = centis / 6000;
+  const double rem = static_cast<double>(centis % 6000) / 100.0;
+  return StrFormat("%llu:%05.2f", static_cast<unsigned long long>(whole_minutes), rem);
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string PadLeft(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string PadRight(const std::string& s, size_t width) {
+  if (s.size() >= width) {
+    return s;
+  }
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace elsc

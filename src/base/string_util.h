@@ -1,0 +1,30 @@
+// Small string formatting helpers shared by the stats/table printers.
+
+#ifndef SRC_BASE_STRING_UTIL_H_
+#define SRC_BASE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace elsc {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// 1234567 -> "1,234,567".
+std::string WithThousandsSeparators(uint64_t value);
+
+// Seconds -> "m:ss.cc" (e.g. 401.41 -> "6:41.41"), the format of Table 2.
+std::string FormatMinSec(double seconds);
+
+// Joins parts with the given separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Left/right padding to a fixed width (spaces); never truncates.
+std::string PadLeft(const std::string& s, size_t width);
+std::string PadRight(const std::string& s, size_t width);
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_STRING_UTIL_H_

@@ -1,0 +1,33 @@
+// Simulated time units.
+//
+// The simulation clock counts CPU cycles of a 400 MHz Pentium II-era machine
+// (the paper's IBM Netfinity testbeds used 400 MHz Pentium II / Xeon parts).
+// The scheduler tick is 10 ms, i.e. 4,000,000 cycles, matching HZ=100 in
+// Linux 2.3.99-pre4.
+
+#ifndef SRC_BASE_TIME_UNITS_H_
+#define SRC_BASE_TIME_UNITS_H_
+
+#include <cstdint>
+
+namespace elsc {
+
+using Cycles = uint64_t;
+
+inline constexpr uint64_t kCpuHz = 400'000'000;          // 400 MHz.
+inline constexpr Cycles kCyclesPerUs = kCpuHz / 1'000'000;
+inline constexpr Cycles kCyclesPerMs = kCpuHz / 1'000;
+inline constexpr Cycles kCyclesPerSec = kCpuHz;
+inline constexpr Cycles kTickCycles = 10 * kCyclesPerMs;  // 10 ms scheduler tick.
+
+constexpr Cycles UsToCycles(uint64_t us) { return us * kCyclesPerUs; }
+constexpr Cycles MsToCycles(uint64_t ms) { return ms * kCyclesPerMs; }
+constexpr Cycles SecToCycles(uint64_t sec) { return sec * kCyclesPerSec; }
+
+constexpr double CyclesToUs(Cycles c) { return static_cast<double>(c) / kCyclesPerUs; }
+constexpr double CyclesToMs(Cycles c) { return static_cast<double>(c) / kCyclesPerMs; }
+constexpr double CyclesToSec(Cycles c) { return static_cast<double>(c) / kCyclesPerSec; }
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_TIME_UNITS_H_

@@ -1,0 +1,88 @@
+// Task behaviors: how workloads describe what a task does.
+//
+// A behavior yields *segments*: a number of CPU cycles of work followed by an
+// action (block on a wait queue, yield the processor, exit, or immediately
+// request another segment). The Machine runtime executes segments on
+// simulated CPUs, handling quantum expiry and preemption transparently — a
+// preempted task resumes the remainder of its segment when next scheduled.
+
+#ifndef SRC_KERNEL_BEHAVIOR_H_
+#define SRC_KERNEL_BEHAVIOR_H_
+
+#include <functional>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+
+class Machine;
+class WaitQueue;
+struct Task;
+
+// What a task does once its segment's CPU work completes.
+enum class SegmentAfter {
+  kBlock,     // Sleep on `wait_on` until woken.
+  kSleep,     // Sleep for a fixed simulated duration (timer wake), e.g. I/O.
+  kYield,     // sys_sched_yield(): set SCHED_YIELD, reenter the scheduler.
+  kExit,      // Terminate the task.
+  kRunAgain,  // Ask the behavior for the next segment without rescheduling.
+};
+
+struct Segment {
+  Cycles cycles = 0;
+  SegmentAfter after = SegmentAfter::kExit;
+  WaitQueue* wait_on = nullptr;  // Required iff after == kBlock.
+  Cycles sleep_for = 0;          // Used iff after == kSleep.
+  // Optional re-check evaluated at the moment the task would go to sleep
+  // (the kernel's add_wait_queue / re-test-condition / schedule() idiom):
+  // if it returns false, the condition the task was about to wait for has
+  // already been satisfied, the sleep is skipped, and the task re-enters the
+  // scheduler runnable. Prevents lost wake-ups between a failed non-blocking
+  // operation and the block taking effect.
+  std::function<bool()> still_blocked;
+
+  static Segment Block(Cycles cycles, WaitQueue* wq, std::function<bool()> still_blocked = {}) {
+    Segment seg{cycles, SegmentAfter::kBlock, wq, 0, {}};
+    seg.still_blocked = std::move(still_blocked);
+    return seg;
+  }
+  static Segment Sleep(Cycles cycles, Cycles duration) {
+    return Segment{cycles, SegmentAfter::kSleep, nullptr, duration, {}};
+  }
+  static Segment Yield(Cycles cycles) {
+    return Segment{cycles, SegmentAfter::kYield, nullptr, 0, {}};
+  }
+  static Segment Exit(Cycles cycles) {
+    return Segment{cycles, SegmentAfter::kExit, nullptr, 0, {}};
+  }
+  static Segment RunAgain(Cycles cycles) {
+    return Segment{cycles, SegmentAfter::kRunAgain, nullptr, 0, {}};
+  }
+};
+
+class TaskBehavior {
+ public:
+  virtual ~TaskBehavior() = default;
+
+  // Called when `task` needs a new segment: at first dispatch, after a block
+  // completes (the task was woken and re-scheduled), after a yield, or after
+  // a kRunAgain segment finishes. Runs at simulated time machine.Now().
+  virtual Segment NextSegment(Machine& machine, Task& task) = 0;
+
+  // Called when the task's wake-up happens (it became runnable again after a
+  // kBlock segment), before it is scheduled. Optional.
+  virtual void OnWoken(Machine& machine, Task& task) {
+    (void)machine;
+    (void)task;
+  }
+
+  // Called when the task exits. Optional.
+  virtual void OnExit(Machine& machine, Task& task) {
+    (void)machine;
+    (void)task;
+  }
+};
+
+}  // namespace elsc
+
+#endif  // SRC_KERNEL_BEHAVIOR_H_

@@ -1,0 +1,21 @@
+// Minimal stand-in for the kernel's mm_struct.
+//
+// The schedulers only ever compare mm pointers for identity (the +1 goodness
+// bonus for sharing an address space with the previous task), so the struct
+// carries just an id for debugging. Threads of one simulated process share an
+// MmStruct; full processes get their own.
+
+#ifndef SRC_KERNEL_MM_H_
+#define SRC_KERNEL_MM_H_
+
+#include <cstdint>
+
+namespace elsc {
+
+struct MmStruct {
+  uint64_t id = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_KERNEL_MM_H_

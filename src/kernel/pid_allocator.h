@@ -1,0 +1,21 @@
+// Sequential pid allocation. Pid 0 is reserved for per-CPU idle tasks,
+// mirroring the kernel's convention.
+
+#ifndef SRC_KERNEL_PID_ALLOCATOR_H_
+#define SRC_KERNEL_PID_ALLOCATOR_H_
+
+namespace elsc {
+
+class PidAllocator {
+ public:
+  // Returns the next pid, starting at 1.
+  int Next() { return next_++; }
+  int peek_next() const { return next_; }
+
+ private:
+  int next_ = 1;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_KERNEL_PID_ALLOCATOR_H_

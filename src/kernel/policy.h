@@ -1,0 +1,31 @@
+// Scheduling policy constants, mirroring Linux 2.3.99-pre4 <linux/sched.h>.
+//
+// `policy` is a bit-augmented value: the low bits select SCHED_OTHER /
+// SCHED_FIFO / SCHED_RR, and the SCHED_YIELD bit is OR-ed in by
+// sys_sched_yield() so the scheduler can penalize the yielding task on the
+// next pick (paper §3.1).
+
+#ifndef SRC_KERNEL_POLICY_H_
+#define SRC_KERNEL_POLICY_H_
+
+#include <cstdint>
+
+namespace elsc {
+
+inline constexpr uint32_t kSchedOther = 0;
+inline constexpr uint32_t kSchedFifo = 1;
+inline constexpr uint32_t kSchedRr = 2;
+inline constexpr uint32_t kSchedYield = 0x10;
+
+inline constexpr uint32_t kPolicyMask = 0x0f;
+
+constexpr uint32_t PolicyBase(uint32_t policy) { return policy & kPolicyMask; }
+constexpr bool PolicyIsRealtime(uint32_t policy) {
+  const uint32_t base = PolicyBase(policy);
+  return base == kSchedFifo || base == kSchedRr;
+}
+constexpr bool PolicyHasYield(uint32_t policy) { return (policy & kSchedYield) != 0; }
+
+}  // namespace elsc
+
+#endif  // SRC_KERNEL_POLICY_H_

@@ -1,0 +1,21 @@
+#include "src/kernel/task.h"
+
+namespace elsc {
+
+const char* TaskStateName(TaskState state) {
+  switch (state) {
+    case TaskState::kRunning:
+      return "TASK_RUNNING";
+    case TaskState::kInterruptible:
+      return "TASK_INTERRUPTIBLE";
+    case TaskState::kUninterruptible:
+      return "TASK_UNINTERRUPTIBLE";
+    case TaskState::kStopped:
+      return "TASK_STOPPED";
+    case TaskState::kZombie:
+      return "TASK_ZOMBIE";
+  }
+  return "?";
+}
+
+}  // namespace elsc

@@ -1,0 +1,60 @@
+// The global task list — the kernel's for_each_task() view of every task in
+// the system (runnable or not). The schedulers' counter-recalculation loop
+// walks this list, which is why recalculation is expensive: its cost scales
+// with *all* tasks, not just runnable ones (paper §3.3.2).
+
+#ifndef SRC_KERNEL_TASK_LIST_H_
+#define SRC_KERNEL_TASK_LIST_H_
+
+#include <cstddef>
+
+#include "src/base/intrusive_list.h"
+#include "src/kernel/task.h"
+
+namespace elsc {
+
+class TaskList {
+ public:
+  TaskList() { InitListHead(&head_); }
+
+  TaskList(const TaskList&) = delete;
+  TaskList& operator=(const TaskList&) = delete;
+
+  void Add(Task* task) {
+    ListAddTail(&task->task_list_node, &head_);
+    ++count_;
+  }
+
+  void Remove(Task* task) {
+    ListDel(&task->task_list_node);
+    task->task_list_node.next = nullptr;
+    task->task_list_node.prev = nullptr;
+    --count_;
+  }
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // for_each_task: applies `fn` to every task in creation order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (ListHead* node = head_.next; node != &head_; node = node->next) {
+      fn(ListEntry<Task, &Task::task_list_node>(node));
+    }
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const ListHead* node = head_.next; node != &head_; node = node->next) {
+      fn(ListEntry<Task, &Task::task_list_node>(const_cast<ListHead*>(node)));
+    }
+  }
+
+ private:
+  ListHead head_;
+  size_t count_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_KERNEL_TASK_LIST_H_

@@ -1,0 +1,47 @@
+#include "src/kernel/wait_queue.h"
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+void WaitQueue::Enqueue(Task* task) {
+  ELSC_CHECK_MSG(task->waiting_on == nullptr, "task already on a wait queue");
+  ListAddTail(&task->wait_node, &head_);
+  task->waiting_on = this;
+}
+
+void WaitQueue::Remove(Task* task) {
+  ELSC_CHECK_MSG(task->waiting_on == this, "task not on this wait queue");
+  ListDel(&task->wait_node);
+  task->wait_node.next = nullptr;
+  task->wait_node.prev = nullptr;
+  task->waiting_on = nullptr;
+}
+
+Task* WaitQueue::DequeueOne() {
+  if (Empty()) {
+    return nullptr;
+  }
+  Task* task = ListEntry<Task, &Task::wait_node>(head_.next);
+  Remove(task);
+  return task;
+}
+
+Task* WaitQueue::WakeOne(Waker& waker) {
+  Task* task = DequeueOne();
+  if (task != nullptr) {
+    waker.WakeUpProcess(task);
+  }
+  return task;
+}
+
+size_t WaitQueue::WakeAll(Waker& waker) {
+  size_t woken = 0;
+  while (Task* task = DequeueOne()) {
+    waker.WakeUpProcess(task);
+    ++woken;
+  }
+  return woken;
+}
+
+}  // namespace elsc

@@ -1,0 +1,31 @@
+#include "src/net/socket.h"
+
+#include <algorithm>
+
+namespace elsc {
+
+bool SimSocket::TryWrite(Waker& waker, const Message& msg) {
+  if (!CanWrite()) {
+    ++stats_.write_blocks;
+    return false;
+  }
+  queue_.push_back(msg);
+  ++stats_.writes;
+  stats_.max_depth = std::max<uint64_t>(stats_.max_depth, queue_.size());
+  read_wait_.WakeOne(waker);
+  return true;
+}
+
+std::optional<Message> SimSocket::TryRead(Waker& waker) {
+  if (!CanRead()) {
+    ++stats_.read_blocks;
+    return std::nullopt;
+  }
+  Message msg = queue_.front();
+  queue_.pop_front();
+  ++stats_.reads;
+  write_wait_.WakeOne(waker);
+  return msg;
+}
+
+}  // namespace elsc

@@ -1,0 +1,83 @@
+// Simulated loopback sockets.
+//
+// A SimSocket is a bounded FIFO of messages with blocking semantics built on
+// wait queues: readers block when the queue is empty, writers when it is
+// full. VolanoMark's loopback-mode connections (paper §4/§6) are modeled as
+// pairs of these — the benchmark's defining property is that every message
+// exchange forces task blocking and wake-ups through the scheduler, and that
+// is exactly what these queues produce.
+//
+// Behaviors use the non-blocking TryRead/TryWrite plus the standard re-check
+// idiom: on failure, return a kBlock segment on the corresponding wait queue
+// and retry when woken.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/base/time_units.h"
+#include "src/kernel/wait_queue.h"
+
+namespace elsc {
+
+struct Message {
+  uint64_t id = 0;
+  int sender = -1;    // Originating user/connection id (workload-defined).
+  int room = -1;      // Room id for chat workloads.
+  Cycles sent_at = 0; // Simulated send time, for latency accounting.
+  uint64_t payload = 0;
+};
+
+struct SocketStats {
+  uint64_t writes = 0;
+  uint64_t reads = 0;
+  uint64_t write_blocks = 0;  // TryWrite failures (queue full).
+  uint64_t read_blocks = 0;   // TryRead failures (queue empty).
+  uint64_t max_depth = 0;
+};
+
+class SimSocket {
+ public:
+  explicit SimSocket(std::string name, size_t capacity)
+      : name_(std::move(name)),
+        capacity_(capacity),
+        read_wait_(name_ + ":read"),
+        write_wait_(name_ + ":write") {}
+
+  SimSocket(const SimSocket&) = delete;
+  SimSocket& operator=(const SimSocket&) = delete;
+
+  const std::string& name() const { return name_; }
+  size_t capacity() const { return capacity_; }
+  size_t depth() const { return queue_.size(); }
+  bool CanRead() const { return !queue_.empty(); }
+  bool CanWrite() const { return queue_.size() < capacity_; }
+
+  // Appends a message; wakes one blocked reader. Returns false (and counts a
+  // block) when the queue is full.
+  bool TryWrite(Waker& waker, const Message& msg);
+
+  // Pops the oldest message; wakes one blocked writer. Returns nullopt (and
+  // counts a block) when the queue is empty.
+  std::optional<Message> TryRead(Waker& waker);
+
+  WaitQueue& read_wait() { return read_wait_; }
+  WaitQueue& write_wait() { return write_wait_; }
+  const SocketStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  size_t capacity_;
+  std::deque<Message> queue_;
+  WaitQueue read_wait_;
+  WaitQueue write_wait_;
+  SocketStats stats_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_NET_SOCKET_H_

@@ -1,0 +1,25 @@
+// Blocking-segment helpers for SimSocket: each pairs the right wait queue
+// with the matching re-check predicate so sleeps cannot lose wake-ups.
+
+#ifndef SRC_NET_SOCKET_OPS_H_
+#define SRC_NET_SOCKET_OPS_H_
+
+#include "src/kernel/behavior.h"
+#include "src/net/socket.h"
+
+namespace elsc {
+
+// Returns a segment that blocks the task until `socket` becomes readable.
+// The socket must outlive the blocked task's sleep.
+inline Segment BlockUntilReadable(Cycles cycles, SimSocket& socket) {
+  return Segment::Block(cycles, &socket.read_wait(), [&socket] { return !socket.CanRead(); });
+}
+
+// Returns a segment that blocks the task until `socket` becomes writable.
+inline Segment BlockUntilWritable(Cycles cycles, SimSocket& socket) {
+  return Segment::Block(cycles, &socket.write_wait(), [&socket] { return !socket.CanWrite(); });
+}
+
+}  // namespace elsc
+
+#endif  // SRC_NET_SOCKET_OPS_H_

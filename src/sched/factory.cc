@@ -1,0 +1,62 @@
+#include "src/sched/factory.h"
+
+#include "src/base/assert.h"
+#include "src/sched/heap_scheduler.h"
+#include "src/sched/linux_scheduler.h"
+#include "src/sched/multiqueue_scheduler.h"
+
+namespace elsc {
+
+SchedulerKind SchedulerKindFromName(const std::string& name) {
+  if (name == "linux" || name == "reg" || name == "stock" || name == "current") {
+    return SchedulerKind::kLinux;
+  }
+  if (name == "elsc") {
+    return SchedulerKind::kElsc;
+  }
+  if (name == "heap") {
+    return SchedulerKind::kHeap;
+  }
+  if (name == "multiqueue" || name == "mq") {
+    return SchedulerKind::kMultiQueue;
+  }
+  ELSC_CHECK_MSG(false, "unknown scheduler name (expected linux|elsc|heap|multiqueue)");
+  __builtin_unreachable();
+}
+
+const char* SchedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kLinux:
+      return "linux";
+    case SchedulerKind::kElsc:
+      return "elsc";
+    case SchedulerKind::kHeap:
+      return "heap";
+    case SchedulerKind::kMultiQueue:
+      return "multiqueue";
+  }
+  return "?";
+}
+
+std::vector<SchedulerKind> AllSchedulerKinds() {
+  return {SchedulerKind::kLinux, SchedulerKind::kElsc, SchedulerKind::kHeap,
+          SchedulerKind::kMultiQueue};
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, const CostModel& cost_model,
+                                         TaskList* all_tasks, const SchedulerConfig& config,
+                                         const ElscOptions& elsc_options) {
+  switch (kind) {
+    case SchedulerKind::kLinux:
+      return std::make_unique<LinuxScheduler>(cost_model, all_tasks, config);
+    case SchedulerKind::kElsc:
+      return std::make_unique<ElscScheduler>(cost_model, all_tasks, config, elsc_options);
+    case SchedulerKind::kHeap:
+      return std::make_unique<HeapScheduler>(cost_model, all_tasks, config);
+    case SchedulerKind::kMultiQueue:
+      return std::make_unique<MultiQueueScheduler>(cost_model, all_tasks, config);
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace elsc

@@ -1,0 +1,47 @@
+#include "src/sched/goodness.h"
+
+#include "src/kernel/policy.h"
+
+namespace elsc {
+
+long Goodness(const Task& p, int this_cpu, const MmStruct* this_mm, bool smp) {
+  // A task that just yielded should not win; the stock kernel reaches this
+  // via prev_goodness() for the previous task, and other runnable tasks
+  // cannot carry the bit. Defensive parity with kernel behaviour.
+  if (PolicyHasYield(p.policy)) {
+    return -1;
+  }
+  if (PolicyIsRealtime(p.policy)) {
+    return kRealtimeBase + p.rt_priority;
+  }
+  long weight = p.counter;
+  if (weight == 0) {
+    // Runnable, but its quantum is used up.
+    return 0;
+  }
+  if (smp && p.processor == this_cpu) {
+    weight += kProcChangePenalty;
+  }
+  // Kernel threads (no mm) share the bonus: p->mm == this_mm || !p->mm.
+  if (p.mm == this_mm || p.mm == nullptr) {
+    weight += kSameMmBonus;
+  }
+  weight += p.priority;
+  return weight;
+}
+
+long PrevGoodness(Task& p, int this_cpu, const MmStruct* this_mm, bool smp) {
+  if (PolicyHasYield(p.policy)) {
+    p.policy &= ~kSchedYield;
+    return 0;
+  }
+  return Goodness(p, this_cpu, this_mm, smp);
+}
+
+long StaticGoodness(const Task& p) { return p.counter + p.priority; }
+
+long PreemptionGoodnessDelta(const Task& p, const Task& running, int cpu, bool smp) {
+  return Goodness(p, cpu, running.mm, smp) - Goodness(running, cpu, running.mm, smp);
+}
+
+}  // namespace elsc

@@ -1,0 +1,48 @@
+// The goodness() heuristic, ported from Linux 2.3.99-pre4 kernel/sched.c
+// (paper §3.3.1).
+//
+// For SCHED_FIFO / SCHED_RR tasks goodness is 1000 + rt_priority, putting all
+// real-time tasks above every SCHED_OTHER task. For SCHED_OTHER tasks the
+// value is counter + priority (zero counter => 0, meaning "runnable but
+// quantum exhausted"), plus dynamic bonuses: +15 if the task last ran on the
+// deciding CPU (SMP kernels only) and +1 if it shares an address space with
+// the previous task.
+
+#ifndef SRC_SCHED_GOODNESS_H_
+#define SRC_SCHED_GOODNESS_H_
+
+#include "src/kernel/mm.h"
+#include "src/kernel/task.h"
+
+namespace elsc {
+
+// PROC_CHANGE_PENALTY in the kernel source: the processor-affinity bonus.
+inline constexpr long kProcChangePenalty = 15;
+// Bonus for sharing an address space with the previous task.
+inline constexpr long kSameMmBonus = 1;
+// Base weight for real-time tasks.
+inline constexpr long kRealtimeBase = 1000;
+// Weight reported for a task that cannot be sensibly chosen.
+inline constexpr long kUnschedulableWeight = -1000;
+
+// Full goodness, with dynamic bonuses. `smp` selects whether the affinity
+// bonus applies (UP kernels compile it out).
+long Goodness(const Task& p, int this_cpu, const MmStruct* this_mm, bool smp);
+
+// prev_goodness(): evaluation of the previous task. If the task has yielded,
+// clears the SCHED_YIELD bit and returns 0 (so any other runnable task beats
+// it), exactly as the stock kernel does.
+long PrevGoodness(Task& p, int this_cpu, const MmStruct* this_mm, bool smp);
+
+// The static part of goodness (paper §5): counter + priority for SCHED_OTHER
+// tasks; the ELSC table is sorted by this. Real-time tasks are handled by a
+// separate table region, so this is only meaningful for SCHED_OTHER.
+long StaticGoodness(const Task& p);
+
+// preemption_goodness(): how much better `p` would be than `running` on
+// `cpu`; positive means preempt (used by reschedule_idle()).
+long PreemptionGoodnessDelta(const Task& p, const Task& running, int cpu, bool smp);
+
+}  // namespace elsc
+
+#endif  // SRC_SCHED_GOODNESS_H_

@@ -1,0 +1,153 @@
+#include "src/sched/linux_scheduler.h"
+
+#include "src/base/assert.h"
+#include "src/kernel/policy.h"
+#include "src/base/string_util.h"
+#include "src/sched/goodness.h"
+
+namespace elsc {
+
+void LinuxScheduler::AddToRunQueue(Task* task) {
+  ELSC_CHECK_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
+  // Newly created or awakened tasks go to the *front* of the run queue
+  // (paper §3.2): list_add(&p->run_list, &runqueue_head).
+  ListAdd(&task->run_list, &runqueue_head_);
+  ++nr_running_;
+  ++stats_.wakeups;
+}
+
+void LinuxScheduler::DelFromRunQueue(Task* task) {
+  ELSC_CHECK_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
+  --nr_running_;
+  ListDel(&task->run_list);
+  // The kernel marks "off the run queue" by nulling only the next pointer.
+  task->run_list.next = nullptr;
+  task->run_list.prev = nullptr;
+}
+
+void LinuxScheduler::MoveFirstRunQueue(Task* task) {
+  ELSC_CHECK(task->OnRunQueue());
+  ListMove(&task->run_list, &runqueue_head_);
+}
+
+void LinuxScheduler::MoveLastRunQueue(Task* task) {
+  ELSC_CHECK(task->OnRunQueue());
+  ListMoveTail(&task->run_list, &runqueue_head_);
+}
+
+void LinuxScheduler::RecalculateCounters() {
+  // for_each_task(p): p->counter = (p->counter >> 1) + p->priority. Touches
+  // every task in the system, runnable or not (paper §3.3.2).
+  all_tasks_->ForEach([](Task* p) { p->counter = (p->counter >> 1) + p->priority; });
+}
+
+Task* LinuxScheduler::Schedule(int this_cpu, Task* prev, CostMeter& meter) {
+  meter.ChargeEntry();
+  meter.ChargeLock();
+
+  const MmStruct* this_mm = prev != nullptr ? prev->mm : nullptr;
+
+  bool rr_expired = false;
+  if (prev != nullptr) {
+    // Move an exhausted RR process to be last, refreshing its quantum. The
+    // rotated task must lose exact goodness ties this once (POSIX round-
+    // robin: the task goes to the tail and the next equal-priority task
+    // runs), so its seed value is docked one point below.
+    if (PolicyBase(prev->policy) == kSchedRr && prev->counter == 0) {
+      prev->counter = prev->priority;
+      MoveLastRunQueue(prev);
+      rr_expired = true;
+    }
+    // A task that stopped being runnable leaves the run queue here.
+    if (prev->state != TaskState::kRunning && prev->OnRunQueue()) {
+      DelFromRunQueue(prev);
+    }
+  }
+
+  while (true) {
+    // Default pick: the idle task (returned as nullptr).
+    Task* next = nullptr;
+    long c = kUnschedulableWeight;
+
+    // still_running: the previous task is the first candidate. If it has
+    // yielded, prev_goodness() clears the bit and scores it zero so anything
+    // else runnable beats it.
+    if (prev != nullptr && prev->state == TaskState::kRunning) {
+      c = PrevGoodness(*prev, this_cpu, this_mm, config_.smp);
+      if (rr_expired) {
+        --c;  // Lose ties against equal-rt_priority peers, beat everyone else.
+      }
+      next = prev;
+    }
+
+    // The heart of the stock scheduler: evaluate goodness() for every task
+    // on the run queue that is not currently executing on a processor.
+    for (ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
+      Task* p = ListEntry<Task, &Task::run_list>(node);
+      if (!CanSchedule(*p)) {
+        continue;
+      }
+      meter.ChargeExamine();
+      const long weight = Goodness(*p, this_cpu, this_mm, config_.smp);
+      if (weight > c) {
+        c = weight;
+        next = p;
+      }
+    }
+
+    // Do we need to re-calculate counters? c == 0 means a runnable task was
+    // found but every candidate's quantum is exhausted (or the yielded prev
+    // was the only choice). An *empty* run queue leaves c at -1000 and
+    // schedules the idle task instead (paper footnote 1).
+    if (c == 0) {
+      meter.ChargeRecalc(all_tasks_->size());
+      RecalculateCounters();
+      continue;
+    }
+
+    meter.ChargeFinish();
+    RecordPick(this_cpu, prev, next, meter);
+    return next;
+  }
+}
+
+std::vector<const Task*> LinuxScheduler::QueueSnapshot() const {
+  std::vector<const Task*> out;
+  for (const ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
+    out.push_back(ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node)));
+  }
+  return out;
+}
+
+std::string LinuxScheduler::DebugString() const {
+  // "listhead -> [g] -> [g] -> ..." — the run queue of Figure 1a, where the
+  // labels are static goodness values.
+  std::string out = "runqueue(listhead)";
+  for (const ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
+    const Task* p = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
+    out += StrFormat(" -> [%ld%s]", StaticGoodness(*p), p->has_cpu != 0 ? "*" : "");
+  }
+  out += StrFormat("  (nr_running=%zu)", nr_running_);
+  return out;
+}
+
+void LinuxScheduler::CheckInvariants() const {
+  // The list must be a consistent circular doubly-linked list whose length
+  // matches nr_running, and every member must be TASK_RUNNING.
+  size_t count = 0;
+  for (const ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
+    ELSC_CHECK(node->next->prev == node);
+    ELSC_CHECK(node->prev->next == node);
+    const Task* p = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
+    // A task that just marked itself INTERRUPTIBLE stays on the queue until
+    // its own schedule() call removes it (it still has the CPU meanwhile) —
+    // exactly the kernel's window between set_current_state and schedule().
+    ELSC_CHECK_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
+                   "non-runnable task on run queue");
+    ++count;
+    ELSC_CHECK_MSG(count <= all_tasks_->size() + 1, "run queue list is corrupt (cycle?)");
+  }
+  ELSC_CHECK_MSG(count == nr_running_, "nr_running out of sync with run queue length");
+}
+
+}  // namespace elsc

@@ -1,0 +1,62 @@
+// The stock Linux 2.3.99-pre4 scheduler (paper §3), ported from
+// kernel/sched.c to the simulation's Scheduler interface.
+//
+// The run queue is a single circular doubly-linked list of all TASK_RUNNING
+// tasks, kept in no particular order; newly woken tasks are added at the
+// front. schedule() evaluates goodness() for every task on the queue that is
+// not currently executing on a processor and picks the maximum; when no task
+// has goodness greater than zero (all runnable quanta exhausted, or the
+// previous task yielded and nothing else is schedulable), it recalculates the
+// counter of every task in the system and searches again. This linear,
+// redundant evaluation is the scalability problem the paper attacks.
+
+#ifndef SRC_SCHED_LINUX_SCHEDULER_H_
+#define SRC_SCHED_LINUX_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/sched/scheduler.h"
+
+namespace elsc {
+
+class LinuxScheduler : public Scheduler {
+ public:
+  LinuxScheduler(const CostModel& cost_model, TaskList* all_tasks, const SchedulerConfig& config)
+      : Scheduler(cost_model, all_tasks, config) {
+    InitListHead(&runqueue_head_);
+  }
+
+  const char* name() const override { return "linux-2.3.99"; }
+
+  void AddToRunQueue(Task* task) override;
+  void DelFromRunQueue(Task* task) override;
+  void MoveFirstRunQueue(Task* task) override;
+  void MoveLastRunQueue(Task* task) override;
+
+  Task* Schedule(int this_cpu, Task* prev, CostMeter& meter) override;
+
+  void CheckInvariants() const override;
+
+  // Figure 1a: the single circular list, front to back, with each task's
+  // static goodness.
+  std::string DebugString() const override;
+
+  // Test/diagnostic access: front-to-back snapshot of the queue.
+  std::vector<const Task*> QueueSnapshot() const;
+
+ private:
+  // Recalculates every task's counter: p->counter = p->counter/2 + priority.
+  void RecalculateCounters();
+
+  // can_schedule(): a task already executing on a processor cannot be picked.
+  // (The previous task keeps has_cpu == 1 while schedule() runs, so the
+  // search loop never re-evaluates it; it is handled via prev_goodness().)
+  static bool CanSchedule(const Task& p) { return p.has_cpu == 0; }
+
+  ListHead runqueue_head_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SCHED_LINUX_SCHEDULER_H_

@@ -1,0 +1,48 @@
+// Aggregate scheduler statistics — the counters the paper exposed through
+// /proc while running VolanoMark (§6): schedule() call counts, cycles per
+// entry, tasks examined, recalculation-loop entries, and picks that place a
+// task on a different processor than it last ran on.
+
+#ifndef SRC_SCHED_SCHED_STATS_H_
+#define SRC_SCHED_SCHED_STATS_H_
+
+#include <cstdint>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+
+struct SchedStats {
+  uint64_t schedule_calls = 0;       // Entries into schedule().
+  uint64_t idle_schedules = 0;       // Picks that found nothing runnable.
+  Cycles cycles_in_schedule = 0;     // Cycles spent inside schedule() proper.
+  Cycles lock_wait_cycles = 0;       // Cycles spinning on the runqueue lock.
+  uint64_t tasks_examined = 0;       // Candidates evaluated across all calls.
+  uint64_t recalc_entries = 0;       // Entries into the recalculate loop.
+  uint64_t recalc_tasks_touched = 0; // Tasks whose counter was recalculated.
+  uint64_t picks_new_processor = 0;  // Chosen task last ran on a different CPU.
+  uint64_t picks_prev = 0;           // Chosen task == previous task.
+  uint64_t picks_no_affinity = 0;    // SMP pick without the +15 affinity bonus.
+  uint64_t yield_reruns = 0;         // ELSC: yielded prev re-run instead of recalc.
+  uint64_t wakeups = 0;              // add_to_runqueue() via wake path.
+  uint64_t preemption_ipis = 0;      // reschedule_idle() forced a running CPU.
+
+  double CyclesPerSchedule() const {
+    return schedule_calls == 0
+               ? 0.0
+               : static_cast<double>(cycles_in_schedule + lock_wait_cycles) /
+                     static_cast<double>(schedule_calls);
+  }
+
+  double TasksExaminedPerCall() const {
+    return schedule_calls == 0
+               ? 0.0
+               : static_cast<double>(tasks_examined) / static_cast<double>(schedule_calls);
+  }
+
+  void Reset() { *this = SchedStats{}; }
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SCHED_SCHED_STATS_H_

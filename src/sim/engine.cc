@@ -1,0 +1,62 @@
+#include "src/sim/engine.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+EventId Engine::ScheduleAfter(Cycles delay, std::function<void()> fn) {
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+EventId Engine::ScheduleAt(Cycles when, std::function<void()> fn) {
+  ELSC_CHECK_MSG(when >= now_, "event scheduled in the past");
+  return queue_.Schedule(when, std::move(fn));
+}
+
+bool Engine::Step(Cycles deadline) {
+  if (queue_.Empty()) {
+    return false;
+  }
+  if (queue_.NextTime() > deadline) {
+    return false;
+  }
+  EventQueue::Fired fired = queue_.PopNext();
+  ELSC_CHECK_MSG(fired.when >= now_, "event queue time went backwards");
+  now_ = fired.when;
+  ++events_processed_;
+  fired.fn();
+  return true;
+}
+
+uint64_t Engine::RunUntil(Cycles deadline) {
+  stop_requested_ = false;
+  uint64_t n = 0;
+  while (!stop_requested_ && Step(deadline)) {
+    ++n;
+  }
+  // If we stopped because the next event is beyond a *finite* deadline,
+  // advance the clock to the deadline so elapsed-time metrics are well
+  // defined. (RunToCompletion passes an infinite deadline.)
+  if (deadline != std::numeric_limits<Cycles>::max() && !stop_requested_ && now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+uint64_t Engine::RunToCompletion() {
+  return RunUntil(std::numeric_limits<Cycles>::max());
+}
+
+uint64_t Engine::RunUntilCondition(const std::function<bool()>& predicate, Cycles deadline) {
+  stop_requested_ = false;
+  uint64_t n = 0;
+  while (!stop_requested_ && !predicate() && Step(deadline)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace elsc

@@ -1,0 +1,59 @@
+// Discrete-event simulation engine.
+//
+// Owns the simulated clock (in CPU cycles, see src/base/time_units.h) and the
+// event queue. All kernel machinery (timer ticks, segment completions,
+// wakeups) runs as events; the engine advances time strictly monotonically.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/base/time_units.h"
+#include "src/sim/event_queue.h"
+
+namespace elsc {
+
+class Engine {
+ public:
+  Cycles Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` cycles from now.
+  EventId ScheduleAfter(Cycles delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when`; `when` must be >= Now().
+  EventId ScheduleAt(Cycles when, std::function<void()> fn);
+
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs until the event queue drains or the clock passes `deadline`
+  // (events at exactly `deadline` still fire). Returns the number of events
+  // processed.
+  uint64_t RunUntil(Cycles deadline);
+
+  // Runs until the event queue drains completely.
+  uint64_t RunToCompletion();
+
+  // Runs until `predicate()` becomes true (checked after each event), the
+  // queue drains, or the clock passes `deadline`.
+  uint64_t RunUntilCondition(const std::function<bool()>& predicate, Cycles deadline);
+
+  // Requests that the current Run* call stop after the in-flight event.
+  void Stop() { stop_requested_ = true; }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.Size(); }
+
+ private:
+  bool Step(Cycles deadline);
+
+  EventQueue queue_;
+  Cycles now_ = 0;
+  uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SIM_ENGINE_H_

@@ -1,0 +1,69 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+EventId EventQueue::Schedule(Cycles when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) {
+    return false;
+  }
+  // An id is live iff it is still somewhere in the heap and not tombstoned.
+  // We cannot probe the heap directly; rely on the tombstone set plus the
+  // live counter. Double-cancel is detected by the set.
+  if (cancelled_.contains(id)) {
+    return false;
+  }
+  if (live_count_ == 0) {
+    return false;
+  }
+  // It may have already fired; firing removes it from the heap entirely, and
+  // we have no record of fired ids. Callers in this library only cancel
+  // events they know to be pending (generation counters guard the rest), so
+  // treat unknown ids as pending. To keep the tombstone set bounded we erase
+  // entries when they surface at the head.
+  cancelled_.insert(id);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    auto it = cancelled_.find(top.id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Cycles EventQueue::NextTime() {
+  SkipCancelled();
+  ELSC_CHECK_MSG(!heap_.empty(), "NextTime() on empty event queue");
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::PopNext() {
+  SkipCancelled();
+  ELSC_CHECK_MSG(!heap_.empty(), "PopNext() on empty event queue");
+  // priority_queue::top() returns const&; we need to move the function out.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.when, top.id, std::move(top.fn)};
+  heap_.pop();
+  ELSC_CHECK(live_count_ > 0);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace elsc

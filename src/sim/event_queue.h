@@ -1,0 +1,78 @@
+// Stable priority queue of timed events for the discrete-event engine.
+//
+// Events with equal timestamps fire in insertion order (a strict requirement
+// for reproducibility: a timer tick and a segment end at the same cycle must
+// resolve deterministically). Cancellation is lazy: cancelled ids are
+// tombstoned and skipped when they reach the head of the heap.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  struct Fired {
+    Cycles when = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+
+  // Schedules `fn` to fire at absolute time `when`. Returns an id usable with
+  // Cancel().
+  EventId Schedule(Cycles when, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false (no-op) if the event already fired
+  // or was already cancelled.
+  bool Cancel(EventId id);
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t Size() const { return live_count_; }
+
+  // Time of the earliest pending event. Only valid when !Empty().
+  Cycles NextTime();
+
+  // Pops and returns the earliest pending event. Only valid when !Empty().
+  Fired PopNext();
+
+ private:
+  struct Entry {
+    Cycles when;
+    uint64_t seq;  // Tie-break: insertion order.
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct EntryCompare {
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops tombstoned entries from the head of the heap.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,191 @@
+// The simulated machine: CPUs + scheduler + timer tick + dispatch loop.
+//
+// This is the reproduction's stand-in for the Linux 2.3.99-pre4 kernel
+// runtime. It owns the discrete-event engine, the global task list, the
+// scheduler under test, and N simulated CPUs, and implements:
+//
+//  * the 10 ms timer tick (counter decrement, quantum expiry -> need_resched),
+//  * schedule() invocation with a global run-queue-lock serialization model
+//    (CPUs entering schedule() while another holds the lock wait in FIFO
+//    order — the 2.3.x kernel had exactly one runqueue_lock),
+//  * context-switch and cache-migration cost accounting,
+//  * wake_up_process() / reschedule_idle() preemption,
+//  * task lifecycle (create, block, yield, exit) driven by TaskBehaviors.
+
+#ifndef SRC_SMP_MACHINE_H_
+#define SRC_SMP_MACHINE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time_units.h"
+#include "src/kernel/behavior.h"
+#include "src/kernel/pid_allocator.h"
+#include "src/kernel/task.h"
+#include "src/kernel/task_list.h"
+#include "src/kernel/wait_queue.h"
+#include "src/sched/cost_model.h"
+#include "src/sched/elsc_scheduler.h"
+#include "src/sched/factory.h"
+#include "src/sim/engine.h"
+#include "src/smp/cpu.h"
+#include "src/smp/trace.h"
+
+namespace elsc {
+
+struct MachineConfig {
+  int num_cpus = 1;
+  // SMP kernel semantics (affinity bonus, has_cpu checks, lock contention).
+  // The paper's "UP" configuration is num_cpus == 1, smp == false; its "1P"
+  // configuration is num_cpus == 1, smp == true.
+  bool smp = false;
+  SchedulerKind scheduler = SchedulerKind::kElsc;
+  CostModel cost_model = CostModel::PentiumII();
+  ElscOptions elsc;
+  uint64_t seed = 1;
+  // Run scheduler invariant checks after every operation (slow; tests only).
+  bool check_invariants = false;
+  // Extension seam: when set, the Machine builds its scheduler through this
+  // factory instead of `scheduler`, so embedders can plug in custom policies
+  // (see examples/custom_scheduler.cpp).
+  std::function<std::unique_ptr<Scheduler>(const CostModel&, TaskList*, const SchedulerConfig&)>
+      scheduler_factory;
+};
+
+struct MachineStats {
+  uint64_t ticks = 0;
+  uint64_t context_switches = 0;
+  uint64_t migrations = 0;       // Dispatches onto a CPU != last processor.
+  uint64_t wakeups = 0;
+  uint64_t tasks_created = 0;
+  uint64_t tasks_exited = 0;
+  uint64_t quantum_expiries = 0;
+  uint64_t preempt_requests = 0;  // reschedule_idle() decided to preempt.
+};
+
+struct TaskParams {
+  std::string name;
+  MmStruct* mm = nullptr;          // nullptr: give the task a fresh mm.
+  long priority = kDefaultPriority;
+  uint32_t policy = kSchedOther;
+  long rt_priority = 0;
+  long initial_counter = -1;       // -1: start with a full quantum (priority).
+  int processor = -1;              // -1: spread round-robin across CPUs.
+  TaskBehavior* behavior = nullptr;
+};
+
+class Machine : public Waker {
+ public:
+  explicit Machine(const MachineConfig& config);
+  ~Machine() override;
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  // ---- Setup ----
+  MmStruct* CreateMm();
+  // Creates a runnable task and wakes it into the scheduler.
+  Task* CreateTask(const TaskParams& params);
+  // Starts the timer tick and kicks every CPU's first schedule.
+  void Start();
+
+  // ---- Running ----
+  void RunFor(Cycles duration);
+  // Runs until `predicate` holds (checked after every event) or `deadline`
+  // simulated cycles elapse. Returns true if the predicate held.
+  bool RunUntil(const std::function<bool()>& predicate, Cycles deadline);
+  // Runs until every created task has exited (idle ticks keep firing, so
+  // a deadline is required). Returns true on success.
+  bool RunUntilAllExited(Cycles deadline);
+
+  // ---- Kernel services used by behaviors/workloads ----
+  void WakeUpProcess(Task* task) override;  // try_to_wake_up()
+  // Changes a SCHED_OTHER task's priority, re-filing it if needed.
+  void SetTaskPriority(Task* task, long priority);
+  // sched_setscheduler(): changes policy (+rt_priority), re-filing if needed.
+  void SetTaskPolicy(Task* task, uint32_t policy, long rt_priority);
+  // fork(): creates a runnable child on the parent's CPU, splitting the
+  // parent's remaining quantum with it (Linux 2.3.99 semantics: the child
+  // gets half, the parent keeps half — forking buys no extra CPU share).
+  Task* ForkTask(Task* parent, const TaskParams& params);
+
+  // ---- Introspection ----
+  Cycles Now() const { return engine_.Now(); }
+  Engine& engine() { return engine_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const Scheduler& scheduler() const { return *scheduler_; }
+  const MachineConfig& config() const { return config_; }
+  TaskList& tasks() { return task_list_; }
+  Rng& rng() { return rng_; }
+  MachineStats& stats() { return stats_; }
+  const MachineStats& stats() const { return stats_; }
+  Cpu& cpu(int index) { return *cpus_[static_cast<size_t>(index)]; }
+  const Cpu& cpu(int index) const { return *cpus_[static_cast<size_t>(index)]; }
+  int num_cpus() const { return config_.num_cpus; }
+  size_t live_tasks() const { return live_tasks_; }
+
+  // Kernel-style load averages (exponentially-damped nr_running, sampled
+  // every 5 simulated seconds). which: 0 = 1 min, 1 = 5 min, 2 = 15 min.
+  double LoadAvg(int which) const;
+
+  // Event trace recorder (disabled unless TraceRecorder::Enable is called).
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  // All tasks ever created (zombies included); owned by the machine.
+  const std::vector<std::unique_ptr<Task>>& all_tasks() const { return tasks_; }
+
+ private:
+  // ---- schedule() path ----
+  void RequestSchedule(int cpu_id);
+  void TryGrantLock();
+  void DoSchedule(int cpu_id);
+  void FinishSchedule(int cpu_id, Task* next, Cycles pick_cost);
+  void Dispatch(int cpu_id, Task* next);
+
+  // ---- segment execution ----
+  void InstallSegment(int cpu_id, Cycles overhead);
+  void OnSegmentEnd(int cpu_id, uint64_t generation);
+  // Cancels the live segment (if any), crediting partial progress.
+  void StopSegment(int cpu_id);
+  // Fetches the next segment from the behavior, enforcing sanity.
+  Segment FetchSegment(Task* task);
+
+  // ---- preemption ----
+  void PreemptCpu(int cpu_id);
+  void RescheduleIdle(Task* woken);
+
+  // ---- timer ----
+  void OnTimerTick();
+
+  void ExitTask(int cpu_id, Task* task);
+  void CheckInvariantsIfEnabled();
+
+  MachineConfig config_;
+  Engine engine_;
+  Rng rng_;
+  PidAllocator pids_;
+  TaskList task_list_;
+  std::vector<std::unique_ptr<MmStruct>> mms_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<Cpu>> cpus_;
+  MachineStats stats_;
+
+  // Global run-queue lock model: one holder at a time, FIFO waiters.
+  bool lock_held_ = false;
+  std::deque<int> lock_waiters_;
+
+  TraceRecorder trace_;
+  size_t live_tasks_ = 0;
+  bool started_ = false;
+  uint64_t next_mm_id_ = 1;
+  double loadavg_[3] = {0.0, 0.0, 0.0};
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SMP_MACHINE_H_

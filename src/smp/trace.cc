@@ -1,0 +1,50 @@
+#include "src/smp/trace.h"
+
+#include "src/base/string_util.h"
+
+namespace elsc {
+
+const char* TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kDispatch:
+      return "dispatch";
+    case TraceEventType::kPreempt:
+      return "preempt";
+    case TraceEventType::kBlock:
+      return "block";
+    case TraceEventType::kSleep:
+      return "sleep";
+    case TraceEventType::kYield:
+      return "yield";
+    case TraceEventType::kWake:
+      return "wake";
+    case TraceEventType::kExit:
+      return "exit";
+    case TraceEventType::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+void TraceRecorder::Record(Cycles when, TraceEventType type, int cpu, int pid) {
+  if (!enabled_) {
+    return;
+  }
+  ++total_;
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{when, type, cpu, pid});
+}
+
+std::string TraceRecorder::Render() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += StrFormat("t=%llu %s cpu%d pid%d\n", static_cast<unsigned long long>(event.when),
+                     TraceEventTypeName(event.type), event.cpu, event.pid);
+  }
+  return out;
+}
+
+}  // namespace elsc

@@ -1,0 +1,74 @@
+// Event trace recorder: a bounded in-memory timeline of scheduling events
+// (dispatches, blocks, wakes, preemptions, yields, exits, idles), in the
+// spirit of the instrumentation the paper exposed through /proc — but as a
+// per-event record rather than aggregate counters. Useful for debugging
+// behaviors and for the trace-based tests.
+
+#ifndef SRC_SMP_TRACE_H_
+#define SRC_SMP_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+
+enum class TraceEventType {
+  kDispatch,   // Task placed on a CPU.
+  kPreempt,    // Running task forced back to the run queue.
+  kBlock,      // Task went to sleep on a wait queue.
+  kSleep,      // Task went to sleep on a timer.
+  kYield,      // sys_sched_yield().
+  kWake,       // Task became runnable.
+  kExit,       // Task terminated.
+  kIdle,       // CPU went idle.
+};
+
+const char* TraceEventTypeName(TraceEventType type);
+
+struct TraceEvent {
+  Cycles when = 0;
+  TraceEventType type = TraceEventType::kDispatch;
+  int cpu = -1;  // -1 when not CPU-bound (e.g. cross-CPU wake).
+  int pid = 0;
+};
+
+class TraceRecorder {
+ public:
+  // Disabled (capacity 0) by default; Enable() turns recording on with a
+  // bounded ring (oldest events are dropped).
+  void Enable(size_t capacity) {
+    capacity_ = capacity;
+    enabled_ = capacity > 0;
+  }
+  bool enabled() const { return enabled_; }
+
+  void Record(Cycles when, TraceEventType type, int cpu, int pid);
+
+  size_t size() const { return events_.size(); }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return dropped_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
+
+  // Renders "t=<cycles> <type> cpu<k> pid<p>" lines.
+  std::string Render() const;
+
+  void Clear() {
+    events_.clear();
+    total_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  bool enabled_ = false;
+  size_t capacity_ = 0;
+  std::deque<TraceEvent> events_;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SMP_TRACE_H_

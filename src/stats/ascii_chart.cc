@@ -1,0 +1,161 @@
+#include "src/stats/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/base/string_util.h"
+
+namespace elsc {
+
+namespace {
+
+double BarMagnitude(double value, bool log_scale) {
+  if (value < 0) {
+    value = 0;
+  }
+  return log_scale ? std::log10(value + 1.0) : value;
+}
+
+std::string FormatValue(double value) {
+  if (value == 0) {
+    return "0";
+  }
+  if (value >= 1000 || value == std::floor(value)) {
+    return WithThousandsSeparators(static_cast<uint64_t>(value + 0.5));
+  }
+  return StrFormat("%.2f", value);
+}
+
+}  // namespace
+
+std::string RenderBarChart(const std::vector<std::string>& series_names,
+                           const std::vector<BarGroup>& groups, const BarChartOptions& options) {
+  double max_magnitude = 0;
+  size_t label_width = 0;
+  size_t series_width = 0;
+  for (const auto& name : series_names) {
+    series_width = std::max(series_width, name.size());
+  }
+  for (const auto& group : groups) {
+    label_width = std::max(label_width, group.label.size());
+    for (double v : group.values) {
+      max_magnitude = std::max(max_magnitude, BarMagnitude(v, options.log_scale));
+    }
+  }
+  if (max_magnitude <= 0) {
+    max_magnitude = 1;
+  }
+
+  std::string out;
+  if (options.log_scale) {
+    out += "(bar length on a log10 scale)\n";
+  }
+  for (const auto& group : groups) {
+    for (size_t s = 0; s < series_names.size(); ++s) {
+      const double value = s < group.values.size() ? group.values[s] : 0.0;
+      const double magnitude = BarMagnitude(value, options.log_scale);
+      const int bar =
+          static_cast<int>(std::lround(magnitude / max_magnitude * options.max_width));
+      out += PadRight(s == 0 ? group.label : "", label_width);
+      out += "  ";
+      out += PadRight(series_names[s], series_width);
+      out += " |";
+      out += std::string(static_cast<size_t>(std::max(bar, value > 0 ? 1 : 0)), '#');
+      out += "  " + FormatValue(value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string RenderSeriesChart(const std::vector<std::string>& x_labels,
+                              const std::vector<Series>& series,
+                              const SeriesChartOptions& options) {
+  double y_min = options.y_from_zero ? 0.0 : std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s.y) {
+      y_min = std::min(y_min, v);
+      y_max = std::max(y_max, v);
+    }
+  }
+  if (!std::isfinite(y_max)) {
+    return "(no data)\n";
+  }
+  if (y_max <= y_min) {
+    y_max = y_min + 1;
+  }
+
+  const int width = std::max(options.width, static_cast<int>(x_labels.size()));
+  const int height = std::max(options.height, 4);
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+
+  auto column_for = [&](size_t i) {
+    if (x_labels.size() <= 1) {
+      return 0;
+    }
+    return static_cast<int>(i * static_cast<size_t>(width - 1) / (x_labels.size() - 1));
+  };
+  auto row_for = [&](double v) {
+    const double norm = (v - y_min) / (y_max - y_min);
+    const int row = static_cast<int>(std::lround((1.0 - norm) * (height - 1)));
+    return std::clamp(row, 0, height - 1);
+  };
+
+  for (size_t s = 0; s < series.size(); ++s) {
+    const char marker = static_cast<char>('a' + static_cast<char>(s % 26));
+    const auto& ys = series[s].y;
+    for (size_t i = 0; i + 1 < ys.size() && i + 1 < x_labels.size(); ++i) {
+      // Interpolate between sample points so trends read as lines.
+      const int c0 = column_for(i);
+      const int c1 = column_for(i + 1);
+      for (int c = c0; c <= c1; ++c) {
+        const double t = c1 == c0 ? 0.0 : static_cast<double>(c - c0) / (c1 - c0);
+        const double v = ys[i] + (ys[i + 1] - ys[i]) * t;
+        grid[static_cast<size_t>(row_for(v))][static_cast<size_t>(c)] = marker;
+      }
+    }
+    if (ys.size() == 1) {
+      grid[static_cast<size_t>(row_for(ys[0]))][0] = marker;
+    }
+  }
+
+  std::string out;
+  const std::string top_label = FormatValue(y_max);
+  const std::string bottom_label = FormatValue(y_min);
+  const size_t axis_width = std::max(top_label.size(), bottom_label.size());
+  for (int r = 0; r < height; ++r) {
+    if (r == 0) {
+      out += PadLeft(top_label, axis_width);
+    } else if (r == height - 1) {
+      out += PadLeft(bottom_label, axis_width);
+    } else {
+      out += std::string(axis_width, ' ');
+    }
+    out += " |" + grid[static_cast<size_t>(r)] + "\n";
+  }
+  // X-axis labels, first and last.
+  out += std::string(axis_width, ' ') + " +" + std::string(static_cast<size_t>(width), '-') +
+         "\n";
+  if (!x_labels.empty()) {
+    // A little extra room so the right-most label is not truncated.
+    std::string axis(static_cast<size_t>(width) + axis_width + 10, ' ');
+    for (size_t i = 0; i < x_labels.size(); ++i) {
+      const size_t col = axis_width + 2 + static_cast<size_t>(column_for(i));
+      const std::string& label = x_labels[i];
+      for (size_t k = 0; k < label.size() && col + k < axis.size(); ++k) {
+        axis[col + k] = label[k];
+      }
+    }
+    out += axis + "\n";
+  }
+  // Legend.
+  for (size_t s = 0; s < series.size(); ++s) {
+    out += StrFormat("  %c = %s\n", 'a' + static_cast<char>(s % 26), series[s].name.c_str());
+  }
+  return out;
+}
+
+}  // namespace elsc

@@ -1,0 +1,51 @@
+// Terminal chart rendering for the figure benches: grouped bar charts (with
+// optional log scale, for Figure 2/4-style comparisons) and multi-series
+// line charts (for Figure 3-style trends). Pure text — the benches print the
+// same shapes the paper's charts show.
+
+#ifndef SRC_STATS_ASCII_CHART_H_
+#define SRC_STATS_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace elsc {
+
+struct BarChartOptions {
+  bool log_scale = false;  // Bars proportional to log10(value + 1).
+  int max_width = 60;      // Widest bar, in characters.
+};
+
+struct BarGroup {
+  std::string label;                // e.g. "UP".
+  std::vector<double> values;       // One per series.
+};
+
+// Renders grouped horizontal bars:
+//   UP   reg  |##########################  3953
+//        elsc |#                           1
+std::string RenderBarChart(const std::vector<std::string>& series_names,
+                           const std::vector<BarGroup>& groups,
+                           const BarChartOptions& options = BarChartOptions{});
+
+struct SeriesChartOptions {
+  int width = 64;   // Plot columns.
+  int height = 16;  // Plot rows.
+  bool y_from_zero = true;
+};
+
+struct Series {
+  std::string name;
+  std::vector<double> y;  // One value per x position.
+};
+
+// Renders multiple series over shared x labels as a scatter/line chart using
+// one marker character per series ('a', 'b', ...); includes a legend and a
+// y-axis scale.
+std::string RenderSeriesChart(const std::vector<std::string>& x_labels,
+                              const std::vector<Series>& series,
+                              const SeriesChartOptions& options = SeriesChartOptions{});
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_ASCII_CHART_H_

@@ -1,0 +1,54 @@
+#include "src/stats/csv.h"
+
+#include <cstdio>
+
+namespace elsc {
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string CsvWriter::Render() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += EscapeField(cells[i]);
+    }
+    out += '\n';
+  };
+  append_row(headers_);
+  for (const auto& row : rows_) {
+    append_row(row);
+  }
+  return out;
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string body = Render();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace elsc

@@ -1,0 +1,33 @@
+// Minimal CSV writer for exporting experiment series (EXPERIMENTS.md plots
+// are derived from these).
+
+#ifndef SRC_STATS_CSV_H_
+#define SRC_STATS_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace elsc {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Renders RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string Render() const;
+
+  // Writes to a file; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  static std::string EscapeField(const std::string& field);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_CSV_H_

@@ -1,0 +1,50 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+
+namespace elsc {
+
+int Histogram::IndexFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  // Bucket = floor(log2(value)); sub-bucket = top bits below the leading one.
+  const int log2 = 63 - std::countl_zero(value);
+  const int sub = static_cast<int>((value >> (log2 - 2)) & 0x3);
+  const int index = log2 * kSubBuckets + sub;
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+uint64_t Histogram::UpperBoundOf(int index) {
+  const int log2 = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  if (log2 == 0) {
+    return static_cast<uint64_t>(sub);
+  }
+  // Upper edge of the sub-bucket.
+  const uint64_t base = 1ull << log2;
+  return base + (base / kSubBuckets) * static_cast<uint64_t>(sub + 1) - 1;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  const auto target = static_cast<uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return UpperBoundOf(i);
+    }
+  }
+  return UpperBoundOf(kBucketCount - 1);
+}
+
+}  // namespace elsc

@@ -1,0 +1,50 @@
+// Logarithmically-bucketed histogram for latency-style quantities.
+//
+// Buckets are powers of 2 with 4 linear sub-buckets each (HdrHistogram-lite),
+// giving ~12% worst-case quantile error over a 2^0..2^63 range — plenty for
+// reporting p50/p95/p99 of simulated latencies.
+
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace elsc {
+
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  void Add(uint64_t value) {
+    ++counts_[IndexFor(value)];
+    ++total_;
+    sum_ += value;
+  }
+
+  uint64_t total() const { return total_; }
+  double mean() const { return total_ == 0 ? 0.0 : static_cast<double>(sum_) / total_; }
+
+  // Value at quantile q in [0, 1]; returns the representative (upper bound)
+  // of the bucket containing the q-th sample.
+  uint64_t Percentile(double q) const;
+
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0;
+  }
+
+ private:
+  static int IndexFor(uint64_t value);
+  static uint64_t UpperBoundOf(int index);
+
+  std::array<uint64_t, kBucketCount> counts_{};
+  uint64_t total_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,64 @@
+#include "src/stats/proc_report.h"
+
+#include "src/base/string_util.h"
+
+namespace elsc {
+
+std::string ConfigLabel(const MachineConfig& config) {
+  if (!config.smp) {
+    return "UP";
+  }
+  return StrFormat("%dP", config.num_cpus);
+}
+
+std::string RenderProcSchedStats(const Machine& machine) {
+  const Scheduler& sched = machine.scheduler();
+  const SchedStats& s = sched.stats();
+  const MachineStats& m = machine.stats();
+  const double elapsed_sec = CyclesToSec(machine.Now());
+
+  std::string out;
+  out += StrFormat("scheduler:            %s\n", sched.name());
+  out += StrFormat("config:               %s\n", ConfigLabel(machine.config()).c_str());
+  out += StrFormat("elapsed_sec:          %.3f\n", elapsed_sec);
+  out += StrFormat("schedule_calls:       %llu\n", (unsigned long long)s.schedule_calls);
+  out += StrFormat("idle_schedules:       %llu\n", (unsigned long long)s.idle_schedules);
+  out += StrFormat("cycles_in_schedule:   %llu\n", (unsigned long long)s.cycles_in_schedule);
+  out += StrFormat("lock_wait_cycles:     %llu\n", (unsigned long long)s.lock_wait_cycles);
+  out += StrFormat("cycles_per_schedule:  %.1f\n", s.CyclesPerSchedule());
+  out += StrFormat("tasks_examined:       %llu\n", (unsigned long long)s.tasks_examined);
+  out += StrFormat("tasks_examined_avg:   %.2f\n", s.TasksExaminedPerCall());
+  out += StrFormat("recalc_entries:       %llu\n", (unsigned long long)s.recalc_entries);
+  out += StrFormat("recalc_tasks:         %llu\n", (unsigned long long)s.recalc_tasks_touched);
+  out += StrFormat("picks_new_processor:  %llu\n", (unsigned long long)s.picks_new_processor);
+  out += StrFormat("picks_prev:           %llu\n", (unsigned long long)s.picks_prev);
+  out += StrFormat("yield_reruns:         %llu\n", (unsigned long long)s.yield_reruns);
+  out += StrFormat("preemption_ipis:      %llu\n", (unsigned long long)s.preemption_ipis);
+  out += StrFormat("context_switches:     %llu\n", (unsigned long long)m.context_switches);
+  out += StrFormat("migrations:           %llu\n", (unsigned long long)m.migrations);
+  out += StrFormat("wakeups:              %llu\n", (unsigned long long)m.wakeups);
+  out += StrFormat("quantum_expiries:     %llu\n", (unsigned long long)m.quantum_expiries);
+  out += StrFormat("timer_ticks:          %llu\n", (unsigned long long)m.ticks);
+  out += StrFormat("nr_running:           %zu\n", sched.nr_running());
+  out += StrFormat("loadavg:              %.2f %.2f %.2f\n", machine.LoadAvg(0),
+                   machine.LoadAvg(1), machine.LoadAvg(2));
+
+  for (int i = 0; i < machine.num_cpus(); ++i) {
+    const Cpu& cpu = machine.cpu(i);
+    const double busy = CyclesToSec(cpu.stats.busy_cycles);
+    const double sched_time = CyclesToSec(cpu.stats.sched_cycles);
+    // Include the still-open idle period of a currently idle CPU so that
+    // end-of-run reports account the tail correctly.
+    Cycles idle_cycles = cpu.stats.idle_cycles;
+    if (cpu.IsIdle() && machine.Now() > cpu.idle_since) {
+      idle_cycles += machine.Now() - cpu.idle_since;
+    }
+    const double idle = CyclesToSec(idle_cycles);
+    out += StrFormat("cpu%d: busy=%.3fs sched=%.3fs idle=%.3fs dispatches=%llu switches=%llu\n",
+                     i, busy, sched_time, idle, (unsigned long long)cpu.stats.dispatches,
+                     (unsigned long long)cpu.stats.context_switches);
+  }
+  return out;
+}
+
+}  // namespace elsc

@@ -1,0 +1,80 @@
+#include "src/stats/ps_report.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/string_util.h"
+#include "src/stats/table.h"
+
+namespace elsc {
+
+namespace {
+
+const char* PolicyName(const Task& task) {
+  switch (PolicyBase(task.policy)) {
+    case kSchedFifo:
+      return "FIFO";
+    case kSchedRr:
+      return "RR";
+    default:
+      return "OTHER";
+  }
+}
+
+const char* ShortState(TaskState state) {
+  switch (state) {
+    case TaskState::kRunning:
+      return "R";
+    case TaskState::kInterruptible:
+      return "S";
+    case TaskState::kUninterruptible:
+      return "D";
+    case TaskState::kStopped:
+      return "T";
+    case TaskState::kZombie:
+      return "Z";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderPs(const Machine& machine, const PsOptions& options) {
+  std::vector<const Task*> tasks;
+  for (const auto& task : machine.all_tasks()) {
+    if (!options.include_zombies && task->state == TaskState::kZombie) {
+      continue;
+    }
+    tasks.push_back(task.get());
+  }
+  if (options.sort_by_cpu) {
+    std::stable_sort(tasks.begin(), tasks.end(), [](const Task* a, const Task* b) {
+      return a->stats.cpu_cycles > b->stats.cpu_cycles;
+    });
+  }
+  if (options.max_rows != 0 && tasks.size() > options.max_rows) {
+    tasks.resize(options.max_rows);
+  }
+
+  TextTable table({"PID", "NAME", "S", "POLICY", "PRI", "CNT", "CPU", "TIME_MS", "WAIT_MS",
+                   "SCHED", "YLD", "MIGR"});
+  for (const Task* task : tasks) {
+    table.AddRow({std::to_string(task->pid), task->name, ShortState(task->state),
+                  PolicyName(*task),
+                  task->IsRealtime() ? "rt" + std::to_string(task->rt_priority)
+                                     : std::to_string(task->priority),
+                  std::to_string(task->counter), std::to_string(task->processor),
+                  StrFormat("%.2f", CyclesToMs(task->stats.cpu_cycles)),
+                  StrFormat("%.2f", CyclesToMs(task->stats.wait_cycles)),
+                  std::to_string(task->stats.times_scheduled),
+                  std::to_string(task->stats.yields), std::to_string(task->stats.migrations)});
+  }
+
+  std::string out = StrFormat(
+      "tasks: %zu shown, %zu live  load average: %.2f, %.2f, %.2f\n", tasks.size(),
+      machine.live_tasks(), machine.LoadAvg(0), machine.LoadAvg(1), machine.LoadAvg(2));
+  out += table.Render();
+  return out;
+}
+
+}  // namespace elsc

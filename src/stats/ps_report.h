@@ -1,0 +1,29 @@
+// ps/top-style per-task report.
+//
+// The paper notes that "all processes and threads are visible in various
+// system status commands such as ps and top" (§3.1); this renders the
+// simulation's equivalent view — every task ever created, with state,
+// policy, scheduling fields, and accounting.
+
+#ifndef SRC_STATS_PS_REPORT_H_
+#define SRC_STATS_PS_REPORT_H_
+
+#include <string>
+
+#include "src/smp/machine.h"
+
+namespace elsc {
+
+struct PsOptions {
+  bool include_zombies = false;
+  // Sort by cumulative CPU time (descending), like top; otherwise pid order.
+  bool sort_by_cpu = false;
+  size_t max_rows = 0;  // 0 = unlimited.
+};
+
+// Renders the task table.
+std::string RenderPs(const Machine& machine, const PsOptions& options = PsOptions{});
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_PS_REPORT_H_

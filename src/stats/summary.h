@@ -1,0 +1,48 @@
+// Online summary statistics (Welford's algorithm): mean, variance, extrema.
+
+#ifndef SRC_STATS_SUMMARY_H_
+#define SRC_STATS_SUMMARY_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace elsc {
+
+class Summary {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+    sum_ += x;
+  }
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() { *this = Summary{}; }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_SUMMARY_H_

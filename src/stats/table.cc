@@ -1,0 +1,71 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/string_util.h"
+#include "src/stats/csv.h"
+
+namespace elsc {
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) {
+        line += "  ";
+      }
+      line += i == 0 ? PadRight(cells[i], widths[i]) : PadLeft(cells[i], widths[i]);
+    }
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  std::string rule;
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    if (i != 0) {
+      rule += "  ";
+    }
+    rule += std::string(widths[i], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string TextTable::RenderCsv() const {
+  CsvWriter csv(headers_);
+  for (const auto& row : rows_) {
+    csv.AddRow(row);
+  }
+  return csv.Render();
+}
+
+bool TextTable::WriteCsv(const std::string& path) const {
+  CsvWriter csv(headers_);
+  for (const auto& row : rows_) {
+    csv.AddRow(row);
+  }
+  return csv.WriteFile(path);
+}
+
+}  // namespace elsc

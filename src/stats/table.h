@@ -1,0 +1,36 @@
+// Aligned plain-text table printer used by the benchmark harness to emit
+// paper-style tables and figure series.
+
+#ifndef SRC_STATS_TABLE_H_
+#define SRC_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace elsc {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column alignment; first column left-aligned, the rest
+  // right-aligned (numeric convention).
+  std::string Render() const;
+  void Print() const;
+
+  // Renders the same data as CSV (for plotting pipelines).
+  std::string RenderCsv() const;
+  // Writes the CSV rendering to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_STATS_TABLE_H_

@@ -1,0 +1,84 @@
+#include "src/workloads/micro_behaviors.h"
+
+#include <algorithm>
+
+#include "src/smp/machine.h"
+
+namespace elsc {
+
+Cycles JitterCycles(Rng& rng, Cycles base, double fraction) {
+  if (fraction <= 0.0 || base == 0) {
+    return base;
+  }
+  const double factor = 1.0 + (rng.NextDouble() * 2.0 - 1.0) * fraction;
+  const double value = static_cast<double>(base) * factor;
+  return value < 1.0 ? 1 : static_cast<Cycles>(value);
+}
+
+Segment SpinnerBehavior::NextSegment(Machine& machine, Task& task) {
+  (void)machine;
+  (void)task;
+  if (finite_) {
+    if (remaining_ <= burst_) {
+      const Cycles last = remaining_;
+      remaining_ = 0;
+      work_done_ += last;
+      return Segment::Exit(last);
+    }
+    remaining_ -= burst_;
+  }
+  work_done_ += burst_;
+  return Segment::RunAgain(burst_);
+}
+
+Segment YielderBehavior::NextSegment(Machine& machine, Task& task) {
+  (void)machine;
+  (void)task;
+  if (remaining_ == 0) {
+    return Segment::Exit(burst_);
+  }
+  --remaining_;
+  ++yields_done_;
+  return Segment::Yield(burst_);
+}
+
+Segment InteractiveBehavior::NextSegment(Machine& machine, Task& task) {
+  (void)machine;
+  (void)task;
+  if (finite_ && remaining_ == 0) {
+    return Segment::Exit(burst_);
+  }
+  if (finite_) {
+    --remaining_;
+  }
+  ++iterations_done_;
+  return Segment::Sleep(burst_, sleep_);
+}
+
+Segment FixedWorkBehavior::NextSegment(Machine& machine, Task& task) {
+  (void)machine;
+  (void)task;
+  if (remaining_ <= burst_) {
+    const Cycles last = remaining_;
+    remaining_ = 0;
+    finished_ = true;
+    return Segment::Exit(std::max<Cycles>(last, 1));
+  }
+  remaining_ -= burst_;
+  return Segment::RunAgain(burst_);
+}
+
+Segment WaiterBehavior::NextSegment(Machine& machine, Task& task) {
+  (void)machine;
+  (void)task;
+  if (started_) {
+    ++times_woken_;
+    if (times_woken_ >= remaining_wakes_) {
+      return Segment::Exit(burst_);
+    }
+  }
+  started_ = true;
+  return Segment::Block(burst_, queue_);
+}
+
+}  // namespace elsc

@@ -1,0 +1,110 @@
+// Elementary task behaviors used by unit tests, examples, and synthetic
+// stress benchmarks: pure spinners, yield-loopers, and interactive
+// burst-sleep tasks.
+
+#ifndef SRC_WORKLOADS_MICRO_BEHAVIORS_H_
+#define SRC_WORKLOADS_MICRO_BEHAVIORS_H_
+
+#include <cstdint>
+
+#include "src/base/rng.h"
+#include "src/base/time_units.h"
+#include "src/kernel/behavior.h"
+
+namespace elsc {
+
+// Pure CPU hog. Runs bursts forever, or exits after `total_work` cycles of
+// useful work when total_work > 0.
+class SpinnerBehavior : public TaskBehavior {
+ public:
+  explicit SpinnerBehavior(Cycles burst = MsToCycles(5), Cycles total_work = 0)
+      : burst_(burst), remaining_(total_work), finite_(total_work > 0) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+  Cycles work_done() const { return work_done_; }
+
+ private:
+  Cycles burst_;
+  Cycles remaining_;
+  bool finite_;
+  Cycles work_done_ = 0;
+};
+
+// Burst then sched_yield(), `iterations` times; then exits. Models the
+// user-level spin locks (sched_yield back-off) of 2001-era JVMs.
+class YielderBehavior : public TaskBehavior {
+ public:
+  YielderBehavior(Cycles burst, uint64_t iterations) : burst_(burst), remaining_(iterations) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+  uint64_t yields_done() const { return yields_done_; }
+
+ private:
+  Cycles burst_;
+  uint64_t remaining_;
+  uint64_t yields_done_ = 0;
+};
+
+// Interactive: CPU burst, then sleep for a fixed duration, repeated
+// `iterations` times (0 = forever).
+class InteractiveBehavior : public TaskBehavior {
+ public:
+  InteractiveBehavior(Cycles burst, Cycles sleep, uint64_t iterations = 0)
+      : burst_(burst), sleep_(sleep), remaining_(iterations), finite_(iterations > 0) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+  uint64_t wakeups() const { return iterations_done_; }
+
+ private:
+  Cycles burst_;
+  Cycles sleep_;
+  uint64_t remaining_;
+  bool finite_;
+  uint64_t iterations_done_ = 0;
+};
+
+// Runs exactly `work` cycles (in `burst`-sized pieces) and exits. Useful for
+// completion-time tests.
+class FixedWorkBehavior : public TaskBehavior {
+ public:
+  explicit FixedWorkBehavior(Cycles work, Cycles burst = MsToCycles(2))
+      : remaining_(work), burst_(burst) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+  bool finished() const { return finished_; }
+
+ private:
+  Cycles remaining_;
+  Cycles burst_;
+  bool finished_ = false;
+};
+
+// Blocks forever on a wait queue after an optional initial burst; exits when
+// woken `wakes_before_exit` times. Drives wait-queue and wake-path tests.
+class WaiterBehavior : public TaskBehavior {
+ public:
+  WaiterBehavior(WaitQueue* queue, uint64_t wakes_before_exit = 1, Cycles burst = UsToCycles(10))
+      : queue_(queue), remaining_wakes_(wakes_before_exit), burst_(burst) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+  uint64_t times_woken() const { return times_woken_; }
+
+ private:
+  WaitQueue* queue_;
+  uint64_t remaining_wakes_;
+  Cycles burst_;
+  uint64_t times_woken_ = 0;
+  bool started_ = false;
+};
+
+// Applies uniform jitter of +/- `fraction` to `base` using `rng`.
+Cycles JitterCycles(Rng& rng, Cycles base, double fraction);
+
+}  // namespace elsc
+
+#endif  // SRC_WORKLOADS_MICRO_BEHAVIORS_H_

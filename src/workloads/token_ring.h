@@ -1,0 +1,74 @@
+// Token-ring context-switch workload (LMbench lat_ctx style).
+//
+// N tasks arranged in a ring of pipes; each task blocks reading its inbound
+// pipe, does a tiny unit of work when the token arrives, and writes the
+// token to the next task. With K tokens circulating concurrently, the
+// runnable population hovers around K — so sweeping K isolates how each
+// scheduler's pick cost scales with run-queue depth, with none of
+// VolanoMark's broadcast/locking structure in the way. This was the classic
+// microbenchmark used to evaluate scheduler patches in the paper's era.
+
+#ifndef SRC_WORKLOADS_TOKEN_RING_H_
+#define SRC_WORKLOADS_TOKEN_RING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/smp/machine.h"
+
+namespace elsc {
+
+struct TokenRingConfig {
+  int tasks = 64;          // Ring size.
+  int tokens = 1;          // Concurrent tokens (≈ runnable depth).
+  uint64_t total_hops = 100000;  // Experiment length, summed over tokens.
+  Cycles hop_work = UsToCycles(10);   // Work per token visit.
+  Cycles syscall_cycles = UsToCycles(3);
+};
+
+struct TokenRingResult {
+  bool completed = false;
+  uint64_t hops = 0;
+  double elapsed_sec = 0.0;
+  double hops_per_sec = 0.0;
+  // Mean wall latency of one hop (write in task i to completion of work in
+  // task i+1), dominated by wake + schedule + dispatch.
+  double hop_latency_us = 0.0;
+};
+
+class TokenRingWorkload {
+ public:
+  TokenRingWorkload(Machine& machine, const TokenRingConfig& config);
+  ~TokenRingWorkload();
+
+  TokenRingWorkload(const TokenRingWorkload&) = delete;
+  TokenRingWorkload& operator=(const TokenRingWorkload&) = delete;
+
+  void Setup();
+  bool Done() const;
+  TokenRingResult Result() const;
+
+  const TokenRingConfig& config() const { return config_; }
+
+ private:
+  friend class TokenRingBehavior;
+
+  SimSocket& pipe(int index) { return *pipes_[static_cast<size_t>(index)]; }
+  // Called on each token arrival with the hop's wall latency; returns false
+  // once the hop budget is exhausted (the token is then retired).
+  bool CountHopWithLatency(Cycles latency);
+
+  Machine& machine_;
+  TokenRingConfig config_;
+  std::vector<std::unique_ptr<SimSocket>> pipes_;
+  std::vector<std::unique_ptr<TaskBehavior>> behaviors_;
+  uint64_t hops_done_ = 0;
+  uint64_t tokens_retired_ = 0;
+  Cycles latency_sum_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_WORKLOADS_TOKEN_RING_H_

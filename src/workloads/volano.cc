@@ -1,0 +1,549 @@
+#include "src/workloads/volano.h"
+
+#include "src/base/assert.h"
+#include "src/base/string_util.h"
+#include "src/net/socket_ops.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+
+namespace {
+
+// Shared yield-spin emulation: 2001-era JVM monitors back off through
+// sched_yield; each processing step occasionally spins.
+class VolanoThreadBase : public TaskBehavior {
+ public:
+  VolanoThreadBase(VolanoWorkload* workload, Rng rng) : workload_(workload), rng_(rng) {}
+
+ protected:
+  const VolanoConfig& cfg() const { return workload_->config(); }
+
+  // Returns a yield segment if a spin is pending; call at the top of
+  // NextSegment().
+  bool TakeYield(Segment* out) {
+    if (pending_yields_ == 0) {
+      return false;
+    }
+    --pending_yields_;
+    *out = Segment::Yield(cfg().yield_spin_cycles);
+    return true;
+  }
+
+  // Rolls the dice for a new yield spin before a processing step.
+  void RollYields() {
+    if (cfg().yield_probability > 0.0 && rng_.NextBool(cfg().yield_probability)) {
+      pending_yields_ = 1 + static_cast<int>(rng_.NextBelow(
+                                static_cast<uint64_t>(cfg().max_yield_spin)));
+    }
+  }
+
+  Cycles Jitter(Cycles base) { return JitterCycles(rng_, base, cfg().work_jitter); }
+
+  // Adaptive wait: spin through sched_yield a few times before parking on
+  // `block_seg` (the JVM's spin-then-park locking strategy). The caller must
+  // invoke ResetSpin() on the success path.
+  Segment SpinOrBlock(Segment block_seg) {
+    if (spins_left_ > 0) {
+      --spins_left_;
+      return Segment::Yield(cfg().yield_spin_cycles);
+    }
+    spins_left_ = cfg().spin_yields_before_block;  // Re-arm for the next wait.
+    return block_seg;
+  }
+
+  void ResetSpin() { spins_left_ = cfg().spin_yields_before_block; }
+
+  // Chat threads park until every connection is established (VolanoMark
+  // starts the message exchange only once the rooms are fully built).
+  bool AwaitStartBarrier(Segment* out) {
+    if (workload_->chat_started()) {
+      return false;
+    }
+    VolanoWorkload* w = workload_;
+    *out = Segment::Block(cfg().syscall_cycles, w->start_barrier(),
+                          [w] { return !w->chat_started(); });
+    return true;
+  }
+
+  VolanoWorkload* workload_;
+  Rng rng_;
+  int pending_yields_ = 0;
+  int spins_left_ = 0;
+};
+
+}  // namespace
+
+// Composes and sends this user's messages; closed loop — the next message is
+// composed only after the user's previous message came back in a broadcast.
+class VolanoClientWriter : public VolanoThreadBase {
+ public:
+  VolanoClientWriter(VolanoWorkload* workload, Rng rng, int user)
+      : VolanoThreadBase(workload, rng), user_(user) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (Segment gate; AwaitStartBarrier(&gate)) {
+      return gate;
+    }
+    Segment yield_seg;
+    if (TakeYield(&yield_seg)) {
+      return yield_seg;
+    }
+    auto& conn = workload_->connection(user_);
+    switch (phase_) {
+      case Phase::kCompose: {
+        phase_ = Phase::kWrite;
+        RollYields();
+        return Segment::RunAgain(Jitter(cfg().compose_cycles));
+      }
+      case Phase::kWrite: {
+        Message msg;
+        msg.id = workload_->next_message_id_++;
+        msg.sender = user_;
+        msg.room = conn.room;
+        msg.sent_at = machine.Now();
+        if (!conn.c2s->TryWrite(machine, msg)) {
+          // Wire full: spin-yield, then block until the server reader
+          // drains it, then retry.
+          return SpinOrBlock(BlockUntilWritable(cfg().syscall_cycles, *conn.c2s));
+        }
+        ResetSpin();
+        ++sent_;
+        ++workload_->messages_sent_;
+        if (sent_ == cfg().messages_per_user) {
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        phase_ = Phase::kAwaitTurn;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+      case Phase::kAwaitTurn: {
+        auto& ack = *conn.ack;
+        if (!ack.TryRead(machine).has_value()) {
+          // Thread.yield() spin on the round trip, then park.
+          if (ack_spins_ < cfg().ack_spin_yields) {
+            ++ack_spins_;
+            return Segment::Yield(cfg().yield_spin_cycles);
+          }
+          ack_spins_ = 0;
+          return BlockUntilReadable(cfg().syscall_cycles, ack);
+        }
+        ack_spins_ = 0;
+        phase_ = Phase::kCompose;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kCompose, kWrite, kAwaitTurn };
+  int user_;
+  Phase phase_ = Phase::kCompose;
+  int sent_ = 0;
+  int ack_spins_ = 0;
+};
+
+// Drains the server→client wire, processing each broadcast delivery; when
+// the user's own message arrives, releases the writer for the next one.
+class VolanoClientReader : public VolanoThreadBase {
+ public:
+  VolanoClientReader(VolanoWorkload* workload, Rng rng, int user)
+      : VolanoThreadBase(workload, rng), user_(user) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (Segment gate; AwaitStartBarrier(&gate)) {
+      return gate;
+    }
+    Segment yield_seg;
+    if (TakeYield(&yield_seg)) {
+      return yield_seg;
+    }
+    auto& conn = workload_->connection(user_);
+    const int expected = cfg().users_per_room * cfg().messages_per_user;
+    if (received_ == expected) {
+      return Segment::Exit(cfg().syscall_cycles);
+    }
+    auto msg = conn.s2c->TryRead(machine);
+    if (!msg.has_value()) {
+      return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.s2c));
+    }
+    ResetSpin();
+    ++received_;
+    ++workload_->messages_delivered_;
+    if (msg->sender == user_) {
+      // Our own message completed the round trip: let the writer proceed.
+      Message token;
+      token.sender = user_;
+      const bool ok = conn.ack->TryWrite(machine, token);
+      ELSC_CHECK_MSG(ok, "volano ack queue overflow (pacing invariant broken)");
+    }
+    RollYields();
+    return Segment::RunAgain(Jitter(cfg().client_process_cycles));
+  }
+
+ private:
+  int user_;
+  int received_ = 0;
+};
+
+// Reads this connection's inbound wire and fans each message out to every
+// room member's output queue.
+class VolanoServerReader : public VolanoThreadBase {
+ public:
+  VolanoServerReader(VolanoWorkload* workload, Rng rng, int user)
+      : VolanoThreadBase(workload, rng), user_(user) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (Segment gate; AwaitStartBarrier(&gate)) {
+      return gate;
+    }
+    Segment yield_seg;
+    if (TakeYield(&yield_seg)) {
+      return yield_seg;
+    }
+    auto& conn = workload_->connection(user_);
+    auto& room = workload_->room_state(conn.room);
+    switch (phase_) {
+      case Phase::kRead: {
+        if (handled_ == cfg().messages_per_user) {
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        auto msg = conn.c2s->TryRead(machine);
+        if (!msg.has_value()) {
+          return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.c2s));
+        }
+        ResetSpin();
+        pending_ = *msg;
+        next_member_ = 0;
+        phase_ = Phase::kAcquireLock;
+        RollYields();
+        return Segment::RunAgain(Jitter(cfg().server_parse_cycles));
+      }
+      case Phase::kAcquireLock: {
+        // The room monitor: broadcasts are serialized per room. Contenders
+        // use the JVM's adaptive spin — sched_yield up to lock_spin_yields
+        // times hoping the holder releases, then park on the monitor.
+        if (!room.lock_held) {
+          room.lock_held = true;
+          lock_spins_ = 0;
+          phase_ = Phase::kBroadcast;
+          return Segment::RunAgain(cfg().lock_acquire_cycles);
+        }
+        ++room.contended_acquires;
+        if (lock_spins_ < cfg().lock_spin_yields) {
+          ++lock_spins_;
+          return Segment::Yield(cfg().yield_spin_cycles);
+        }
+        lock_spins_ = 0;
+        bool* held = &room.lock_held;
+        return Segment::Block(cfg().syscall_cycles, room.lock_wait.get(),
+                              [held] { return *held; });
+      }
+      case Phase::kBroadcast: {
+        while (next_member_ < cfg().users_per_room) {
+          const int target = workload_->UserIndex(conn.room, next_member_);
+          SimSocket& outq = *workload_->connection(target).outq;
+          if (!outq.TryWrite(machine, pending_)) {
+            // Member's output queue full: the broadcast stalls *while
+            // holding the room monitor* — the paper era's storm scenario —
+            // and resumes exactly where it stopped.
+            return BlockUntilWritable(cfg().syscall_cycles, outq);
+          }
+          ++next_member_;
+        }
+        ++handled_;
+        // Release the monitor and hand it to one parked waiter.
+        room.lock_held = false;
+        room.lock_wait->WakeOne(machine);
+        phase_ = Phase::kRead;
+        const Cycles fanout_work =
+            cfg().broadcast_enqueue_cycles * static_cast<Cycles>(cfg().users_per_room);
+        return Segment::RunAgain(Jitter(fanout_work));
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kRead, kAcquireLock, kBroadcast };
+  int user_;
+  Phase phase_ = Phase::kRead;
+  int handled_ = 0;
+  Message pending_;
+  int next_member_ = 0;
+  int lock_spins_ = 0;
+};
+
+// Moves messages from this connection's output queue onto the server→client
+// wire.
+class VolanoServerWriter : public VolanoThreadBase {
+ public:
+  VolanoServerWriter(VolanoWorkload* workload, Rng rng, int user)
+      : VolanoThreadBase(workload, rng), user_(user) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (Segment gate; AwaitStartBarrier(&gate)) {
+      return gate;
+    }
+    Segment yield_seg;
+    if (TakeYield(&yield_seg)) {
+      return yield_seg;
+    }
+    auto& conn = workload_->connection(user_);
+    const int expected = cfg().users_per_room * cfg().messages_per_user;
+    switch (phase_) {
+      case Phase::kRead: {
+        if (forwarded_ == expected) {
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        auto msg = conn.outq->TryRead(machine);
+        if (!msg.has_value()) {
+          return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.outq));
+        }
+        ResetSpin();
+        pending_ = *msg;
+        phase_ = Phase::kForward;
+        RollYields();
+        return Segment::RunAgain(Jitter(cfg().server_write_cycles));
+      }
+      case Phase::kForward: {
+        if (!conn.s2c->TryWrite(machine, pending_)) {
+          return SpinOrBlock(BlockUntilWritable(cfg().syscall_cycles, *conn.s2c));
+        }
+        ResetSpin();
+        ++forwarded_;
+        phase_ = Phase::kRead;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kRead, kForward };
+  int user_;
+  Phase phase_ = Phase::kRead;
+  int forwarded_ = 0;
+  Message pending_;
+};
+
+// The client's main thread: opens every connection in sequence, yield-
+// polling each handshake (Thread.yield() while the listener works), then
+// releases the start barrier. During this ramp it is usually the only
+// runnable task in the system.
+class VolanoConnector : public VolanoThreadBase {
+ public:
+  VolanoConnector(VolanoWorkload* workload, Rng rng) : VolanoThreadBase(workload, rng) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    const int total_users = cfg().rooms * cfg().users_per_room;
+    switch (phase_) {
+      case Phase::kSendConnect: {
+        if (next_user_ == total_users) {
+          // Every connection is up: release the chat threads and retire.
+          workload_->chat_started_ = true;
+          workload_->start_barrier_->WakeAll(machine);
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        Message syn;
+        syn.sender = next_user_;
+        if (!workload_->accept_queue_->TryWrite(machine, syn)) {
+          return BlockUntilWritable(cfg().syscall_cycles, *workload_->accept_queue_);
+        }
+        spins_ = 0;
+        phase_ = Phase::kAwaitAccept;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+      case Phase::kAwaitAccept: {
+        auto& ack = *workload_->connection(next_user_).ack;
+        if (!ack.TryRead(machine).has_value()) {
+          if (spins_ < cfg().connect_spin_yields) {
+            ++spins_;
+            return Segment::Yield(cfg().yield_spin_cycles);
+          }
+          return BlockUntilReadable(cfg().syscall_cycles, ack);
+        }
+        // Connection up: spawn this user's client threads, move on.
+        workload_->SpawnClientThreads(next_user_);
+        ++next_user_;
+        phase_ = Phase::kSendConnect;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kSendConnect, kAwaitAccept };
+  Phase phase_ = Phase::kSendConnect;
+  int next_user_ = 0;
+  int spins_ = 0;
+};
+
+// The server's listener: accepts each connection, spawns its per-connection
+// service threads, acknowledges the client, and exits once every expected
+// connection has been accepted.
+class VolanoListener : public VolanoThreadBase {
+ public:
+  VolanoListener(VolanoWorkload* workload, Rng rng) : VolanoThreadBase(workload, rng) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    const int total_users = cfg().rooms * cfg().users_per_room;
+    switch (phase_) {
+      case Phase::kAccept: {
+        if (accepted_ == total_users) {
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        auto syn = workload_->accept_queue_->TryRead(machine);
+        if (!syn.has_value()) {
+          return BlockUntilReadable(cfg().syscall_cycles, *workload_->accept_queue_);
+        }
+        pending_user_ = syn->sender;
+        phase_ = Phase::kSetup;
+        return Segment::RunAgain(Jitter(cfg().accept_work_cycles));
+      }
+      case Phase::kSetup: {
+        // Socket/thread setup latency on the server side.
+        phase_ = Phase::kFinish;
+        return Segment::Sleep(cfg().syscall_cycles, Jitter(cfg().accept_latency_mean));
+      }
+      case Phase::kFinish: {
+        workload_->SpawnServerThreads(pending_user_);
+        Message ack;
+        ack.sender = pending_user_;
+        const bool ok = workload_->connection(pending_user_).ack->TryWrite(machine, ack);
+        ELSC_CHECK_MSG(ok, "volano handshake ack overflow");
+        ++accepted_;
+        phase_ = Phase::kAccept;
+        return Segment::RunAgain(cfg().syscall_cycles);
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kAccept, kSetup, kFinish };
+  Phase phase_ = Phase::kAccept;
+  int pending_user_ = 0;
+  int accepted_ = 0;
+};
+
+VolanoWorkload::VolanoWorkload(Machine& machine, const VolanoConfig& config)
+    : machine_(machine), config_(config), rng_(machine.rng().Fork()) {
+  ELSC_CHECK(config_.rooms >= 1);
+  ELSC_CHECK(config_.users_per_room >= 1);
+  ELSC_CHECK(config_.messages_per_user >= 1);
+}
+
+VolanoWorkload::~VolanoWorkload() = default;
+
+void VolanoWorkload::Setup() {
+  server_mm_ = machine_.CreateMm();
+  client_mm_ = machine_.CreateMm();
+  accept_queue_ = std::make_unique<SimSocket>("server.accept", 4);
+  start_barrier_ = std::make_unique<WaitQueue>("volano.start");
+
+  const int total_users = config_.rooms * config_.users_per_room;
+  rooms_.reserve(static_cast<size_t>(config_.rooms));
+  for (int room = 0; room < config_.rooms; ++room) {
+    auto state = std::make_unique<RoomState>();
+    state->lock_wait = std::make_unique<WaitQueue>(StrFormat("room%d.monitor", room));
+    rooms_.push_back(std::move(state));
+  }
+  connections_.reserve(static_cast<size_t>(total_users));
+  for (int room = 0; room < config_.rooms; ++room) {
+    for (int member = 0; member < config_.users_per_room; ++member) {
+      const int user = UserIndex(room, member);
+      auto conn = std::make_unique<Connection>();
+      conn->user = user;
+      conn->room = room;
+      const std::string base = StrFormat("r%d.u%d", room, member);
+      conn->c2s = std::make_unique<SimSocket>(base + ".c2s", config_.socket_capacity);
+      conn->s2c = std::make_unique<SimSocket>(base + ".s2c", config_.socket_capacity);
+      conn->outq = std::make_unique<SimSocket>(base + ".outq", config_.outqueue_capacity);
+      conn->ack = std::make_unique<SimSocket>(base + ".ack", 4);
+      connections_.push_back(std::move(conn));
+    }
+  }
+
+  // Only the server listener and the client connector exist at boot; they
+  // spawn the per-connection threads as each connection is established,
+  // exactly as the real benchmark does.
+  auto listener = std::make_unique<VolanoListener>(this, rng_.Fork());
+  TaskParams lp;
+  lp.name = "server.listener";
+  lp.mm = server_mm_;
+  lp.behavior = listener.get();
+  machine_.CreateTask(lp);
+  behaviors_.push_back(std::move(listener));
+
+  auto connector = std::make_unique<VolanoConnector>(this, rng_.Fork());
+  TaskParams cp;
+  cp.name = "client.main";
+  cp.mm = client_mm_;
+  cp.behavior = connector.get();
+  machine_.CreateTask(cp);
+  behaviors_.push_back(std::move(connector));
+}
+
+void VolanoWorkload::SpawnServerThreads(int user) {
+  auto& conn = connection(user);
+  const std::string base = StrFormat("r%d.u%d", conn.room, user % config_.users_per_room);
+
+  auto server_reader = std::make_unique<VolanoServerReader>(this, rng_.Fork(), user);
+  auto server_writer = std::make_unique<VolanoServerWriter>(this, rng_.Fork(), user);
+
+  TaskParams params;
+  params.mm = server_mm_;
+  params.name = base + ".sr";
+  params.behavior = server_reader.get();
+  machine_.CreateTask(params);
+  params.name = base + ".sw";
+  params.behavior = server_writer.get();
+  machine_.CreateTask(params);
+
+  behaviors_.push_back(std::move(server_reader));
+  behaviors_.push_back(std::move(server_writer));
+}
+
+void VolanoWorkload::SpawnClientThreads(int user) {
+  auto& conn = connection(user);
+  const std::string base = StrFormat("r%d.u%d", conn.room, user % config_.users_per_room);
+
+  auto client_writer = std::make_unique<VolanoClientWriter>(this, rng_.Fork(), user);
+  auto client_reader = std::make_unique<VolanoClientReader>(this, rng_.Fork(), user);
+
+  TaskParams params;
+  params.mm = client_mm_;
+  params.name = base + ".cw";
+  params.behavior = client_writer.get();
+  machine_.CreateTask(params);
+  params.name = base + ".cr";
+  params.behavior = client_reader.get();
+  machine_.CreateTask(params);
+
+  behaviors_.push_back(std::move(client_writer));
+  behaviors_.push_back(std::move(client_reader));
+}
+
+bool VolanoWorkload::Done() const {
+  return messages_delivered_ == config_.expected_deliveries() && machine_.live_tasks() == 0;
+}
+
+VolanoResult VolanoWorkload::Result() const {
+  VolanoResult result;
+  result.completed = Done();
+  result.elapsed_sec = CyclesToSec(machine_.Now());
+  result.messages_sent = messages_sent_;
+  result.messages_delivered = messages_delivered_;
+  result.throughput =
+      result.elapsed_sec > 0 ? static_cast<double>(messages_delivered_) / result.elapsed_sec : 0.0;
+  return result;
+}
+
+}  // namespace elsc

@@ -1,0 +1,186 @@
+// VolanoMark simulation (paper §4, §6).
+//
+// VolanoMark benchmarks VolanoChat, a Java chat server: R rooms of 20 users
+// each, every user sending 100 messages that the server broadcasts to the
+// whole room. Java (1.1) lacks non-blocking I/O, so every socket direction
+// gets its own thread — 4 threads per connection, 80 threads per room. Run
+// in loopback mode, clients and server share one machine and all traffic is
+// scheduler-bound.
+//
+// This model reproduces the scheduler-relevant structure:
+//  * per user u: a client→server socket, a server→client socket, a server-
+//    side per-connection output queue, and four threads —
+//      client writer  : composes a message, writes c2s, waits until its own
+//                       message comes back (closed loop), repeats ×100;
+//      client reader  : drains s2c, processing each broadcast delivery;
+//      server reader  : reads c2s, parses, fans the message out to every
+//                       room member's output queue;
+//      server writer  : moves messages from the output queue onto s2c.
+//  * all server threads share one mm (the server JVM), all client threads
+//    another (the client JVM) — matching loopback mode's two processes.
+//  * 2001-era JVM locking is emulated by occasional sched_yield spins before
+//    processing steps (the source of the stock scheduler's recalculation
+//    storms, paper Figure 2).
+//
+// Throughput is reported as broadcast deliveries per simulated second.
+
+#ifndef SRC_WORKLOADS_VOLANO_H_
+#define SRC_WORKLOADS_VOLANO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/net/socket.h"
+#include "src/smp/machine.h"
+
+namespace elsc {
+
+struct VolanoConfig {
+  int rooms = 10;
+  int users_per_room = 20;
+  int messages_per_user = 100;
+
+  // JVM user-level lock emulation: probability a thread spins through
+  // sched_yield before a processing step, and the spin count bound.
+  double yield_probability = 0.15;
+  int max_yield_spin = 2;
+  Cycles yield_spin_cycles = UsToCycles(2);
+  // Blocking socket I/O parks in the kernel immediately (Java 1.1 blocking
+  // reads/writes); a nonzero value adds courtesy sched_yield spins first.
+  int spin_yields_before_block = 0;
+  // Room-monitor emulation: VolanoChat serializes each room's broadcast on a
+  // Java monitor, and 2001-era LinuxThreads/JVM monitors resolved contention
+  // by spinning through sched_yield — futex-style parking did not exist.
+  // Contenders therefore yield-spin (up to this safety cap, then park). When
+  // the lock holder blocks mid-broadcast on a full connection queue and a
+  // single contender spins alone, every yield sends the stock scheduler
+  // through the whole-system counter recalculation at ~10 us intervals —
+  // the paper's Figure 2 storm.
+  int lock_spin_yields = 30;
+  Cycles lock_acquire_cycles = UsToCycles(2);
+  // Connection establishment (the benchmark's ramp phase): the client's
+  // main thread opens every connection sequentially and yield-polls the
+  // handshake; the server's listener accepts, spawns the per-connection
+  // threads, and acknowledges. During the ramp the connector is usually the
+  // only runnable task, so each of its yields drives the stock scheduler
+  // through the whole-system recalculation loop — the dominant contribution
+  // to the paper's Figure 2 counts. Chat threads wait on a start barrier
+  // until every connection is up (VolanoMark measures from that point).
+  Cycles accept_work_cycles = UsToCycles(300);
+  Cycles accept_latency_mean = MsToCycles(2);
+  int connect_spin_yields = 40;
+  // VolanoMark's client threads call Thread.yield() while spinning on the
+  // round-trip of their own message before parking. The writer awaiting its
+  // broadcast echo is very often the only runnable task at that instant, so
+  // each of these yields drives the stock scheduler through the recalculate
+  // loop (Figure 2) while ELSC simply re-runs the yielder.
+  int ack_spin_yields = 2;
+
+  // CPU costs per operation (jittered by work_jitter), calibrated so a full
+  // delivery chain costs ~200 us of 400 MHz CPU — VolanoMark-era loopback
+  // throughput territory.
+  Cycles compose_cycles = UsToCycles(180);
+  Cycles client_process_cycles = UsToCycles(100);
+  Cycles server_parse_cycles = UsToCycles(120);
+  Cycles broadcast_enqueue_cycles = UsToCycles(15);  // Per room member.
+  Cycles server_write_cycles = UsToCycles(80);
+  Cycles syscall_cycles = UsToCycles(10);
+  double work_jitter = 0.25;
+
+  size_t socket_capacity = 2;   // c2s / s2c wire sockets (small 2001 buffers).
+  size_t outqueue_capacity = 4;  // Server-side per-connection output queue.
+
+  int threads_per_connection() const { return 4; }
+  int total_threads() const { return rooms * users_per_room * threads_per_connection(); }
+  uint64_t expected_deliveries() const {
+    return static_cast<uint64_t>(rooms) * users_per_room * users_per_room *
+           static_cast<uint64_t>(messages_per_user);
+  }
+};
+
+struct VolanoResult {
+  bool completed = false;
+  double elapsed_sec = 0.0;
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  double throughput = 0.0;  // Deliveries per simulated second.
+};
+
+class VolanoWorkload {
+ public:
+  VolanoWorkload(Machine& machine, const VolanoConfig& config);
+  ~VolanoWorkload();
+
+  VolanoWorkload(const VolanoWorkload&) = delete;
+  VolanoWorkload& operator=(const VolanoWorkload&) = delete;
+
+  // Creates all sockets, queues, and tasks. Call before Machine::Start().
+  void Setup();
+
+  // True once every message has been delivered and every thread has exited.
+  bool Done() const;
+
+  VolanoResult Result() const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  const VolanoConfig& config() const { return config_; }
+
+  // Ramp-phase state, exposed for the thread behaviors.
+  bool chat_started() const { return chat_started_; }
+  WaitQueue* start_barrier() { return start_barrier_.get(); }
+
+ private:
+  friend class VolanoClientWriter;
+  friend class VolanoClientReader;
+  friend class VolanoServerReader;
+  friend class VolanoServerWriter;
+  friend class VolanoConnector;
+  friend class VolanoListener;
+
+  struct RoomState {
+    bool lock_held = false;
+    std::unique_ptr<WaitQueue> lock_wait;
+    uint64_t contended_acquires = 0;
+  };
+
+  struct Connection {
+    int user = 0;  // Global user index.
+    int room = 0;
+    std::unique_ptr<SimSocket> c2s;   // Client -> server wire.
+    std::unique_ptr<SimSocket> s2c;   // Server -> client wire.
+    std::unique_ptr<SimSocket> outq;  // Server-side broadcast output queue.
+    std::unique_ptr<SimSocket> ack;   // Client pacing: own-broadcast-seen tokens.
+  };
+
+  Connection& connection(int user) { return *connections_[static_cast<size_t>(user)]; }
+  RoomState& room_state(int room) { return *rooms_[static_cast<size_t>(room)]; }
+  // Global user index of member m of room r.
+  int UserIndex(int room, int member) const { return room * config_.users_per_room + member; }
+
+  // Dynamic thread creation during the ramp (listener/connector spawn the
+  // per-connection threads, exactly as the real client and server do).
+  void SpawnServerThreads(int user);
+  void SpawnClientThreads(int user);
+
+  Machine& machine_;
+  VolanoConfig config_;
+  Rng rng_;
+  MmStruct* server_mm_ = nullptr;
+  MmStruct* client_mm_ = nullptr;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::unique_ptr<RoomState>> rooms_;
+  std::vector<std::unique_ptr<TaskBehavior>> behaviors_;
+  std::unique_ptr<SimSocket> accept_queue_;
+  std::unique_ptr<WaitQueue> start_barrier_;
+  bool chat_started_ = false;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t next_message_id_ = 1;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_WORKLOADS_VOLANO_H_

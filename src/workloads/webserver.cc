@@ -1,0 +1,134 @@
+#include "src/workloads/webserver.h"
+
+#include "src/base/assert.h"
+#include "src/base/string_util.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+
+// One prefork worker process.
+class WebserverWorker : public TaskBehavior {
+ public:
+  WebserverWorker(WebserverWorkload* workload, Rng rng) : workload_(workload), rng_(rng) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    const WebserverConfig& cfg = workload_->config();
+    SimSocket& accept = *workload_->accept_queue_;
+    switch (phase_) {
+      case Phase::kAccept: {
+        auto req = accept.TryRead(machine);
+        if (!req.has_value()) {
+          if (workload_->window_closed_) {
+            return Segment::Exit(cfg.syscall_cycles);
+          }
+          WebserverWorkload* w = workload_;
+          SimSocket* sock = &accept;
+          return Segment::Block(cfg.syscall_cycles, &accept.read_wait(),
+                                [w, sock] { return !sock->CanRead() && !w->window_closed_; });
+        }
+        request_ = *req;
+        phase_ = Phase::kParse;
+        return Segment::RunAgain(cfg.syscall_cycles);
+      }
+      case Phase::kParse: {
+        const bool disk = rng_.NextBool(cfg.disk_probability);
+        phase_ = disk ? Phase::kDisk : Phase::kRespond;
+        return Segment::RunAgain(JitterCycles(rng_, cfg.parse_cycles, cfg.work_jitter));
+      }
+      case Phase::kDisk: {
+        phase_ = Phase::kRespond;
+        return Segment::Sleep(cfg.syscall_cycles,
+                              JitterCycles(rng_, cfg.mean_disk_wait, cfg.work_jitter));
+      }
+      case Phase::kRespond: {
+        const Cycles respond = JitterCycles(rng_, cfg.respond_cycles, cfg.work_jitter);
+        const Cycles completion_time = machine.Now() + respond;
+        workload_->OnRequestComplete(completion_time - request_.sent_at);
+        phase_ = Phase::kAccept;
+        return Segment::RunAgain(respond);
+      }
+    }
+    __builtin_unreachable();
+  }
+
+ private:
+  enum class Phase { kAccept, kParse, kDisk, kRespond };
+  WebserverWorkload* workload_;
+  Rng rng_;
+  Message request_;
+  Phase phase_ = Phase::kAccept;
+};
+
+WebserverWorkload::WebserverWorkload(Machine& machine, const WebserverConfig& config)
+    : machine_(machine), config_(config), rng_(machine.rng().Fork()) {
+  ELSC_CHECK(config_.workers >= 1);
+  ELSC_CHECK(config_.arrival_rate_per_sec > 0.0);
+}
+
+WebserverWorkload::~WebserverWorkload() = default;
+
+void WebserverWorkload::Setup() {
+  accept_queue_ = std::make_unique<SimSocket>("httpd.accept", config_.accept_queue_capacity);
+  for (int i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<WebserverWorker>(this, rng_.Fork());
+    TaskParams params;
+    params.name = StrFormat("httpd-%d", i);
+    // Prefork: each worker is a separate process with its own mm
+    // (TaskParams.mm == nullptr allocates a fresh one).
+    params.behavior = worker.get();
+    machine_.CreateTask(params);
+    behaviors_.push_back(std::move(worker));
+  }
+
+  window_end_ = machine_.Now() + config_.duration;
+  machine_.engine().ScheduleAt(window_end_, [this] {
+    window_closed_ = true;
+    // Release any workers parked on an empty accept queue so they can exit.
+    accept_queue_->read_wait().WakeAll(machine_);
+  });
+  ScheduleNextArrival();
+}
+
+void WebserverWorkload::ScheduleNextArrival() {
+  const double mean_gap_sec = 1.0 / config_.arrival_rate_per_sec;
+  const double gap_sec = rng_.NextExponential(mean_gap_sec);
+  const auto gap = static_cast<Cycles>(gap_sec * static_cast<double>(kCyclesPerSec)) + 1;
+  machine_.engine().ScheduleAfter(gap, [this] {
+    if (machine_.Now() >= window_end_) {
+      return;
+    }
+    ++arrived_;
+    Message request;
+    request.id = arrived_;
+    request.sent_at = machine_.Now();
+    if (!accept_queue_->TryWrite(machine_, request)) {
+      ++dropped_;
+    }
+    ScheduleNextArrival();
+  });
+}
+
+void WebserverWorkload::OnRequestComplete(Cycles latency) {
+  ++completed_;
+  latency_us_.Add(static_cast<uint64_t>(CyclesToUs(latency)));
+}
+
+bool WebserverWorkload::Done() const { return window_closed_ && machine_.live_tasks() == 0; }
+
+WebserverResult WebserverWorkload::Result() const {
+  WebserverResult result;
+  result.requests_arrived = arrived_;
+  result.requests_completed = completed_;
+  result.requests_dropped = dropped_;
+  result.elapsed_sec = CyclesToSec(machine_.Now());
+  result.throughput =
+      result.elapsed_sec > 0 ? static_cast<double>(completed_) / result.elapsed_sec : 0.0;
+  result.latency_mean_us = latency_us_.mean();
+  result.latency_p50_us = latency_us_.Percentile(0.50);
+  result.latency_p95_us = latency_us_.Percentile(0.95);
+  result.latency_p99_us = latency_us_.Percentile(0.99);
+  return result;
+}
+
+}  // namespace elsc

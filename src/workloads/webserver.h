@@ -1,0 +1,92 @@
+// Apache-style web-server workload — the paper's future-work question (§8):
+// "Would we see the same performance gains we saw while running VolanoMark
+// [on] a web server running Apache? Would ELSC be more effective in
+// increasing throughput or decreasing latency?"
+//
+// Model: a prefork-style pool of worker processes blocked on a shared accept
+// queue. Requests arrive by a Poisson process (an engine-driven generator
+// writes them into the accept queue); a worker parses the request, sometimes
+// waits on disk, produces the response, and goes back to accept. Each worker
+// is its own process (own mm), matching Apache 1.3 prefork. Metrics:
+// completed requests/second and response-latency percentiles.
+
+#ifndef SRC_WORKLOADS_WEBSERVER_H_
+#define SRC_WORKLOADS_WEBSERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/net/socket.h"
+#include "src/smp/machine.h"
+#include "src/stats/histogram.h"
+
+namespace elsc {
+
+struct WebserverConfig {
+  int workers = 150;                    // Apache prefork pool size.
+  double arrival_rate_per_sec = 600.0;  // Poisson arrivals.
+  Cycles duration = SecToCycles(20);    // Measurement window.
+  Cycles parse_cycles = UsToCycles(150);
+  Cycles respond_cycles = UsToCycles(500);
+  double disk_probability = 0.25;       // Requests that miss the page cache.
+  Cycles mean_disk_wait = MsToCycles(6);
+  Cycles syscall_cycles = UsToCycles(5);
+  double work_jitter = 0.4;
+  size_t accept_queue_capacity = 1024;
+};
+
+struct WebserverResult {
+  uint64_t requests_arrived = 0;
+  uint64_t requests_completed = 0;
+  uint64_t requests_dropped = 0;  // Accept queue overflow.
+  double elapsed_sec = 0.0;
+  double throughput = 0.0;        // Completed requests per second.
+  double latency_mean_us = 0.0;
+  uint64_t latency_p50_us = 0;
+  uint64_t latency_p95_us = 0;
+  uint64_t latency_p99_us = 0;
+};
+
+class WebserverWorkload {
+ public:
+  WebserverWorkload(Machine& machine, const WebserverConfig& config);
+  ~WebserverWorkload();
+
+  WebserverWorkload(const WebserverWorkload&) = delete;
+  WebserverWorkload& operator=(const WebserverWorkload&) = delete;
+
+  // Creates the worker pool and starts the arrival generator.
+  void Setup();
+
+  // True once the arrival window closed and every in-flight request drained
+  // (workers then exit).
+  bool Done() const;
+
+  WebserverResult Result() const;
+
+  const WebserverConfig& config() const { return config_; }
+
+ private:
+  friend class WebserverWorker;
+
+  void ScheduleNextArrival();
+  void OnRequestComplete(Cycles latency);
+
+  Machine& machine_;
+  WebserverConfig config_;
+  Rng rng_;
+  std::unique_ptr<SimSocket> accept_queue_;
+  std::vector<std::unique_ptr<TaskBehavior>> behaviors_;
+  Histogram latency_us_;
+  uint64_t arrived_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t dropped_ = 0;
+  bool window_closed_ = false;
+  Cycles window_end_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_WORKLOADS_WEBSERVER_H_

@@ -1,0 +1,129 @@
+// Time-conservation properties: per-CPU busy + scheduler + idle time must
+// account for (nearly) all simulated wall time, across schedulers and
+// workload shapes — the accounting that every reported statistic rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/api/simulation.h"
+#include "src/workloads/micro_behaviors.h"
+#include "src/workloads/volano.h"
+
+namespace elsc {
+namespace {
+
+// Sums a CPU's accounted time, flushing a still-open idle period.
+Cycles AccountedTime(const Machine& machine, int cpu_index) {
+  const Cpu& cpu = machine.cpu(cpu_index);
+  Cycles total = cpu.stats.busy_cycles + cpu.stats.sched_cycles + cpu.stats.idle_cycles;
+  if (cpu.IsIdle() && machine.Now() > cpu.idle_since) {
+    total += machine.Now() - cpu.idle_since;
+  }
+  return total;
+}
+
+class AccountingTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, AccountingTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(AccountingTest, CpuTimeConservedOnMixedLoad) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = GetParam();
+  Machine machine(mc);
+  SpinnerBehavior hog(MsToCycles(3), MsToCycles(300));
+  InteractiveBehavior sleeper(UsToCycles(200), MsToCycles(7), 40);
+  YielderBehavior yielder(UsToCycles(100), 200);
+  TaskParams params;
+  params.behavior = &hog;
+  machine.CreateTask(params);
+  params.behavior = &sleeper;
+  machine.CreateTask(params);
+  params.behavior = &yielder;
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    const double accounted = static_cast<double>(AccountedTime(machine, cpu));
+    const double elapsed = static_cast<double>(machine.Now());
+    // Within 2%: the only unaccounted slivers are in-flight transitions.
+    EXPECT_NEAR(accounted / elapsed, 1.0, 0.02) << "cpu " << cpu;
+  }
+}
+
+TEST_P(AccountingTest, CpuTimeConservedOnVolano) {
+  MachineConfig mc;
+  mc.num_cpus = 4;
+  mc.smp = true;
+  mc.scheduler = GetParam();
+  Machine machine(mc);
+  VolanoConfig vc;
+  vc.rooms = 1;
+  vc.users_per_room = 6;
+  vc.messages_per_user = 15;
+  VolanoWorkload workload(machine, vc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)));
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    const double accounted = static_cast<double>(AccountedTime(machine, cpu));
+    const double elapsed = static_cast<double>(machine.Now());
+    EXPECT_NEAR(accounted / elapsed, 1.0, 0.02) << "cpu " << cpu;
+  }
+}
+
+TEST_P(AccountingTest, TaskCpuTimeMatchesWorkloadWork) {
+  // The sum of per-task cpu_cycles equals exactly the work the behaviors
+  // requested — segments are never double-charged across preemptions.
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = GetParam();
+  Machine machine(mc);
+  SpinnerBehavior a(MsToCycles(7), MsToCycles(123));
+  SpinnerBehavior b(MsToCycles(3), MsToCycles(77));
+  TaskParams params;
+  params.behavior = &a;
+  Task* ta = machine.CreateTask(params);
+  params.behavior = &b;
+  Task* tb = machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  EXPECT_EQ(ta->stats.cpu_cycles, MsToCycles(123));
+  EXPECT_EQ(tb->stats.cpu_cycles, MsToCycles(77));
+}
+
+TEST_P(AccountingTest, WaitTimePlusCpuTimeBoundedByElapsed) {
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = GetParam();
+  Machine machine(mc);
+  SpinnerBehavior a(MsToCycles(5), MsToCycles(100));
+  SpinnerBehavior b(MsToCycles(5), MsToCycles(100));
+  TaskParams params;
+  params.behavior = &a;
+  Task* ta = machine.CreateTask(params);
+  params.behavior = &b;
+  Task* tb = machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  // A task is either running, waiting runnable, or gone; its accounted time
+  // cannot exceed wall time.
+  EXPECT_LE(ta->stats.cpu_cycles + ta->stats.wait_cycles, machine.Now());
+  EXPECT_LE(tb->stats.cpu_cycles + tb->stats.wait_cycles, machine.Now());
+  // The default 200 ms quantum exceeds each task's 100 ms of work, so one
+  // hog runs to completion while the other banks its entire runtime as wait.
+  const Cycles max_wait = std::max(ta->stats.wait_cycles, tb->stats.wait_cycles);
+  EXPECT_NEAR(static_cast<double>(max_wait), static_cast<double>(MsToCycles(100)),
+              static_cast<double>(MsToCycles(15)));
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,80 @@
+// Tests for the public simulation facade.
+
+#include "src/api/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace elsc {
+namespace {
+
+TEST(KernelConfigTest, LabelsRoundTrip) {
+  for (const auto config : {KernelConfig::kUp, KernelConfig::kSmp1, KernelConfig::kSmp2,
+                            KernelConfig::kSmp4}) {
+    EXPECT_EQ(KernelConfigFromLabel(KernelConfigLabel(config)), config);
+  }
+  EXPECT_EQ(KernelConfigFromLabel("up"), KernelConfig::kUp);
+  EXPECT_EQ(KernelConfigFromLabel("4p"), KernelConfig::kSmp4);
+}
+
+TEST(KernelConfigTest, MakeMachineConfigShapes) {
+  const MachineConfig up = MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kLinux);
+  EXPECT_EQ(up.num_cpus, 1);
+  EXPECT_FALSE(up.smp);
+  const MachineConfig p1 = MakeMachineConfig(KernelConfig::kSmp1, SchedulerKind::kElsc, 9);
+  EXPECT_EQ(p1.num_cpus, 1);
+  EXPECT_TRUE(p1.smp);
+  EXPECT_EQ(p1.seed, 9u);
+  const MachineConfig p4 = MakeMachineConfig(KernelConfig::kSmp4, SchedulerKind::kHeap);
+  EXPECT_EQ(p4.num_cpus, 4);
+  EXPECT_TRUE(p4.smp);
+}
+
+TEST(SchedulerFactoryTest, NamesRoundTrip) {
+  EXPECT_EQ(SchedulerKindFromName("linux"), SchedulerKind::kLinux);
+  EXPECT_EQ(SchedulerKindFromName("reg"), SchedulerKind::kLinux);
+  EXPECT_EQ(SchedulerKindFromName("stock"), SchedulerKind::kLinux);
+  EXPECT_EQ(SchedulerKindFromName("elsc"), SchedulerKind::kElsc);
+  EXPECT_EQ(SchedulerKindFromName("heap"), SchedulerKind::kHeap);
+  EXPECT_EQ(SchedulerKindFromName("multiqueue"), SchedulerKind::kMultiQueue);
+  EXPECT_EQ(SchedulerKindFromName("mq"), SchedulerKind::kMultiQueue);
+  EXPECT_EQ(AllSchedulerKinds().size(), 4u);
+}
+
+TEST(RunVolanoTest, SmokeRunReturnsConsistentStats) {
+  VolanoConfig vc;
+  vc.rooms = 1;
+  vc.users_per_room = 4;
+  vc.messages_per_user = 5;
+  const MachineConfig mc = MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kElsc);
+  const VolanoRun run = RunVolano(mc, vc);
+  EXPECT_TRUE(run.result.completed);
+  EXPECT_EQ(run.result.messages_delivered, vc.expected_deliveries());
+  EXPECT_GT(run.result.throughput, 0.0);
+  EXPECT_GT(run.stats.sched.schedule_calls, 0u);
+  EXPECT_NEAR(run.stats.elapsed_sec, run.result.elapsed_sec, 1e-9);
+}
+
+TEST(RunKcompileTest, SmokeRun) {
+  KcompileConfig kc;
+  kc.total_compile_jobs = 20;
+  kc.mean_compile_cycles = MsToCycles(10);
+  kc.serial_parse_cycles = MsToCycles(50);
+  kc.serial_link_cycles = MsToCycles(50);
+  const MachineConfig mc = MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kLinux);
+  const KcompileRun run = RunKcompile(mc, kc);
+  EXPECT_TRUE(run.result.completed);
+  EXPECT_EQ(run.result.jobs_compiled, 20u);
+}
+
+TEST(RunWebserverTest, SmokeRun) {
+  WebserverConfig wc;
+  wc.workers = 5;
+  wc.arrival_rate_per_sec = 100.0;
+  wc.duration = SecToCycles(1);
+  const MachineConfig mc = MakeMachineConfig(KernelConfig::kSmp1, SchedulerKind::kHeap);
+  const WebserverRun run = RunWebserver(mc, wc);
+  EXPECT_GT(run.result.requests_completed, 0u);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,77 @@
+// Tests for the terminal chart renderer used by the figure benches.
+
+#include "src/stats/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+namespace elsc {
+namespace {
+
+TEST(BarChartTest, LinearBarsProportional) {
+  const std::string out = RenderBarChart(
+      {"reg", "elsc"}, {{"UP", {60.0, 30.0}}, {"4P", {15.0, 0.0}}}, BarChartOptions{false, 60});
+  // 60 -> 60 chars, 30 -> 30 chars, 15 -> 15 chars, 0 -> none.
+  EXPECT_NE(out.find("UP  reg  |" + std::string(60, '#') + "  60"), std::string::npos) << out;
+  EXPECT_NE(out.find("elsc |" + std::string(30, '#') + "  30"), std::string::npos) << out;
+  EXPECT_NE(out.find("4P  reg  |" + std::string(15, '#') + "  15"), std::string::npos) << out;
+  EXPECT_NE(out.find("elsc |  0"), std::string::npos) << out;
+}
+
+TEST(BarChartTest, LogScaleCompressesOrdersOfMagnitude) {
+  BarChartOptions options;
+  options.log_scale = true;
+  options.max_width = 60;
+  const std::string out =
+      RenderBarChart({"x"}, {{"big", {999999.0}}, {"small", {9.0}}}, options);
+  EXPECT_NE(out.find("log10 scale"), std::string::npos);
+  // log10(1e6) = 6 -> full width; log10(10) = 1 -> one sixth.
+  EXPECT_NE(out.find(std::string(60, '#')), std::string::npos) << out;
+  EXPECT_NE(out.find(std::string(10, '#') + "  9"), std::string::npos) << out;
+}
+
+TEST(BarChartTest, NonZeroValuesAlwaysVisible) {
+  const std::string out =
+      RenderBarChart({"x"}, {{"tiny", {1.0}}, {"huge", {1000000.0}}}, BarChartOptions{});
+  // Even a relatively tiny value gets at least one '#'.
+  EXPECT_NE(out.find("|#  1"), std::string::npos) << out;
+}
+
+TEST(SeriesChartTest, RendersAxesLegendAndMarkers) {
+  SeriesChartOptions options;
+  options.width = 32;
+  options.height = 8;
+  const std::string out = RenderSeriesChart(
+      {"5", "10", "15", "20"},
+      {{"flat", {100, 100, 100, 100}}, {"falling", {100, 80, 60, 40}}}, options);
+  EXPECT_NE(out.find("a = flat"), std::string::npos);
+  EXPECT_NE(out.find("b = falling"), std::string::npos);
+  EXPECT_NE(out.find("100 |"), std::string::npos);  // Y max label.
+  EXPECT_NE(out.find("  0 |"), std::string::npos);  // Y min label (from zero).
+  // The flat series occupies the top row; the falling series ends lower.
+  const size_t top_row_end = out.find('\n');
+  EXPECT_NE(out.substr(0, top_row_end).find('a'), std::string::npos) << out;
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(SeriesChartTest, EmptyDataHandled) {
+  EXPECT_EQ(RenderSeriesChart({}, {}), "(no data)\n");
+}
+
+TEST(SeriesChartTest, SinglePointSeries) {
+  const std::string out = RenderSeriesChart({"1"}, {{"solo", {42.0}}});
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find("a = solo"), std::string::npos);
+}
+
+TEST(SeriesChartTest, XAxisLabelsPresentIncludingLast) {
+  SeriesChartOptions options;
+  options.width = 40;
+  options.height = 6;
+  const std::string out =
+      RenderSeriesChart({"5", "10", "15", "20"}, {{"s", {1, 2, 3, 4}}}, options);
+  EXPECT_NE(out.find("5"), std::string::npos);
+  EXPECT_NE(out.find("20"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace elsc

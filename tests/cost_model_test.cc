@@ -1,0 +1,92 @@
+// Tests for the cost model and meter, plus API-misuse death checks on the
+// run-queue manipulation functions (the always-on invariant assertions).
+
+#include "src/sched/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sched/elsc_scheduler.h"
+#include "src/sched/linux_scheduler.h"
+#include "tests/sched_test_util.h"
+
+namespace elsc {
+namespace {
+
+TEST(CostModelTest, ZeroModelChargesNothing) {
+  const CostModel model = CostModel::Zero();
+  CostMeter meter(model);
+  meter.ChargeEntry();
+  meter.ChargeLock();
+  meter.ChargeExamine();
+  meter.ChargeRecalc(100);
+  meter.ChargeIndex();
+  meter.ChargeFinish();
+  EXPECT_EQ(meter.cycles(), 0u);
+  EXPECT_EQ(meter.tasks_examined(), 1u);  // Counters still count.
+  EXPECT_EQ(meter.recalc_entries(), 1u);
+  EXPECT_EQ(meter.recalc_tasks(), 100u);
+}
+
+TEST(CostModelTest, MeterAccumulatesModelPrices) {
+  const CostModel model = CostModel::PentiumII();
+  CostMeter meter(model);
+  meter.ChargeEntry();
+  EXPECT_EQ(meter.cycles(), model.schedule_entry);
+  meter.ChargeLock();
+  EXPECT_EQ(meter.cycles(), model.schedule_entry + model.lock_acquire);
+  meter.ChargeExamine();
+  meter.ChargeExamine();
+  EXPECT_EQ(meter.cycles(),
+            model.schedule_entry + model.lock_acquire + 2 * model.task_examine);
+  EXPECT_EQ(meter.tasks_examined(), 2u);
+}
+
+TEST(CostModelTest, RecalcScalesWithTaskCount) {
+  const CostModel model = CostModel::PentiumII();
+  CostMeter small(model);
+  small.ChargeRecalc(10);
+  CostMeter large(model);
+  large.ChargeRecalc(1000);
+  // The whole-system recalculation is the stock scheduler's scaling villain:
+  // its cost is linear in *all* tasks.
+  EXPECT_EQ(large.cycles() - model.recalc_overhead,
+            100 * (small.cycles() - model.recalc_overhead));
+}
+
+TEST(CostModelTest, ExplicitChargeAddsRawCycles) {
+  CostMeter meter(CostModel::Zero());
+  meter.Charge(123);
+  meter.Charge(77);
+  EXPECT_EQ(meter.cycles(), 200u);
+}
+
+using SchedulerDeathTest = ::testing::Test;
+
+TEST(SchedulerDeathTest, DoubleAddAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TaskFactory factory;
+  LinuxScheduler sched(CostModel::Zero(), factory.task_list(), SchedulerConfig{1, false});
+  Task* t = factory.NewTask();
+  sched.AddToRunQueue(t);
+  EXPECT_DEATH(sched.AddToRunQueue(t), "already on run queue");
+}
+
+TEST(SchedulerDeathTest, DelWhenAbsentAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TaskFactory factory;
+  LinuxScheduler sched(CostModel::Zero(), factory.task_list(), SchedulerConfig{1, false});
+  Task* t = factory.NewTask();
+  EXPECT_DEATH(sched.DelFromRunQueue(t), "not on run queue");
+}
+
+TEST(SchedulerDeathTest, ElscDoubleAddAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  TaskFactory factory;
+  ElscScheduler sched(CostModel::Zero(), factory.task_list(), SchedulerConfig{1, false});
+  Task* t = factory.NewTask();
+  sched.AddToRunQueue(t);
+  EXPECT_DEATH(sched.AddToRunQueue(t), "already on run queue");
+}
+
+}  // namespace
+}  // namespace elsc

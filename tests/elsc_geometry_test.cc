@@ -1,0 +1,139 @@
+// Parameterized sweeps over ELSC table geometries: the scheduler must stay
+// correct (invariants, selection sanity, completion) for any reasonable
+// (list count, divisor, search limit) combination — the ablation benches
+// vary these, so correctness across the space matters.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/base/rng.h"
+#include "src/sched/elsc_scheduler.h"
+#include "src/smp/machine.h"
+#include "src/workloads/volano.h"
+#include "tests/sched_test_util.h"
+
+namespace elsc {
+namespace {
+
+struct Geometry {
+  int other_lists;
+  long divisor;
+  int search_extra;
+};
+
+class ElscGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ElscGeometryTest,
+                         ::testing::Values(Geometry{1, 121, 5}, Geometry{2, 61, 5},
+                                           Geometry{5, 25, 3}, Geometry{10, 12, 5},
+                                           Geometry{20, 4, 5},   // The paper's geometry.
+                                           Geometry{20, 4, 1}, Geometry{40, 3, 10},
+                                           Geometry{121, 1, 5}),
+                         [](const auto& info) {
+                           return "lists" + std::to_string(info.param.other_lists) + "_div" +
+                                  std::to_string(info.param.divisor) + "_extra" +
+                                  std::to_string(info.param.search_extra);
+                         });
+
+ElscOptions OptionsFor(const Geometry& geometry) {
+  ElscOptions options;
+  options.table.num_other_lists = geometry.other_lists;
+  options.table.goodness_divisor = geometry.divisor;
+  options.search_limit_extra = geometry.search_extra;
+  return options;
+}
+
+TEST_P(ElscGeometryTest, RandomOpSequenceKeepsInvariants) {
+  TaskFactory factory;
+  ElscScheduler sched(CostModel::Zero(), factory.task_list(), SchedulerConfig{2, true},
+                      OptionsFor(GetParam()));
+  Rng rng(99);
+  std::vector<Task*> waiting;
+  for (int step = 0; step < 1500; ++step) {
+    const uint64_t op = rng.NextBelow(4);
+    if (op < 2 || waiting.empty()) {
+      const long priority = static_cast<long>(1 + rng.NextBelow(40));
+      const long counter = rng.NextBool(0.25)
+                               ? 0
+                               : static_cast<long>(rng.NextBelow(
+                                     static_cast<uint64_t>(2 * priority) + 1));
+      Task* t = factory.NewTask(counter, priority);
+      t->processor = static_cast<int>(rng.NextBelow(2));
+      sched.AddToRunQueue(t);
+      waiting.push_back(t);
+    } else if (op == 2) {
+      const size_t idx = rng.NextBelow(waiting.size());
+      sched.DelFromRunQueue(waiting[idx]);
+      waiting.erase(waiting.begin() + static_cast<long>(idx));
+    } else {
+      CostMeter meter(sched.cost_model());
+      Task* next = sched.Schedule(0, nullptr, meter);
+      if (next != nullptr) {
+        // Detached by the pick; return it to the pool as a fresh wakeup.
+        sched.DelFromRunQueue(next);
+        next->run_list.next = nullptr;
+        next->run_list.prev = nullptr;
+        sched.AddToRunQueue(next);
+      } else {
+        EXPECT_TRUE(waiting.empty());
+      }
+    }
+    ASSERT_NO_FATAL_FAILURE(sched.CheckInvariants());
+  }
+}
+
+TEST_P(ElscGeometryTest, PickComesFromTopPopulatedBucket) {
+  TaskFactory factory;
+  ElscScheduler sched(CostModel::Zero(), factory.task_list(), SchedulerConfig{1, false},
+                      OptionsFor(GetParam()));
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Task*> tasks;
+    int best_bucket = -1;
+    for (int i = 0; i < 12; ++i) {
+      const long priority = static_cast<long>(1 + rng.NextBelow(40));
+      const long counter =
+          static_cast<long>(1 + rng.NextBelow(static_cast<uint64_t>(2 * priority)));
+      Task* t = factory.NewTask(counter, priority);
+      sched.AddToRunQueue(t);
+      tasks.push_back(t);
+      best_bucket = std::max(best_bucket, sched.table().IndexFor(*t));
+    }
+    CostMeter meter(sched.cost_model());
+    Task* next = sched.Schedule(0, nullptr, meter);
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(sched.table().IndexFor(*next), best_bucket);
+    // Clean up for the next round.
+    sched.DelFromRunQueue(next);
+    next->run_list.next = nullptr;
+    next->run_list.prev = nullptr;
+    for (Task* t : tasks) {
+      if (t != next) {
+        sched.DelFromRunQueue(t);
+      }
+    }
+  }
+}
+
+TEST_P(ElscGeometryTest, VolanoCompletesUnderGeometry) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = SchedulerKind::kElsc;
+  mc.elsc = OptionsFor(GetParam());
+  mc.check_invariants = true;
+  Machine machine(mc);
+  VolanoConfig vc;
+  vc.rooms = 1;
+  vc.users_per_room = 5;
+  vc.messages_per_user = 8;
+  VolanoWorkload workload(machine, vc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)));
+  EXPECT_EQ(workload.messages_delivered(), vc.expected_deliveries());
+}
+
+}  // namespace
+}  // namespace elsc

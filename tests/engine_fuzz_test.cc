@@ -1,0 +1,110 @@
+// Randomized stress for the discrete-event engine: interleaved schedules,
+// cancels (including from inside handlers), and run windows must preserve
+// clock monotonicity and exactly-once delivery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sim/engine.h"
+
+namespace elsc {
+namespace {
+
+TEST(EngineFuzzTest, ExactlyOnceDeliveryUnderRandomCancels) {
+  Rng rng(31337);
+  for (int round = 0; round < 25; ++round) {
+    Engine engine;
+    std::set<int> delivered;
+    std::vector<std::pair<int, EventId>> live;  // (token, id)
+    int next_token = 0;
+    std::set<int> cancelled;
+
+    for (int i = 0; i < 600; ++i) {
+      if (live.empty() || rng.NextBool(0.65)) {
+        const int token = next_token++;
+        const Cycles when = engine.Now() + 1 + rng.NextBelow(5000);
+        const EventId id = engine.ScheduleAt(when, [&delivered, token] {
+          ASSERT_TRUE(delivered.insert(token).second) << "double delivery of " << token;
+        });
+        live.emplace_back(token, id);
+      } else if (rng.NextBool(0.5)) {
+        const size_t idx = rng.NextBelow(live.size());
+        if (engine.Cancel(live[idx].second)) {
+          cancelled.insert(live[idx].first);
+        }
+        live.erase(live.begin() + static_cast<long>(idx));
+      } else {
+        // Run a short window; drop fired events from the live list lazily.
+        engine.RunUntil(engine.Now() + rng.NextBelow(3000));
+        std::erase_if(live, [&](const auto& entry) {
+          return delivered.contains(entry.first);
+        });
+      }
+    }
+    engine.RunToCompletion();
+
+    // Every token was either delivered exactly once or cancelled, never both.
+    for (int token = 0; token < next_token; ++token) {
+      const bool was_delivered = delivered.contains(token);
+      const bool was_cancelled = cancelled.contains(token);
+      ASSERT_NE(was_delivered, was_cancelled) << "token " << token;
+    }
+  }
+}
+
+TEST(EngineFuzzTest, ClockMonotoneUnderHandlerScheduling) {
+  Engine engine;
+  Rng rng(77);
+  Cycles last_seen = 0;
+  int fired = 0;
+  std::function<void()> chaos = [&] {
+    ASSERT_GE(engine.Now(), last_seen);
+    last_seen = engine.Now();
+    ++fired;
+    if (fired < 5000) {
+      // Handlers re-schedule at random future offsets, including zero.
+      engine.ScheduleAfter(rng.NextBelow(50), chaos);
+      if (rng.NextBool(0.3)) {
+        engine.ScheduleAfter(rng.NextBelow(200), chaos);
+      }
+    }
+  };
+  engine.ScheduleAfter(1, chaos);
+  engine.RunUntil(engine.Now() + SecToCycles(1));
+  EXPECT_GE(fired, 5000);
+}
+
+TEST(EngineFuzzTest, CancelFromInsideHandler) {
+  Engine engine;
+  int fired = 0;
+  EventId victim = 0;
+  engine.ScheduleAfter(10, [&] {
+    ++fired;
+    EXPECT_TRUE(engine.Cancel(victim));
+  });
+  victim = engine.ScheduleAfter(20, [&] { fired += 100; });
+  engine.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineFuzzTest, ZeroDelayEventsFireInOrderAtCurrentTime) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAfter(5, [&] {
+    engine.ScheduleAfter(0, [&] { order.push_back(1); });
+    engine.ScheduleAfter(0, [&] { order.push_back(2); });
+    const Cycles now = engine.Now();
+    engine.ScheduleAfter(0, [&engine, &order, now] {
+      order.push_back(3);
+      EXPECT_EQ(engine.Now(), now);
+    });
+  });
+  engine.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace elsc

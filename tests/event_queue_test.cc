@@ -1,0 +1,132 @@
+// Tests for the discrete-event queue: ordering, insertion-order stability at
+// equal timestamps, and cancellation.
+
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace elsc {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.Schedule(30, [&] { fired.push_back(3); });
+  q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimestampsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 20; ++i) {
+    q.Schedule(100, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.Schedule(50, [] {});
+  q.Schedule(40, [] {});
+  EXPECT_EQ(q.NextTime(), 40u);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId keep = q.Schedule(10, [&] { ++fired; });
+  const EventId drop = q.Schedule(20, [&] { fired += 100; });
+  EXPECT_TRUE(q.Cancel(drop));
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  EXPECT_EQ(fired, 1);
+  (void)keep;
+}
+
+TEST(EventQueueTest, CancelSameIdTwiceFails) {
+  EventQueue q;
+  const EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(0));
+  EXPECT_FALSE(q.Cancel(12345));
+}
+
+TEST(EventQueueTest, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.Size(), 1u);
+  q.PopNext();
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> fired;
+  const EventId first = q.Schedule(10, [&] { fired.push_back(1); });
+  q.Schedule(20, [&] { fired.push_back(2); });
+  q.Cancel(first);
+  EXPECT_EQ(q.NextTime(), 20u);
+  q.PopNext().fn();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueuePropertyTest, RandomScheduleCancelMaintainsOrder) {
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    std::vector<std::pair<Cycles, EventId>> live;
+    for (int i = 0; i < 500; ++i) {
+      if (live.empty() || rng.NextBool(0.7)) {
+        const Cycles when = rng.NextBelow(10000);
+        const EventId id = q.Schedule(when, [] {});
+        live.emplace_back(when, id);
+      } else {
+        const size_t idx = rng.NextBelow(live.size());
+        EXPECT_TRUE(q.Cancel(live[idx].second));
+        live.erase(live.begin() + static_cast<long>(idx));
+      }
+    }
+    ASSERT_EQ(q.Size(), live.size());
+    Cycles last = 0;
+    size_t popped = 0;
+    while (!q.Empty()) {
+      const auto fired = q.PopNext();
+      EXPECT_GE(fired.when, last);
+      last = fired.when;
+      ++popped;
+    }
+    EXPECT_EQ(popped, live.size());
+  }
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,147 @@
+// Fairness properties across schedulers: the counter/recalculation mechanism
+// must deliver proportional CPU shares, and no SCHED_OTHER task may starve.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/smp/machine.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+namespace {
+
+class FairnessTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, FairnessTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(FairnessTest, EqualPrioritySpinnersShareEvenly) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.scheduler = GetParam();
+  Machine machine(config);
+
+  constexpr int kTasks = 8;
+  std::vector<std::unique_ptr<SpinnerBehavior>> behaviors;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    behaviors.push_back(std::make_unique<SpinnerBehavior>(MsToCycles(5), 0));  // Infinite.
+    TaskParams params;
+    params.name = "spin-" + std::to_string(i);
+    params.behavior = behaviors.back().get();
+    tasks.push_back(machine.CreateTask(params));
+  }
+  machine.Start();
+  machine.RunFor(SecToCycles(20));
+
+  // Over 20 s of one CPU, each of 8 equal tasks deserves ~2.5 s. Allow 30%
+  // relative slack (quantum granularity + scheduler differences).
+  for (Task* task : tasks) {
+    const double share = CyclesToSec(task->stats.cpu_cycles);
+    EXPECT_NEAR(share, 20.0 / kTasks, 0.30 * 20.0 / kTasks) << task->name;
+  }
+}
+
+TEST_P(FairnessTest, HigherPriorityGetsMoreCpu) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.scheduler = GetParam();
+  Machine machine(config);
+
+  SpinnerBehavior low_behavior(MsToCycles(5), 0);
+  SpinnerBehavior high_behavior(MsToCycles(5), 0);
+  TaskParams params;
+  params.name = "low";
+  params.priority = 10;
+  params.behavior = &low_behavior;
+  Task* low = machine.CreateTask(params);
+  params.name = "high";
+  params.priority = 30;
+  params.behavior = &high_behavior;
+  Task* high = machine.CreateTask(params);
+  machine.Start();
+  machine.RunFor(SecToCycles(20));
+
+  // The counter mechanism allots quantum proportionally to priority: the
+  // priority-30 task should see roughly 3x the CPU of the priority-10 task.
+  const double ratio = static_cast<double>(high->stats.cpu_cycles) /
+                       static_cast<double>(low->stats.cpu_cycles);
+  EXPECT_GT(ratio, 2.0) << "ratio " << ratio;
+  EXPECT_LT(ratio, 4.5) << "ratio " << ratio;
+}
+
+TEST_P(FairnessTest, NoStarvationUnderMixedLoad) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  Machine machine(config);
+
+  std::vector<std::unique_ptr<TaskBehavior>> behaviors;
+  std::vector<Task*> tasks;
+  for (int i = 0; i < 12; ++i) {
+    if (i % 3 == 0) {
+      behaviors.push_back(std::make_unique<YielderBehavior>(UsToCycles(100), 100000000));
+    } else {
+      behaviors.push_back(std::make_unique<SpinnerBehavior>(MsToCycles(2), 0));
+    }
+    TaskParams params;
+    params.name = "mix-" + std::to_string(i);
+    params.priority = static_cast<long>(5 + (i % 4) * 10);
+    params.behavior = behaviors.back().get();
+    tasks.push_back(machine.CreateTask(params));
+  }
+  machine.Start();
+  machine.RunFor(SecToCycles(30));
+
+  // Every task must have made progress — the recalculation refreshes even
+  // the lowest-priority counters, so nothing starves indefinitely. The heap
+  // scheduler is a documented exception in degree: its cached keys demote a
+  // yielder to the bottom until the next recalculation epoch (the stock
+  // yield penalty lasts one schedule() round), so yield-heavy tasks progress
+  // much more slowly there — but still progress.
+  const Cycles floor_cycles =
+      GetParam() == SchedulerKind::kHeap ? MsToCycles(1) : MsToCycles(50);
+  for (Task* task : tasks) {
+    EXPECT_GT(task->stats.cpu_cycles, floor_cycles) << task->name << " starved";
+  }
+}
+
+TEST_P(FairnessTest, FifoTaskMonopolizesUntilDone) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.scheduler = GetParam();
+  Machine machine(config);
+
+  SpinnerBehavior fifo_work(MsToCycles(5), MsToCycles(200));
+  SpinnerBehavior other_work(MsToCycles(5), MsToCycles(200));
+  TaskParams params;
+  params.name = "fifo";
+  params.policy = kSchedFifo;
+  params.rt_priority = 10;
+  params.behavior = &fifo_work;
+  Task* fifo = machine.CreateTask(params);
+  params.name = "other";
+  params.policy = kSchedOther;
+  params.rt_priority = 0;
+  params.behavior = &other_work;
+  Task* other = machine.CreateTask(params);
+  machine.Start();
+  machine.RunFor(MsToCycles(150));
+
+  // While the FIFO task runs, the SCHED_OTHER task gets nothing.
+  EXPECT_GT(fifo->stats.cpu_cycles, MsToCycles(100));
+  EXPECT_EQ(other->stats.cpu_cycles, 0u);
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(5)));
+  EXPECT_EQ(other->stats.cpu_cycles, MsToCycles(200));
+}
+
+}  // namespace
+}  // namespace elsc

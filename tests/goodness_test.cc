@@ -1,0 +1,168 @@
+// Tests for the goodness() heuristic — a direct port of Linux 2.3.99-pre4
+// semantics (paper §3.3.1).
+
+#include "src/sched/goodness.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/policy.h"
+
+namespace elsc {
+namespace {
+
+// A distinct mm handed to every factory task so that passing a different
+// this_mm really means "no mm bonus" (the kernel also grants the bonus to
+// mm-less kernel threads: p->mm == this_mm || !p->mm).
+MmStruct g_task_mm{1000};
+
+Task MakeTask(long counter, long priority) {
+  Task t;
+  t.counter = counter;
+  t.priority = priority;
+  t.mm = &g_task_mm;
+  return t;
+}
+
+TEST(GoodnessTest, ExhaustedQuantumScoresZero) {
+  Task t = MakeTask(0, 20);
+  EXPECT_EQ(Goodness(t, 0, nullptr, false), 0);
+  EXPECT_EQ(Goodness(t, 0, nullptr, true), 0);
+}
+
+TEST(GoodnessTest, BaseIsCounterPlusPriority) {
+  MmStruct other{2};
+  Task t = MakeTask(15, 20);
+  t.processor = 1;  // Not this CPU.
+  EXPECT_EQ(Goodness(t, 0, &other, true), 35);
+}
+
+TEST(GoodnessTest, NullMmGetsKernelThreadBonus) {
+  // Kernel threads have no mm; the kernel's goodness() still grants the +1
+  // (p->mm == this_mm || !p->mm).
+  Task t = MakeTask(15, 20);
+  t.mm = nullptr;
+  t.processor = 1;
+  MmStruct other{2};
+  EXPECT_EQ(Goodness(t, 0, &other, true), 35 + kSameMmBonus);
+}
+
+TEST(GoodnessTest, AffinityBonusOnlyOnSmp) {
+  MmStruct other{2};
+  Task t = MakeTask(10, 20);
+  t.processor = 0;
+  // UP kernels compile the PROC_CHANGE_PENALTY bonus out.
+  EXPECT_EQ(Goodness(t, 0, &other, false), 30);
+  EXPECT_EQ(Goodness(t, 0, &other, true), 30 + kProcChangePenalty);
+}
+
+TEST(GoodnessTest, SameMmBonus) {
+  MmStruct mm{1};
+  Task t = MakeTask(10, 20);
+  t.mm = &mm;
+  t.processor = 3;
+  EXPECT_EQ(Goodness(t, 0, &mm, true), 30 + kSameMmBonus);
+  MmStruct other{2};
+  EXPECT_EQ(Goodness(t, 0, &other, true), 30);
+}
+
+TEST(GoodnessTest, BothBonusesStack) {
+  MmStruct mm{1};
+  Task t = MakeTask(10, 20);
+  t.mm = &mm;
+  t.processor = 2;
+  EXPECT_EQ(Goodness(t, 2, &mm, true), 30 + kProcChangePenalty + kSameMmBonus);
+}
+
+TEST(GoodnessTest, RealtimeScoresAboveEverything) {
+  Task rt;
+  rt.policy = kSchedFifo;
+  rt.rt_priority = 7;
+  rt.counter = 0;  // Real-time goodness ignores the counter.
+  EXPECT_EQ(Goodness(rt, 0, nullptr, true), kRealtimeBase + 7);
+
+  // Even a zero-counter RT task beats the best possible SCHED_OTHER task.
+  Task best = MakeTask(2 * kMaxPriority, kMaxPriority);
+  best.processor = 0;
+  EXPECT_GT(Goodness(rt, 0, nullptr, true), Goodness(best, 0, best.mm, true));
+}
+
+TEST(GoodnessTest, RoundRobinUsesRtPriority) {
+  Task rr;
+  rr.policy = kSchedRr;
+  rr.rt_priority = 55;
+  EXPECT_EQ(Goodness(rr, 0, nullptr, false), kRealtimeBase + 55);
+}
+
+TEST(GoodnessTest, YieldedTaskScoresNegative) {
+  Task t = MakeTask(10, 20);
+  t.policy = kSchedOther | kSchedYield;
+  EXPECT_EQ(Goodness(t, 0, nullptr, true), -1);
+}
+
+TEST(PrevGoodnessTest, ClearsYieldBitAndReturnsZero) {
+  Task t = MakeTask(10, 20);
+  t.policy = kSchedOther | kSchedYield;
+  EXPECT_EQ(PrevGoodness(t, 0, nullptr, false), 0);
+  EXPECT_FALSE(PolicyHasYield(t.policy));
+  // Second evaluation in the same schedule() (after a recalculation pass)
+  // sees the real goodness — this is what bounds the stock scheduler's
+  // yield-recalculation storm to one recalc per yield.
+  EXPECT_GT(PrevGoodness(t, 0, nullptr, false), 0);
+}
+
+TEST(PrevGoodnessTest, PassesThroughWhenNotYielded) {
+  MmStruct other{2};
+  Task t = MakeTask(12, 20);
+  t.processor = 1;
+  EXPECT_EQ(PrevGoodness(t, 0, &other, false), 32);
+}
+
+TEST(StaticGoodnessTest, IsCounterPlusPriority) {
+  Task t = MakeTask(17, 23);
+  EXPECT_EQ(StaticGoodness(t), 40);
+}
+
+TEST(PreemptionDeltaTest, HigherCandidatePreempts) {
+  MmStruct mm{1};
+  Task running = MakeTask(5, 20);
+  running.mm = &mm;
+  running.processor = 0;
+  Task woken = MakeTask(30, 20);
+  woken.mm = &mm;
+  woken.processor = 0;
+  EXPECT_GT(PreemptionGoodnessDelta(woken, running, 0, false), 0);
+  EXPECT_LT(PreemptionGoodnessDelta(running, woken, 0, false), 0);
+}
+
+TEST(PreemptionDeltaTest, AffinityProtectsRunningTaskOnSmp) {
+  MmStruct mm{1};
+  Task running = MakeTask(10, 20);
+  running.mm = &mm;
+  running.processor = 0;
+  Task woken = MakeTask(12, 20);
+  MmStruct other{2};
+  woken.mm = &other;
+  woken.processor = 1;  // Last ran elsewhere.
+  // Without the bonus the woken task would win by 2; the running task's
+  // +15 affinity bonus (and +1 mm bonus) keeps it on the CPU.
+  EXPECT_LT(PreemptionGoodnessDelta(woken, running, 0, true), 0);
+}
+
+TEST(GoodnessRangeTest, SchedOtherBoundedBelowRealtime) {
+  // Exhaustive sweep: no SCHED_OTHER combination can reach the real-time
+  // band (the invariant that lets ELSC segregate RT lists above the table).
+  MmStruct mm{1};
+  for (long priority = kMinPriority; priority <= kMaxPriority; ++priority) {
+    for (long counter = 0; counter <= 2 * priority; ++counter) {
+      Task t = MakeTask(counter, priority);
+      t.mm = &mm;
+      t.processor = 0;
+      const long g = Goodness(t, 0, &mm, true);
+      EXPECT_LT(g, kRealtimeBase);
+      EXPECT_GE(g, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elsc

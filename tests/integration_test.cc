@@ -1,0 +1,153 @@
+// Cross-module integration tests: the paper's qualitative claims checked
+// end-to-end at reduced scale, under invariant checking.
+
+#include <gtest/gtest.h>
+
+#include "src/api/simulation.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+namespace {
+
+VolanoConfig SmallVolano(int rooms = 2) {
+  VolanoConfig config;
+  config.rooms = rooms;
+  config.users_per_room = 10;
+  config.messages_per_user = 20;
+  return config;
+}
+
+TEST(IntegrationTest, ElscThroughputAtLeastStockOnEveryConfig) {
+  // Paper Figure 3: ELSC meets or beats the stock scheduler everywhere.
+  for (const auto kernel :
+       {KernelConfig::kUp, KernelConfig::kSmp1, KernelConfig::kSmp2, KernelConfig::kSmp4}) {
+    const VolanoRun stock =
+        RunVolano(MakeMachineConfig(kernel, SchedulerKind::kLinux), SmallVolano());
+    const VolanoRun elsc =
+        RunVolano(MakeMachineConfig(kernel, SchedulerKind::kElsc), SmallVolano());
+    ASSERT_TRUE(stock.result.completed) << KernelConfigLabel(kernel);
+    ASSERT_TRUE(elsc.result.completed) << KernelConfigLabel(kernel);
+    EXPECT_GE(elsc.result.throughput, stock.result.throughput * 0.95)
+        << KernelConfigLabel(kernel);
+  }
+}
+
+TEST(IntegrationTest, ElscExaminesFarFewerTasks) {
+  // Paper Figure 5: the table-based search examines a bounded handful of
+  // tasks while the stock scheduler walks the whole queue.
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kLinux), SmallVolano());
+  const VolanoRun elsc =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kElsc), SmallVolano());
+  EXPECT_GT(stock.stats.sched.TasksExaminedPerCall(),
+            3.0 * elsc.stats.sched.TasksExaminedPerCall());
+}
+
+TEST(IntegrationTest, ElscSpendsFewerCyclesPerSchedule) {
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kLinux), SmallVolano());
+  const VolanoRun elsc =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kElsc), SmallVolano());
+  EXPECT_GT(stock.stats.sched.CyclesPerSchedule(), 2.0 * elsc.stats.sched.CyclesPerSchedule());
+}
+
+TEST(IntegrationTest, ElscCallsScheduleAtLeastAsOften) {
+  // Paper Figure 6 (the adverse effect): ELSC enters schedule() more often
+  // on multiprocessors.
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp4, SchedulerKind::kLinux), SmallVolano());
+  const VolanoRun elsc =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp4, SchedulerKind::kElsc), SmallVolano());
+  EXPECT_GE(elsc.stats.sched.schedule_calls, stock.stats.sched.schedule_calls);
+}
+
+TEST(IntegrationTest, ElscPicksNewProcessorsMoreOften) {
+  // Paper Figure 6 (second chart): ELSC's top-list-only search sacrifices
+  // processor affinity; normalize by schedule calls.
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp4, SchedulerKind::kLinux), SmallVolano(4));
+  const VolanoRun elsc =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp4, SchedulerKind::kElsc), SmallVolano(4));
+  const double stock_rate = static_cast<double>(stock.stats.sched.picks_new_processor) /
+                            static_cast<double>(stock.stats.sched.schedule_calls);
+  const double elsc_rate = static_cast<double>(elsc.stats.sched.picks_new_processor) /
+                           static_cast<double>(elsc.stats.sched.schedule_calls);
+  EXPECT_GT(elsc_rate, stock_rate);
+}
+
+TEST(IntegrationTest, RecalculationStormOnlyHitsStock) {
+  // Paper Figure 2.
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kLinux), SmallVolano());
+  const VolanoRun elsc =
+      RunVolano(MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kElsc), SmallVolano());
+  EXPECT_GT(stock.stats.sched.recalc_entries, 50u);
+  EXPECT_LT(elsc.stats.sched.recalc_entries, 10u);
+  EXPECT_GT(elsc.stats.sched.yield_reruns, 0u);
+}
+
+TEST(IntegrationTest, KernelCompileTimesNearlyEqual) {
+  // Paper Table 2: under light load the two schedulers are within noise.
+  KcompileConfig kc;
+  kc.total_compile_jobs = 100;
+  kc.mean_compile_cycles = MsToCycles(20);
+  kc.serial_parse_cycles = MsToCycles(200);
+  kc.serial_link_cycles = MsToCycles(300);
+  const KcompileRun stock = RunKcompile(MakeMachineConfig(KernelConfig::kUp,
+                                                          SchedulerKind::kLinux), kc);
+  const KcompileRun elsc =
+      RunKcompile(MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kElsc), kc);
+  ASSERT_TRUE(stock.result.completed);
+  ASSERT_TRUE(elsc.result.completed);
+  EXPECT_NEAR(elsc.result.elapsed_sec, stock.result.elapsed_sec,
+              stock.result.elapsed_sec * 0.03);
+}
+
+TEST(IntegrationTest, HeapSchedulerAlsoScalesOnVolano) {
+  // The future-work alternative: bounded selection cost, so it should beat
+  // the stock scheduler under load as well.
+  const VolanoRun stock =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kLinux), SmallVolano());
+  const VolanoRun heap =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kHeap), SmallVolano());
+  ASSERT_TRUE(heap.result.completed);
+  EXPECT_GE(heap.result.throughput, stock.result.throughput * 0.9);
+}
+
+TEST(IntegrationTest, MixedRealtimeAndVolanoCompletes) {
+  // A realtime FIFO task coexisting with the chat load: it must hog its CPU
+  // until it exits, and the workload must still complete.
+  MachineConfig mc = MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kElsc);
+  mc.check_invariants = false;
+  Machine machine(mc);
+  VolanoWorkload workload(machine, SmallVolano(1));
+  workload.Setup();
+
+  SpinnerBehavior rt_spin(MsToCycles(5), MsToCycles(300));
+  TaskParams params;
+  params.name = "rt-hog";
+  params.policy = kSchedFifo;
+  params.rt_priority = 50;
+  params.behavior = &rt_spin;
+  Task* rt = machine.CreateTask(params);
+
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600)));
+  EXPECT_EQ(rt->state, TaskState::kZombie);
+  // FIFO tasks never lose the CPU to quantum expiry.
+  EXPECT_EQ(rt->stats.cpu_cycles, MsToCycles(300));
+}
+
+TEST(IntegrationTest, StatsAreInternallyConsistent) {
+  const VolanoRun run =
+      RunVolano(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kElsc), SmallVolano());
+  const SchedStats& s = run.stats.sched;
+  EXPECT_GE(s.schedule_calls, s.idle_schedules);
+  EXPECT_GE(s.schedule_calls, s.picks_prev);
+  EXPECT_GE(s.tasks_examined, s.schedule_calls - s.idle_schedules - s.picks_prev);
+  EXPECT_GT(run.stats.machine.context_switches, 0u);
+  EXPECT_GE(run.stats.machine.wakeups, run.result.messages_delivered / 10);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,122 @@
+// Tests for the kernel-compile workload (Table 2's light-load experiment).
+
+#include "src/workloads/kcompile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/api/simulation.h"
+
+namespace elsc {
+namespace {
+
+KcompileConfig TinyBuild() {
+  KcompileConfig config;
+  config.jobs = 4;
+  config.total_compile_jobs = 40;
+  config.mean_compile_cycles = MsToCycles(20);
+  config.serial_parse_cycles = MsToCycles(100);
+  config.serial_link_cycles = MsToCycles(150);
+  return config;
+}
+
+class KcompileSchedulerTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, KcompileSchedulerTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(KcompileSchedulerTest, TinyBuildCompletesAllJobs) {
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = GetParam();
+  mc.check_invariants = true;
+  Machine machine(mc);
+  KcompileWorkload workload(machine, TinyBuild());
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(300)));
+  const KcompileResult result = workload.Result();
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.jobs_compiled, 40u);
+  EXPECT_GT(result.elapsed_sec, 0.0);
+}
+
+TEST_P(KcompileSchedulerTest, TwoCpusBuildFaster) {
+  auto elapsed_with = [&](int cpus, bool smp) {
+    MachineConfig mc;
+    mc.num_cpus = cpus;
+    mc.smp = smp;
+    mc.scheduler = GetParam();
+    Machine machine(mc);
+    KcompileWorkload workload(machine, TinyBuild());
+    workload.Setup();
+    machine.Start();
+    EXPECT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600)));
+    return workload.Result().elapsed_sec;
+  };
+  const double up = elapsed_with(1, false);
+  const double dual = elapsed_with(2, true);
+  // 0.8 s of parallel work + 0.25 s serial: the dual-CPU build must land
+  // meaningfully below the uniprocessor build but above half (serial part).
+  EXPECT_LT(dual, up * 0.85);
+  EXPECT_GT(dual, up * 0.45);
+}
+
+TEST(KcompileCalibrationTest, ElapsedMatchesWorkArithmetic) {
+  // UP elapsed ≈ serial + total parallel work (scheduler overhead is small
+  // at 5 runnable tasks — the paper's point for Table 2).
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = SchedulerKind::kElsc;
+  Machine machine(mc);
+  KcompileConfig kc = TinyBuild();
+  kc.compile_jitter = 0.0;
+  Machine machine2(mc);
+  KcompileWorkload workload(machine2, kc);
+  workload.Setup();
+  machine2.Start();
+  ASSERT_TRUE(machine2.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600)));
+  const double expected =
+      CyclesToSec(kc.serial_parse_cycles + kc.serial_link_cycles +
+                  kc.mean_compile_cycles * static_cast<Cycles>(kc.total_compile_jobs));
+  EXPECT_NEAR(workload.Result().elapsed_sec, expected, expected * 0.15);
+}
+
+TEST(KcompileWorkloadTest, MasterWaitsForAllJobs) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = SchedulerKind::kLinux;
+  Machine machine(mc);
+  KcompileWorkload workload(machine, TinyBuild());
+  workload.Setup();
+  machine.Start();
+  machine.RunFor(MsToCycles(150));
+  // Mid-build: the master must still be alive (parse or waiting).
+  EXPECT_GT(machine.live_tasks(), 0u);
+  EXPECT_FALSE(workload.Done());
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600)));
+}
+
+TEST(KcompileWorkloadTest, DeterministicElapsed) {
+  auto run_once = [] {
+    MachineConfig mc;
+    mc.num_cpus = 2;
+    mc.smp = true;
+    mc.scheduler = SchedulerKind::kLinux;
+    mc.seed = 5;
+    Machine machine(mc);
+    KcompileWorkload workload(machine, TinyBuild());
+    workload.Setup();
+    machine.Start();
+    machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600));
+    return workload.Result().elapsed_sec;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace elsc

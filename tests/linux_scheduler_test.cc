@@ -1,0 +1,272 @@
+// Tests for the stock Linux 2.3.99-pre4 scheduler port: run-queue
+// manipulation semantics, the goodness search, tie-breaking, yield handling,
+// the recalculation loop, and SMP has_cpu filtering (paper §3).
+
+#include "src/sched/linux_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/policy.h"
+#include "src/sched/goodness.h"
+#include "tests/sched_test_util.h"
+
+namespace elsc {
+namespace {
+
+class LinuxSchedulerTest : public ::testing::Test {
+ protected:
+  LinuxSchedulerTest() { Rebuild(1, false); }
+
+  void Rebuild(int cpus, bool smp) {
+    sched_ = std::make_unique<LinuxScheduler>(CostModel::PentiumII(), factory_.task_list(),
+                                              SchedulerConfig{cpus, smp});
+  }
+
+  Task* Schedule(int cpu, Task* prev) {
+    CostMeter meter(sched_->cost_model());
+    Task* next = sched_->Schedule(cpu, prev, meter);
+    sched_->CheckInvariants();
+    return next;
+  }
+
+  TaskFactory factory_;
+  std::unique_ptr<LinuxScheduler> sched_;
+};
+
+TEST_F(LinuxSchedulerTest, AddPutsTaskAtFront) {
+  Task* a = factory_.NewTask();
+  Task* b = factory_.NewTask();
+  sched_->AddToRunQueue(a);
+  sched_->AddToRunQueue(b);
+  const auto snapshot = sched_->QueueSnapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  // Newly woken tasks go to the front (paper §3.2).
+  EXPECT_EQ(snapshot[0], b);
+  EXPECT_EQ(snapshot[1], a);
+  EXPECT_EQ(sched_->nr_running(), 2u);
+}
+
+TEST_F(LinuxSchedulerTest, DelRemovesAndMarksOffQueue) {
+  Task* a = factory_.NewTask();
+  sched_->AddToRunQueue(a);
+  EXPECT_TRUE(a->OnRunQueue());
+  sched_->DelFromRunQueue(a);
+  EXPECT_FALSE(a->OnRunQueue());
+  EXPECT_EQ(sched_->nr_running(), 0u);
+}
+
+TEST_F(LinuxSchedulerTest, MoveFirstAndLast) {
+  Task* a = factory_.NewTask();
+  Task* b = factory_.NewTask();
+  Task* c = factory_.NewTask();
+  sched_->AddToRunQueue(a);
+  sched_->AddToRunQueue(b);
+  sched_->AddToRunQueue(c);  // [c b a]
+  sched_->MoveLastRunQueue(c);
+  sched_->MoveFirstRunQueue(a);
+  const auto snapshot = sched_->QueueSnapshot();
+  EXPECT_EQ(snapshot[0], a);
+  EXPECT_EQ(snapshot[1], b);
+  EXPECT_EQ(snapshot[2], c);
+}
+
+TEST_F(LinuxSchedulerTest, PicksHighestGoodness) {
+  Task* low = factory_.NewTask(5, 20);
+  Task* high = factory_.NewTask(30, 20);
+  Task* mid = factory_.NewTask(15, 20);
+  sched_->AddToRunQueue(low);
+  sched_->AddToRunQueue(high);
+  sched_->AddToRunQueue(mid);
+  EXPECT_EQ(Schedule(0, nullptr), high);
+}
+
+TEST_F(LinuxSchedulerTest, TieGoesToTaskCloserToFront) {
+  Task* a = factory_.NewTask(10, 20);
+  Task* b = factory_.NewTask(10, 20);
+  sched_->AddToRunQueue(a);
+  sched_->AddToRunQueue(b);  // [b a] — b is closer to the front.
+  EXPECT_EQ(Schedule(0, nullptr), b);
+}
+
+TEST_F(LinuxSchedulerTest, EmptyQueueSchedulesIdleWithoutRecalc) {
+  // Paper footnote 1: an empty run queue schedules the idle task rather than
+  // triggering the recalculation.
+  CostMeter meter(sched_->cost_model());
+  EXPECT_EQ(sched_->Schedule(0, nullptr, meter), nullptr);
+  EXPECT_EQ(meter.recalc_entries(), 0u);
+  EXPECT_EQ(sched_->stats().idle_schedules, 1u);
+}
+
+TEST_F(LinuxSchedulerTest, AllExhaustedTriggersRecalculation) {
+  Task* a = factory_.NewTask(0, 20);
+  Task* b = factory_.NewTask(0, 30);
+  Task* sleeper = factory_.NewTask(4, 10);  // Blocked task, not on the queue.
+  sleeper->state = TaskState::kInterruptible;
+  sched_->AddToRunQueue(a);
+  sched_->AddToRunQueue(b);
+
+  CostMeter meter(sched_->cost_model());
+  Task* next = sched_->Schedule(0, nullptr, meter);
+  EXPECT_EQ(meter.recalc_entries(), 1u);
+  // After counter = counter/2 + priority, b (priority 30) wins.
+  EXPECT_EQ(next, b);
+  EXPECT_EQ(a->counter, 20);
+  EXPECT_EQ(b->counter, 30);
+  // Recalculation touches every task in the system, including blocked ones.
+  EXPECT_EQ(sleeper->counter, 12);
+  EXPECT_EQ(meter.recalc_tasks(), 3u);
+}
+
+TEST_F(LinuxSchedulerTest, PrevRemainsCandidateWhenRunnable) {
+  Task* prev = factory_.NewTask(30, 20);
+  sched_->AddToRunQueue(prev);
+  prev->has_cpu = 1;  // Running on this CPU, as during a real schedule().
+  Task* other = factory_.NewTask(5, 20);
+  sched_->AddToRunQueue(other);
+  EXPECT_EQ(Schedule(0, prev), prev);
+  EXPECT_EQ(sched_->stats().picks_prev, 1u);
+}
+
+TEST_F(LinuxSchedulerTest, BlockedPrevIsRemovedFromQueue) {
+  Task* prev = factory_.NewTask();
+  sched_->AddToRunQueue(prev);
+  prev->has_cpu = 1;
+  prev->state = TaskState::kInterruptible;
+  Task* other = factory_.NewTask();
+  sched_->AddToRunQueue(other);
+  EXPECT_EQ(Schedule(0, prev), other);
+  EXPECT_FALSE(prev->OnRunQueue());
+  EXPECT_EQ(sched_->nr_running(), 1u);
+}
+
+TEST_F(LinuxSchedulerTest, YieldedPrevLosesToAnyRunnableTask) {
+  Task* prev = factory_.NewTask(40, 20);  // Higher goodness than the other.
+  sched_->AddToRunQueue(prev);
+  prev->has_cpu = 1;
+  prev->policy |= kSchedYield;
+  Task* weak = factory_.NewTask(1, 20);
+  sched_->AddToRunQueue(weak);
+  EXPECT_EQ(Schedule(0, prev), weak);
+  EXPECT_FALSE(PolicyHasYield(prev->policy));  // prev_goodness cleared it.
+}
+
+TEST_F(LinuxSchedulerTest, SoloYieldTriggersExactlyOneRecalc) {
+  // The paper's Figure 2 pathology: a task yields and nothing else can be
+  // scheduled => the stock scheduler recalculates every counter, then runs
+  // the yielder again.
+  Task* prev = factory_.NewTask(10, 20);
+  sched_->AddToRunQueue(prev);
+  prev->has_cpu = 1;
+  prev->policy |= kSchedYield;
+  CostMeter meter(sched_->cost_model());
+  Task* next = sched_->Schedule(0, prev, meter);
+  EXPECT_EQ(next, prev);
+  EXPECT_EQ(meter.recalc_entries(), 1u);
+}
+
+TEST_F(LinuxSchedulerTest, ExhaustedRoundRobinPrevIsRefreshedAndMovedLast) {
+  Task* rr = factory_.NewRealtime(kSchedRr, 10);
+  rr->counter = 0;
+  Task* other_rt = factory_.NewRealtime(kSchedRr, 10);
+  other_rt->counter = 5;
+  sched_->AddToRunQueue(rr);
+  sched_->AddToRunQueue(other_rt);  // [other_rt rr]... add order: rr then other -> [other rr]
+  rr->has_cpu = 1;
+
+  Task* next = Schedule(0, rr);
+  // Quantum refreshed from priority, moved to the back of the queue, and the
+  // rotated task loses the exact goodness tie this once — so the other
+  // equal-priority RR task runs (POSIX round-robin rotation).
+  EXPECT_EQ(rr->counter, rr->priority);
+  EXPECT_EQ(next, other_rt);
+  const auto snapshot = sched_->QueueSnapshot();
+  EXPECT_EQ(snapshot.back(), rr);
+}
+
+TEST_F(LinuxSchedulerTest, RealtimeAlwaysBeatsSchedOther) {
+  Task* fat = factory_.NewTask(2 * kMaxPriority, kMaxPriority);
+  Task* rt = factory_.NewRealtime(kSchedFifo, 0);
+  rt->counter = 0;  // Irrelevant for FIFO.
+  sched_->AddToRunQueue(fat);
+  sched_->AddToRunQueue(rt);
+  EXPECT_EQ(Schedule(0, nullptr), rt);
+}
+
+TEST_F(LinuxSchedulerTest, HigherRtPriorityWins) {
+  Task* low = factory_.NewRealtime(kSchedFifo, 10);
+  Task* high = factory_.NewRealtime(kSchedFifo, 90);
+  sched_->AddToRunQueue(low);
+  sched_->AddToRunQueue(high);
+  EXPECT_EQ(Schedule(0, nullptr), high);
+}
+
+TEST_F(LinuxSchedulerTest, SmpSkipsTasksRunningElsewhere) {
+  Rebuild(2, true);
+  Task* busy = factory_.NewTask(40, 20);
+  busy->has_cpu = 1;
+  busy->processor = 1;
+  Task* free_task = factory_.NewTask(5, 20);
+  sched_->AddToRunQueue(busy);
+  sched_->AddToRunQueue(free_task);
+  EXPECT_EQ(Schedule(0, nullptr), free_task);
+}
+
+TEST_F(LinuxSchedulerTest, SmpAffinityBonusBreaksNearTies) {
+  Rebuild(2, true);
+  Task* remote = factory_.NewTask(20, 20);
+  remote->processor = 1;
+  Task* local = factory_.NewTask(10, 20);
+  local->processor = 0;
+  sched_->AddToRunQueue(remote);
+  sched_->AddToRunQueue(local);
+  // local: 10+20+15 = 45 beats remote: 20+20 = 40.
+  EXPECT_EQ(Schedule(0, nullptr), local);
+}
+
+TEST_F(LinuxSchedulerTest, MmBonusBreaksExactTies) {
+  MmStruct* shared = factory_.NewMm();
+  MmStruct* other = factory_.NewMm();
+  Task* prev = factory_.NewTask(0, 20, shared);
+  prev->state = TaskState::kInterruptible;  // Blocking; not a candidate.
+  Task* kin = factory_.NewTask(10, 20, shared);
+  Task* stranger = factory_.NewTask(10, 20, other);
+  sched_->AddToRunQueue(prev);
+  prev->has_cpu = 1;
+  sched_->AddToRunQueue(kin);
+  sched_->AddToRunQueue(stranger);  // Front: stranger would win the tie.
+  EXPECT_EQ(Schedule(0, prev), kin);
+}
+
+TEST_F(LinuxSchedulerTest, ExaminesWholeQueueEveryCall) {
+  // The O(n) behaviour the paper attacks: every runnable task is evaluated
+  // on every invocation.
+  for (int i = 0; i < 32; ++i) {
+    sched_->AddToRunQueue(factory_.NewTask(10 + i % 5, 20));
+  }
+  CostMeter meter(sched_->cost_model());
+  sched_->Schedule(0, nullptr, meter);
+  EXPECT_EQ(meter.tasks_examined(), 32u);
+  CostMeter meter2(sched_->cost_model());
+  sched_->Schedule(0, nullptr, meter2);
+  EXPECT_EQ(meter2.tasks_examined(), 32u);
+}
+
+TEST_F(LinuxSchedulerTest, StatsAccumulateAcrossCalls) {
+  sched_->AddToRunQueue(factory_.NewTask());
+  Schedule(0, nullptr);
+  Schedule(0, nullptr);
+  EXPECT_EQ(sched_->stats().schedule_calls, 2u);
+  EXPECT_GT(sched_->stats().cycles_in_schedule, 0u);
+}
+
+TEST_F(LinuxSchedulerTest, PickOnNewProcessorCounted) {
+  Rebuild(2, true);
+  Task* t = factory_.NewTask(10, 20);
+  t->processor = 1;
+  sched_->AddToRunQueue(t);
+  EXPECT_EQ(Schedule(0, nullptr), t);
+  EXPECT_EQ(sched_->stats().picks_new_processor, 1u);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,65 @@
+// Shared helpers for scheduler unit tests: task factories and a zero-cost
+// meter, letting tests drive Schedule()/run-queue functions directly without
+// a Machine.
+
+#ifndef TESTS_SCHED_TEST_UTIL_H_
+#define TESTS_SCHED_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/kernel/mm.h"
+#include "src/kernel/task.h"
+#include "src/kernel/task_list.h"
+#include "src/sched/cost_model.h"
+
+namespace elsc {
+
+class TaskFactory {
+ public:
+  Task* NewTask(long counter = kDefaultPriority, long priority = kDefaultPriority,
+                MmStruct* mm = nullptr) {
+    auto owned = std::make_unique<Task>();
+    Task* t = owned.get();
+    owned_.push_back(std::move(owned));
+    t->pid = next_pid_++;
+    t->counter = counter;
+    t->priority = priority;
+    t->mm = mm != nullptr ? mm : DefaultMm();
+    t->state = TaskState::kRunning;
+    tasks_.Add(t);
+    return t;
+  }
+
+  Task* NewRealtime(uint32_t policy, long rt_priority) {
+    Task* t = NewTask();
+    t->policy = policy;
+    t->rt_priority = rt_priority;
+    return t;
+  }
+
+  MmStruct* NewMm() {
+    mms_.push_back(std::make_unique<MmStruct>(MmStruct{next_mm_id_++}));
+    return mms_.back().get();
+  }
+
+  MmStruct* DefaultMm() {
+    if (mms_.empty()) {
+      return NewMm();
+    }
+    return mms_.front().get();
+  }
+
+  TaskList* task_list() { return &tasks_; }
+
+ private:
+  TaskList tasks_;
+  std::vector<std::unique_ptr<Task>> owned_;
+  std::vector<std::unique_ptr<MmStruct>> mms_;
+  int next_pid_ = 1;
+  uint64_t next_mm_id_ = 1;
+};
+
+}  // namespace elsc
+
+#endif  // TESTS_SCHED_TEST_UTIL_H_

@@ -1,0 +1,187 @@
+// Tests for the simulated loopback sockets: FIFO order, capacity, stats, and
+// full blocking round trips through the Machine (including the lost-wakeup
+// regression the still_blocked predicate guards against).
+
+#include "src/net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/socket_ops.h"
+#include "src/smp/machine.h"
+
+namespace elsc {
+namespace {
+
+class NullWaker : public Waker {
+ public:
+  void WakeUpProcess(Task* task) override { (void)task; }
+};
+
+TEST(SimSocketTest, FifoOrder) {
+  SimSocket sock("s", 10);
+  NullWaker waker;
+  for (uint64_t i = 0; i < 5; ++i) {
+    Message m;
+    m.id = i;
+    EXPECT_TRUE(sock.TryWrite(waker, m));
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto m = sock.TryRead(waker);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->id, i);
+  }
+  EXPECT_FALSE(sock.TryRead(waker).has_value());
+}
+
+TEST(SimSocketTest, CapacityEnforced) {
+  SimSocket sock("s", 2);
+  NullWaker waker;
+  Message m;
+  EXPECT_TRUE(sock.TryWrite(waker, m));
+  EXPECT_TRUE(sock.TryWrite(waker, m));
+  EXPECT_FALSE(sock.TryWrite(waker, m));
+  EXPECT_FALSE(sock.CanWrite());
+  sock.TryRead(waker);
+  EXPECT_TRUE(sock.CanWrite());
+}
+
+TEST(SimSocketTest, StatsTrackOperations) {
+  SimSocket sock("s", 1);
+  NullWaker waker;
+  Message m;
+  sock.TryWrite(waker, m);
+  sock.TryWrite(waker, m);  // Blocked.
+  sock.TryRead(waker);
+  sock.TryRead(waker);  // Blocked.
+  EXPECT_EQ(sock.stats().writes, 1u);
+  EXPECT_EQ(sock.stats().write_blocks, 1u);
+  EXPECT_EQ(sock.stats().reads, 1u);
+  EXPECT_EQ(sock.stats().read_blocks, 1u);
+  EXPECT_EQ(sock.stats().max_depth, 1u);
+}
+
+// A producer writing N messages and a consumer reading them, with a socket
+// small enough that both block repeatedly.
+class ProducerBehavior : public TaskBehavior {
+ public:
+  ProducerBehavior(SimSocket* sock, int count) : sock_(sock), remaining_(count) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (remaining_ == 0) {
+      return Segment::Exit(UsToCycles(1));
+    }
+    Message m;
+    m.id = static_cast<uint64_t>(remaining_);
+    if (!sock_->TryWrite(machine, m)) {
+      return BlockUntilWritable(UsToCycles(2), *sock_);
+    }
+    --remaining_;
+    return Segment::RunAgain(UsToCycles(10));
+  }
+
+ private:
+  SimSocket* sock_;
+  int remaining_;
+};
+
+class ConsumerBehavior : public TaskBehavior {
+ public:
+  ConsumerBehavior(SimSocket* sock, int count) : sock_(sock), expected_(count) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (received_ == expected_) {
+      return Segment::Exit(UsToCycles(1));
+    }
+    if (!sock_->TryRead(machine).has_value()) {
+      return BlockUntilReadable(UsToCycles(2), *sock_);
+    }
+    ++received_;
+    return Segment::RunAgain(UsToCycles(25));  // Slower than the producer.
+  }
+  int received() const { return received_; }
+
+ private:
+  SimSocket* sock_;
+  int expected_;
+  int received_ = 0;
+};
+
+class SocketMachineTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SocketMachineTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(SocketMachineTest, ProducerConsumerRoundTripUp) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.scheduler = GetParam();
+  config.check_invariants = true;
+  Machine machine(config);
+  SimSocket sock("pipe", 2);
+  ProducerBehavior producer(&sock, 500);
+  ConsumerBehavior consumer(&sock, 500);
+  TaskParams params;
+  params.behavior = &producer;
+  params.name = "producer";
+  machine.CreateTask(params);
+  params.behavior = &consumer;
+  params.name = "consumer";
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(30)));
+  EXPECT_EQ(consumer.received(), 500);
+  EXPECT_EQ(sock.stats().writes, 500u);
+  EXPECT_EQ(sock.stats().reads, 500u);
+}
+
+TEST_P(SocketMachineTest, ProducerConsumerRoundTripSmp) {
+  // On SMP the producer and consumer overlap in real simultaneity; the
+  // still_blocked predicate is what prevents lost wake-ups in the window
+  // between a failed TryRead/TryWrite and the sleep taking effect.
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  config.check_invariants = true;
+  Machine machine(config);
+  SimSocket sock("pipe", 1);  // Tightest capacity = most racy.
+  ProducerBehavior producer(&sock, 1000);
+  ConsumerBehavior consumer(&sock, 1000);
+  TaskParams params;
+  params.behavior = &producer;
+  machine.CreateTask(params);
+  params.behavior = &consumer;
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(60)));
+  EXPECT_EQ(consumer.received(), 1000);
+}
+
+TEST_P(SocketMachineTest, ManyProducersOneConsumer) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  Machine machine(config);
+  SimSocket sock("funnel", 4);
+  std::vector<std::unique_ptr<ProducerBehavior>> producers;
+  for (int i = 0; i < 8; ++i) {
+    producers.push_back(std::make_unique<ProducerBehavior>(&sock, 100));
+    TaskParams params;
+    params.behavior = producers.back().get();
+    machine.CreateTask(params);
+  }
+  ConsumerBehavior consumer(&sock, 800);
+  TaskParams params;
+  params.behavior = &consumer;
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(60)));
+  EXPECT_EQ(consumer.received(), 800);
+}
+
+}  // namespace
+}  // namespace elsc

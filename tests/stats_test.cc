@@ -1,0 +1,163 @@
+// Tests for the statistics substrate: summaries, histograms, tables, CSV,
+// and the procfs-style report.
+
+#include <gtest/gtest.h>
+
+#include "src/stats/csv.h"
+#include "src/stats/histogram.h"
+#include "src/stats/proc_report.h"
+#include "src/stats/summary.h"
+#include "src/stats/table.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+namespace {
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(SummaryTest, BasicMoments) {
+  Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // Sample stddev.
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 3u);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketError) {
+  Histogram h;
+  for (uint64_t i = 1; i <= 10000; ++i) {
+    h.Add(i);
+  }
+  const auto p50 = static_cast<double>(h.Percentile(0.50));
+  const auto p99 = static_cast<double>(h.Percentile(0.99));
+  // Log-bucketed: worst-case relative error ~25% with 4 sub-buckets.
+  EXPECT_NEAR(p50, 5000, 5000 * 0.3);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.3);
+  EXPECT_NEAR(h.mean(), 5000.5, 1.0);
+}
+
+TEST(HistogramTest, MonotonicPercentiles) {
+  Histogram h;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    h.Add(i * i);
+  }
+  uint64_t last = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const uint64_t v = h.Percentile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "10000"});
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10000"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTableTest, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_NO_THROW(table.Render());
+}
+
+TEST(CsvTest, RendersRowsWithEscaping) {
+  CsvWriter csv({"name", "note"});
+  csv.AddRow({"plain", "hello"});
+  csv.AddRow({"comma,name", "quote\"inside"});
+  const std::string out = csv.Render();
+  EXPECT_NE(out.find("name,note\n"), std::string::npos);
+  EXPECT_NE(out.find("\"comma,name\""), std::string::npos);
+  EXPECT_NE(out.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(CsvTest, WritesFile) {
+  CsvWriter csv({"x"});
+  csv.AddRow({"1"});
+  const std::string path = ::testing::TempDir() + "/elsc_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+  std::fclose(f);
+  EXPECT_STREQ(buf, "x\n1\n");
+}
+
+TEST(ProcReportTest, ConfigLabels) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  EXPECT_EQ(ConfigLabel(config), "UP");
+  config.smp = true;
+  EXPECT_EQ(ConfigLabel(config), "1P");
+  config.num_cpus = 4;
+  EXPECT_EQ(ConfigLabel(config), "4P");
+}
+
+TEST(ProcReportTest, ReportContainsPaperCounters) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = SchedulerKind::kElsc;
+  Machine machine(config);
+  SpinnerBehavior spinner(MsToCycles(2), MsToCycles(20));
+  TaskParams params;
+  params.behavior = &spinner;
+  machine.CreateTask(params);
+  machine.Start();
+  machine.RunUntilAllExited(SecToCycles(5));
+
+  const std::string report = RenderProcSchedStats(machine);
+  for (const char* key :
+       {"scheduler:", "schedule_calls:", "cycles_per_schedule:", "tasks_examined_avg:",
+        "recalc_entries:", "picks_new_processor:", "yield_reruns:", "cpu0:", "cpu1:"}) {
+    EXPECT_NE(report.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(report.find("elsc"), std::string::npos);
+  EXPECT_NE(report.find("2P"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,68 @@
+// Tests for string formatting helpers and time-unit conversions.
+
+#include "src/base/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StrFormatTest, HandlesLongOutput) {
+  const std::string big(500, 'a');
+  EXPECT_EQ(StrFormat("%s!", big.c_str()).size(), 501u);
+}
+
+TEST(ThousandsTest, InsertsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(1000000000ull), "1,000,000,000");
+}
+
+TEST(FormatMinSecTest, MatchesTableTwoFormat) {
+  // 6:41.41 — the paper's Table 2 kernel-compile format.
+  EXPECT_EQ(FormatMinSec(401.41), "6:41.41");
+  EXPECT_EQ(FormatMinSec(220.38), "3:40.38");
+  EXPECT_EQ(FormatMinSec(0.0), "0:00.00");
+  EXPECT_EQ(FormatMinSec(59.999), "1:00.00");
+  EXPECT_EQ(FormatMinSec(-5.0), "0:00.00");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(PadTest, PadsWithoutTruncating) {
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+TEST(TimeUnitsTest, ConversionsRoundTrip) {
+  EXPECT_EQ(UsToCycles(1), kCyclesPerUs);
+  EXPECT_EQ(MsToCycles(1), kCyclesPerMs);
+  EXPECT_EQ(SecToCycles(1), kCyclesPerSec);
+  EXPECT_DOUBLE_EQ(CyclesToUs(UsToCycles(123)), 123.0);
+  EXPECT_DOUBLE_EQ(CyclesToMs(MsToCycles(7)), 7.0);
+  EXPECT_DOUBLE_EQ(CyclesToSec(SecToCycles(3)), 3.0);
+}
+
+TEST(TimeUnitsTest, TickMatchesHundredHz) {
+  // HZ=100 in Linux 2.3.99-pre4: a tick every 10 ms.
+  EXPECT_EQ(kTickCycles, kCyclesPerSec / 100);
+}
+
+}  // namespace
+}  // namespace elsc

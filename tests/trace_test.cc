@@ -1,0 +1,162 @@
+// Tests for the event trace recorder and trace-based causality properties:
+// the recorded timeline must obey scheduling causality (a task is dispatched
+// only after being woken/created, blocks only while dispatched, etc.).
+
+#include "src/smp/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/smp/machine.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+namespace {
+
+TEST(TraceRecorderTest, DisabledByDefault) {
+  TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.Record(1, TraceEventType::kDispatch, 0, 1);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsAndRenders) {
+  TraceRecorder trace;
+  trace.Enable(16);
+  trace.Record(100, TraceEventType::kWake, -1, 7);
+  trace.Record(200, TraceEventType::kDispatch, 1, 7);
+  EXPECT_EQ(trace.size(), 2u);
+  const std::string out = trace.Render();
+  EXPECT_NE(out.find("t=100 wake cpu-1 pid7"), std::string::npos);
+  EXPECT_NE(out.find("t=200 dispatch cpu1 pid7"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, RingDropsOldest) {
+  TraceRecorder trace;
+  trace.Enable(3);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(static_cast<Cycles>(i), TraceEventType::kYield, 0, i);
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  EXPECT_EQ(trace.dropped(), 7u);
+  EXPECT_EQ(trace.events().front().pid, 7);
+  EXPECT_EQ(trace.events().back().pid, 9);
+}
+
+TEST(TraceRecorderTest, ClearResets) {
+  TraceRecorder trace;
+  trace.Enable(4);
+  trace.Record(1, TraceEventType::kExit, 0, 1);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+class TraceMachineTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, TraceMachineTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(TraceMachineTest, TimelineObeysSchedulingCausality) {
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  Machine machine(config);
+  machine.trace().Enable(200000);
+
+  SpinnerBehavior hog(MsToCycles(3), MsToCycles(60));
+  InteractiveBehavior sleeper(UsToCycles(200), MsToCycles(5), 10);
+  YielderBehavior yielder(UsToCycles(100), 30);
+  TaskParams params;
+  params.behavior = &hog;
+  params.name = "hog";
+  machine.CreateTask(params);
+  params.behavior = &sleeper;
+  params.name = "sleeper";
+  machine.CreateTask(params);
+  params.behavior = &yielder;
+  params.name = "yielder";
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+
+  // Replay: per-pid state machine.
+  enum class State { kRunnable, kOnCpu, kSleeping, kDead };
+  std::map<int, State> state;
+  Cycles last_time = 0;
+  for (const TraceEvent& event : machine.trace().events()) {
+    ASSERT_GE(event.when, last_time) << "trace not time-ordered";
+    last_time = event.when;
+    switch (event.type) {
+      case TraceEventType::kWake: {
+        // Wake of a task we have seen sleeping makes it runnable; a fresh
+        // pid (creation path has no explicit trace event) starts runnable.
+        auto it = state.find(event.pid);
+        if (it != state.end()) {
+          ASSERT_NE(it->second, State::kDead) << "wake of dead pid " << event.pid;
+          if (it->second == State::kSleeping) {
+            it->second = State::kRunnable;
+          }
+        } else {
+          state[event.pid] = State::kRunnable;
+        }
+        break;
+      }
+      case TraceEventType::kDispatch: {
+        auto it = state.find(event.pid);
+        if (it != state.end()) {
+          ASSERT_TRUE(it->second == State::kRunnable || it->second == State::kOnCpu)
+              << "dispatch of pid " << event.pid << " in bad state";
+        }
+        state[event.pid] = State::kOnCpu;
+        break;
+      }
+      case TraceEventType::kBlock:
+      case TraceEventType::kSleep: {
+        ASSERT_EQ(state[event.pid], State::kOnCpu) << "block of off-cpu pid " << event.pid;
+        state[event.pid] = State::kSleeping;
+        break;
+      }
+      case TraceEventType::kPreempt:
+      case TraceEventType::kYield: {
+        ASSERT_EQ(state[event.pid], State::kOnCpu);
+        state[event.pid] = State::kRunnable;
+        break;
+      }
+      case TraceEventType::kExit: {
+        ASSERT_EQ(state[event.pid], State::kOnCpu);
+        state[event.pid] = State::kDead;
+        break;
+      }
+      case TraceEventType::kIdle:
+        break;
+    }
+  }
+
+  // All three tasks ended dead.
+  int dead = 0;
+  for (const auto& [pid, s] : state) {
+    dead += s == State::kDead ? 1 : 0;
+  }
+  EXPECT_EQ(dead, 3);
+}
+
+TEST(TraceMachineOverheadTest, DisabledTraceRecordsNothing) {
+  MachineConfig config;
+  Machine machine(config);
+  SpinnerBehavior hog(MsToCycles(1), MsToCycles(5));
+  TaskParams params;
+  params.behavior = &hog;
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(5)));
+  EXPECT_EQ(machine.trace().total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,129 @@
+// Property sweeps over the VolanoMark workload: random geometries must
+// always produce exact message accounting under every scheduler, and the
+// connection ramp must build rooms in order before chat starts.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/workloads/volano.h"
+
+namespace elsc {
+namespace {
+
+TEST(VolanoPropertyTest, RandomGeometriesDeliverExactly) {
+  Rng rng(4242);
+  for (int round = 0; round < 12; ++round) {
+    VolanoConfig vc;
+    vc.rooms = static_cast<int>(1 + rng.NextBelow(3));
+    vc.users_per_room = static_cast<int>(2 + rng.NextBelow(6));
+    vc.messages_per_user = static_cast<int>(1 + rng.NextBelow(12));
+    const SchedulerKind kind = AllSchedulerKinds()[round % AllSchedulerKinds().size()];
+
+    MachineConfig mc;
+    mc.num_cpus = static_cast<int>(1 + rng.NextBelow(4));
+    mc.smp = mc.num_cpus > 1;
+    mc.scheduler = kind;
+    mc.seed = 1000 + static_cast<uint64_t>(round);
+    Machine machine(mc);
+    VolanoWorkload workload(machine, vc);
+    workload.Setup();
+    machine.Start();
+    ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)))
+        << "round " << round << " rooms=" << vc.rooms << " users=" << vc.users_per_room
+        << " msgs=" << vc.messages_per_user << " sched=" << SchedulerKindName(kind)
+        << " cpus=" << mc.num_cpus;
+
+    const uint64_t users = static_cast<uint64_t>(vc.rooms) * vc.users_per_room;
+    EXPECT_EQ(workload.messages_sent(), users * vc.messages_per_user);
+    EXPECT_EQ(workload.messages_delivered(), vc.expected_deliveries());
+    EXPECT_EQ(machine.live_tasks(), 0u);
+    EXPECT_EQ(machine.stats().tasks_created, machine.stats().tasks_exited);
+  }
+}
+
+TEST(VolanoPropertyTest, ChatDoesNotStartBeforeEveryConnectionIsUp) {
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = SchedulerKind::kLinux;
+  Machine machine(mc);
+  VolanoConfig vc;
+  vc.rooms = 2;
+  vc.users_per_room = 8;
+  vc.messages_per_user = 5;
+  VolanoWorkload workload(machine, vc);
+  workload.Setup();
+  machine.Start();
+
+  // Drive in small steps; before the start barrier opens, no chat message
+  // may have been sent, and the task population only ever grows.
+  size_t last_population = machine.live_tasks();
+  while (!workload.chat_started()) {
+    machine.RunFor(MsToCycles(10));
+    // The barrier may have opened during this step; sends are only illegal
+    // while it is still closed.
+    if (!workload.chat_started()) {
+      ASSERT_EQ(workload.messages_sent(), 0u);
+    }
+    ASSERT_GE(machine.live_tasks() + 2, last_population);  // connector/listener may exit.
+    last_population = machine.live_tasks();
+    ASSERT_LT(CyclesToSec(machine.Now()), 120.0) << "ramp did not finish";
+  }
+  // Once started, the full population exists: 4 threads per connection plus
+  // possibly the not-yet-exited ramp tasks.
+  const size_t chat_threads = static_cast<size_t>(vc.total_threads());
+  EXPECT_GE(machine.live_tasks(), chat_threads);
+  EXPECT_LE(machine.live_tasks(), chat_threads + 2);
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)));
+}
+
+TEST(VolanoPropertyTest, YieldEmulationKnobsChangeYieldVolume) {
+  auto yields_with = [](double probability, int lock_spins) {
+    MachineConfig mc;
+    mc.num_cpus = 1;
+    mc.smp = false;
+    mc.scheduler = SchedulerKind::kElsc;
+    Machine machine(mc);
+    VolanoConfig vc;
+    vc.rooms = 1;
+    vc.users_per_room = 6;
+    vc.messages_per_user = 20;
+    vc.yield_probability = probability;
+    vc.lock_spin_yields = lock_spins;
+    VolanoWorkload workload(machine, vc);
+    workload.Setup();
+    machine.Start();
+    EXPECT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)));
+    uint64_t yields = 0;
+    for (const auto& task : machine.all_tasks()) {
+      yields += task->stats.yields;
+    }
+    return yields;
+  };
+  const uint64_t noisy = yields_with(0.5, 60);
+  const uint64_t quiet = yields_with(0.0, 0);
+  EXPECT_GT(noisy, 2 * std::max<uint64_t>(quiet, 1));
+}
+
+TEST(VolanoPropertyTest, SocketStatsBalance) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = SchedulerKind::kElsc;
+  Machine machine(mc);
+  VolanoConfig vc;
+  vc.rooms = 1;
+  vc.users_per_room = 4;
+  vc.messages_per_user = 10;
+  VolanoWorkload workload(machine, vc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(1200)));
+  // Wakeup volume must at least cover one wake per delivered message (reader
+  // wakes), and context switches scale with deliveries.
+  EXPECT_GE(machine.stats().wakeups, workload.messages_delivered() / 4);
+  EXPECT_GT(machine.stats().context_switches, workload.messages_delivered() / 4);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,105 @@
+// Tests for the Apache-style web-server workload (future work §8).
+
+#include "src/workloads/webserver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/api/simulation.h"
+
+namespace elsc {
+namespace {
+
+WebserverConfig SmallServer() {
+  WebserverConfig config;
+  config.workers = 10;
+  config.arrival_rate_per_sec = 400.0;
+  config.duration = SecToCycles(2);
+  return config;
+}
+
+class WebserverSchedulerTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, WebserverSchedulerTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(WebserverSchedulerTest, ServesRequestsAndDrains) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = GetParam();
+  mc.check_invariants = true;
+  Machine machine(mc);
+  WebserverWorkload workload(machine, SmallServer());
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(60)));
+  const WebserverResult result = workload.Result();
+  EXPECT_GT(result.requests_arrived, 500u);
+  EXPECT_EQ(result.requests_completed, result.requests_arrived - result.requests_dropped);
+  EXPECT_GT(result.throughput, 0.0);
+  EXPECT_GT(result.latency_p50_us, 0u);
+  EXPECT_GE(result.latency_p99_us, result.latency_p50_us);
+  EXPECT_EQ(machine.live_tasks(), 0u);  // Workers exited after the window.
+}
+
+TEST_P(WebserverSchedulerTest, UnderloadedServerHasLowLatency) {
+  MachineConfig mc;
+  mc.num_cpus = 2;
+  mc.smp = true;
+  mc.scheduler = GetParam();
+  Machine machine(mc);
+  WebserverConfig wc = SmallServer();
+  wc.arrival_rate_per_sec = 50.0;  // Far below capacity.
+  wc.disk_probability = 0.0;
+  WebserverWorkload workload(machine, wc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(60)));
+  const WebserverResult result = workload.Result();
+  EXPECT_EQ(result.requests_dropped, 0u);
+  // Parse + respond ≈ 0.65 ms of work; allow generous scheduling slack.
+  EXPECT_LT(result.latency_p50_us, 3000u);
+}
+
+TEST(WebserverWorkloadTest, ArrivalRateRoughlyHonored) {
+  MachineConfig mc;
+  mc.num_cpus = 4;
+  mc.smp = true;
+  mc.scheduler = SchedulerKind::kElsc;
+  mc.seed = 3;
+  Machine machine(mc);
+  WebserverConfig wc = SmallServer();
+  wc.workers = 50;
+  wc.arrival_rate_per_sec = 1000.0;
+  wc.duration = SecToCycles(4);
+  WebserverWorkload workload(machine, wc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(120)));
+  const WebserverResult result = workload.Result();
+  // Poisson with rate 1000/s over 4 s: expect ~4000 +/- 10%.
+  EXPECT_NEAR(static_cast<double>(result.requests_arrived), 4000.0, 400.0);
+}
+
+TEST(WebserverWorkloadTest, OverloadDropsAtAcceptQueue) {
+  MachineConfig mc;
+  mc.num_cpus = 1;
+  mc.smp = false;
+  mc.scheduler = SchedulerKind::kLinux;
+  Machine machine(mc);
+  WebserverConfig wc = SmallServer();
+  wc.workers = 2;
+  wc.arrival_rate_per_sec = 20000.0;  // Hopeless overload.
+  wc.accept_queue_capacity = 16;
+  wc.duration = SecToCycles(1);
+  WebserverWorkload workload(machine, wc);
+  workload.Setup();
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntil([&workload] { return workload.Done(); }, SecToCycles(600)));
+  EXPECT_GT(workload.Result().requests_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace elsc
