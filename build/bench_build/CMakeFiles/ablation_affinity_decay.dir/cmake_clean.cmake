@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_affinity_decay"
+  "../bench/ablation_affinity_decay.pdb"
+  "CMakeFiles/ablation_affinity_decay.dir/ablation_affinity_decay.cc.o"
+  "CMakeFiles/ablation_affinity_decay.dir/ablation_affinity_decay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_affinity_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_bench_util.dir/experiment_util.cc.o"
+  "CMakeFiles/elsc_bench_util.dir/experiment_util.cc.o.d"
+  "libelsc_bench_util.a"
+  "libelsc_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

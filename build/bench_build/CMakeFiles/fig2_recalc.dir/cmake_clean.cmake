@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_recalc"
+  "../bench/fig2_recalc.pdb"
+  "CMakeFiles/fig2_recalc.dir/fig2_recalc.cc.o"
+  "CMakeFiles/fig2_recalc.dir/fig2_recalc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_recalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_cost"
+  "../bench/fig5_cost.pdb"
+  "CMakeFiles/fig5_cost.dir/fig5_cost.cc.o"
+  "CMakeFiles/fig5_cost.dir/fig5_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

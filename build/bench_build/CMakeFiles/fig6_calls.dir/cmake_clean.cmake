@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_calls"
+  "../bench/fig6_calls.pdb"
+  "CMakeFiles/fig6_calls.dir/fig6_calls.cc.o"
+  "CMakeFiles/fig6_calls.dir/fig6_calls.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_schedulers"
+  "../bench/future_schedulers.pdb"
+  "CMakeFiles/future_schedulers.dir/future_schedulers.cc.o"
+  "CMakeFiles/future_schedulers.dir/future_schedulers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/future_webserver"
+  "../bench/future_webserver.pdb"
+  "CMakeFiles/future_webserver.dir/future_webserver.cc.o"
+  "CMakeFiles/future_webserver.dir/future_webserver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/interactive_latency"
+  "../bench/interactive_latency.pdb"
+  "CMakeFiles/interactive_latency.dir/interactive_latency.cc.o"
+  "CMakeFiles/interactive_latency.dir/interactive_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lat_ctx"
+  "../bench/lat_ctx.pdb"
+  "CMakeFiles/lat_ctx.dir/lat_ctx.cc.o"
+  "CMakeFiles/lat_ctx.dir/lat_ctx.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lat_ctx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

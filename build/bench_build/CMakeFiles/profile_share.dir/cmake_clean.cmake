@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/profile_share"
+  "../bench/profile_share.pdb"
+  "CMakeFiles/profile_share.dir/profile_share.cc.o"
+  "CMakeFiles/profile_share.dir/profile_share.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_kcompile"
+  "../bench/table2_kcompile.pdb"
+  "CMakeFiles/table2_kcompile.dir/table2_kcompile.cc.o"
+  "CMakeFiles/table2_kcompile.dir/table2_kcompile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kcompile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

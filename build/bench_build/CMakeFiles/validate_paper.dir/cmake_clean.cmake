@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validate_paper"
+  "../bench/validate_paper.pdb"
+  "CMakeFiles/validate_paper.dir/validate_paper.cc.o"
+  "CMakeFiles/validate_paper.dir/validate_paper.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

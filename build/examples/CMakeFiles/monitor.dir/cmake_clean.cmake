@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor.dir/monitor.cpp.o"
+  "CMakeFiles/monitor.dir/monitor.cpp.o.d"
+  "monitor"
+  "monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_api.dir/simulation.cc.o"
+  "CMakeFiles/elsc_api.dir/simulation.cc.o.d"
+  "libelsc_api.a"
+  "libelsc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

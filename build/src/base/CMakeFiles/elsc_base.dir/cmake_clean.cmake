@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_base.dir/log.cc.o"
+  "CMakeFiles/elsc_base.dir/log.cc.o.d"
+  "CMakeFiles/elsc_base.dir/string_util.cc.o"
+  "CMakeFiles/elsc_base.dir/string_util.cc.o.d"
+  "libelsc_base.a"
+  "libelsc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

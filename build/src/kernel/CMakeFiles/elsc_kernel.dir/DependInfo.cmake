@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/task.cc" "src/kernel/CMakeFiles/elsc_kernel.dir/task.cc.o" "gcc" "src/kernel/CMakeFiles/elsc_kernel.dir/task.cc.o.d"
+  "/root/repo/src/kernel/wait_queue.cc" "src/kernel/CMakeFiles/elsc_kernel.dir/wait_queue.cc.o" "gcc" "src/kernel/CMakeFiles/elsc_kernel.dir/wait_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/elsc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_kernel.dir/task.cc.o"
+  "CMakeFiles/elsc_kernel.dir/task.cc.o.d"
+  "CMakeFiles/elsc_kernel.dir/wait_queue.cc.o"
+  "CMakeFiles/elsc_kernel.dir/wait_queue.cc.o.d"
+  "libelsc_kernel.a"
+  "libelsc_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

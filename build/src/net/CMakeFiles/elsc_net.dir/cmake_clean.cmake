@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_net.dir/socket.cc.o"
+  "CMakeFiles/elsc_net.dir/socket.cc.o.d"
+  "libelsc_net.a"
+  "libelsc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelsc_net.a"
+)

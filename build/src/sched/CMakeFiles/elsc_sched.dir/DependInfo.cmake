@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/elsc_runqueue.cc" "src/sched/CMakeFiles/elsc_sched.dir/elsc_runqueue.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/elsc_runqueue.cc.o.d"
+  "/root/repo/src/sched/elsc_scheduler.cc" "src/sched/CMakeFiles/elsc_sched.dir/elsc_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/elsc_scheduler.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/sched/CMakeFiles/elsc_sched.dir/factory.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/factory.cc.o.d"
+  "/root/repo/src/sched/goodness.cc" "src/sched/CMakeFiles/elsc_sched.dir/goodness.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/goodness.cc.o.d"
+  "/root/repo/src/sched/heap_scheduler.cc" "src/sched/CMakeFiles/elsc_sched.dir/heap_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/heap_scheduler.cc.o.d"
+  "/root/repo/src/sched/linux_scheduler.cc" "src/sched/CMakeFiles/elsc_sched.dir/linux_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/linux_scheduler.cc.o.d"
+  "/root/repo/src/sched/multiqueue_scheduler.cc" "src/sched/CMakeFiles/elsc_sched.dir/multiqueue_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/multiqueue_scheduler.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/elsc_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/elsc_sched.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/elsc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/elsc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

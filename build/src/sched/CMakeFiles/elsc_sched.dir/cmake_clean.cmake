@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_sched.dir/elsc_runqueue.cc.o"
+  "CMakeFiles/elsc_sched.dir/elsc_runqueue.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/elsc_scheduler.cc.o"
+  "CMakeFiles/elsc_sched.dir/elsc_scheduler.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/factory.cc.o"
+  "CMakeFiles/elsc_sched.dir/factory.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/goodness.cc.o"
+  "CMakeFiles/elsc_sched.dir/goodness.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/heap_scheduler.cc.o"
+  "CMakeFiles/elsc_sched.dir/heap_scheduler.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/linux_scheduler.cc.o"
+  "CMakeFiles/elsc_sched.dir/linux_scheduler.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/multiqueue_scheduler.cc.o"
+  "CMakeFiles/elsc_sched.dir/multiqueue_scheduler.cc.o.d"
+  "CMakeFiles/elsc_sched.dir/scheduler.cc.o"
+  "CMakeFiles/elsc_sched.dir/scheduler.cc.o.d"
+  "libelsc_sched.a"
+  "libelsc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_sim.dir/engine.cc.o"
+  "CMakeFiles/elsc_sim.dir/engine.cc.o.d"
+  "CMakeFiles/elsc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/elsc_sim.dir/event_queue.cc.o.d"
+  "libelsc_sim.a"
+  "libelsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

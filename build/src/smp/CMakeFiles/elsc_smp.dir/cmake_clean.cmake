@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_smp.dir/machine.cc.o"
+  "CMakeFiles/elsc_smp.dir/machine.cc.o.d"
+  "CMakeFiles/elsc_smp.dir/trace.cc.o"
+  "CMakeFiles/elsc_smp.dir/trace.cc.o.d"
+  "libelsc_smp.a"
+  "libelsc_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

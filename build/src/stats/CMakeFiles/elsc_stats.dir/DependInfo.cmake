@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ascii_chart.cc" "src/stats/CMakeFiles/elsc_stats.dir/ascii_chart.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/ascii_chart.cc.o.d"
+  "/root/repo/src/stats/csv.cc" "src/stats/CMakeFiles/elsc_stats.dir/csv.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/csv.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/elsc_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/proc_report.cc" "src/stats/CMakeFiles/elsc_stats.dir/proc_report.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/proc_report.cc.o.d"
+  "/root/repo/src/stats/ps_report.cc" "src/stats/CMakeFiles/elsc_stats.dir/ps_report.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/ps_report.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/stats/CMakeFiles/elsc_stats.dir/table.cc.o" "gcc" "src/stats/CMakeFiles/elsc_stats.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/smp/CMakeFiles/elsc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/elsc_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/elsc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/elsc_kernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_stats.dir/ascii_chart.cc.o"
+  "CMakeFiles/elsc_stats.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/elsc_stats.dir/csv.cc.o"
+  "CMakeFiles/elsc_stats.dir/csv.cc.o.d"
+  "CMakeFiles/elsc_stats.dir/histogram.cc.o"
+  "CMakeFiles/elsc_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/elsc_stats.dir/proc_report.cc.o"
+  "CMakeFiles/elsc_stats.dir/proc_report.cc.o.d"
+  "CMakeFiles/elsc_stats.dir/ps_report.cc.o"
+  "CMakeFiles/elsc_stats.dir/ps_report.cc.o.d"
+  "CMakeFiles/elsc_stats.dir/table.cc.o"
+  "CMakeFiles/elsc_stats.dir/table.cc.o.d"
+  "libelsc_stats.a"
+  "libelsc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_workloads.dir/kcompile.cc.o"
+  "CMakeFiles/elsc_workloads.dir/kcompile.cc.o.d"
+  "CMakeFiles/elsc_workloads.dir/micro_behaviors.cc.o"
+  "CMakeFiles/elsc_workloads.dir/micro_behaviors.cc.o.d"
+  "CMakeFiles/elsc_workloads.dir/token_ring.cc.o"
+  "CMakeFiles/elsc_workloads.dir/token_ring.cc.o.d"
+  "CMakeFiles/elsc_workloads.dir/volano.cc.o"
+  "CMakeFiles/elsc_workloads.dir/volano.cc.o.d"
+  "CMakeFiles/elsc_workloads.dir/webserver.cc.o"
+  "CMakeFiles/elsc_workloads.dir/webserver.cc.o.d"
+  "libelsc_workloads.a"
+  "libelsc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

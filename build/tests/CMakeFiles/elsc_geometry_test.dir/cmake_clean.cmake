@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_geometry_test.dir/elsc_geometry_test.cc.o"
+  "CMakeFiles/elsc_geometry_test.dir/elsc_geometry_test.cc.o.d"
+  "elsc_geometry_test"
+  "elsc_geometry_test.pdb"
+  "elsc_geometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

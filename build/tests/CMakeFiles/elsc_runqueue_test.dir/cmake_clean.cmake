@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_runqueue_test.dir/elsc_runqueue_test.cc.o"
+  "CMakeFiles/elsc_runqueue_test.dir/elsc_runqueue_test.cc.o.d"
+  "elsc_runqueue_test"
+  "elsc_runqueue_test.pdb"
+  "elsc_runqueue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_runqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsc_scheduler_test.dir/elsc_scheduler_test.cc.o"
+  "CMakeFiles/elsc_scheduler_test.dir/elsc_scheduler_test.cc.o.d"
+  "elsc_scheduler_test"
+  "elsc_scheduler_test.pdb"
+  "elsc_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsc_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

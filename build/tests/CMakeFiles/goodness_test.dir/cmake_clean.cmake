@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goodness_test.dir/goodness_test.cc.o"
+  "CMakeFiles/goodness_test.dir/goodness_test.cc.o.d"
+  "goodness_test"
+  "goodness_test.pdb"
+  "goodness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goodness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_scheduler_test.dir/heap_scheduler_test.cc.o"
+  "CMakeFiles/heap_scheduler_test.dir/heap_scheduler_test.cc.o.d"
+  "heap_scheduler_test"
+  "heap_scheduler_test.pdb"
+  "heap_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcompile_test.dir/kcompile_test.cc.o"
+  "CMakeFiles/kcompile_test.dir/kcompile_test.cc.o.d"
+  "kcompile_test"
+  "kcompile_test.pdb"
+  "kcompile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcompile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linux_scheduler_test.dir/linux_scheduler_test.cc.o"
+  "CMakeFiles/linux_scheduler_test.dir/linux_scheduler_test.cc.o.d"
+  "linux_scheduler_test"
+  "linux_scheduler_test.pdb"
+  "linux_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linux_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

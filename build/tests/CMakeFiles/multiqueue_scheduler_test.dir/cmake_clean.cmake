@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiqueue_scheduler_test.dir/multiqueue_scheduler_test.cc.o"
+  "CMakeFiles/multiqueue_scheduler_test.dir/multiqueue_scheduler_test.cc.o.d"
+  "multiqueue_scheduler_test"
+  "multiqueue_scheduler_test.pdb"
+  "multiqueue_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiqueue_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reports_test.dir/reports_test.cc.o"
+  "CMakeFiles/reports_test.dir/reports_test.cc.o.d"
+  "reports_test"
+  "reports_test.pdb"
+  "reports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_ring_test.dir/token_ring_test.cc.o"
+  "CMakeFiles/token_ring_test.dir/token_ring_test.cc.o.d"
+  "token_ring_test"
+  "token_ring_test.pdb"
+  "token_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

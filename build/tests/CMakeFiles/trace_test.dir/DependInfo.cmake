@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/elsc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/elsc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elsc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/smp/CMakeFiles/elsc_smp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/elsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/elsc_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/elsc_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elsc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/elsc_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volano_property_test.dir/volano_property_test.cc.o"
+  "CMakeFiles/volano_property_test.dir/volano_property_test.cc.o.d"
+  "volano_property_test"
+  "volano_property_test.pdb"
+  "volano_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volano_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volano_test.dir/volano_test.cc.o"
+  "CMakeFiles/volano_test.dir/volano_test.cc.o.d"
+  "volano_test"
+  "volano_test.pdb"
+  "volano_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volano_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
