@@ -27,13 +27,19 @@ int main(int argc, char** argv) {
 
   elsc::TextTable table({"decay window", "throughput", "cycles/sched", "new-cpu pick %",
                          "migrations"});
-  for (const uint64_t window : {0ull, 1ull, 4ull, 16ull, 64ull}) {
-    elsc::VolanoConfig volano;
-    volano.rooms = rooms;
-    elsc::MachineConfig machine =
-        MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
-    machine.elsc.affinity_decay_window = window;
-    const elsc::VolanoRun run = RunVolano(machine, volano);
+  const std::vector<uint64_t> windows = {0, 1, 4, 16, 64};
+  const std::vector<elsc::VolanoRun> runs =
+      elsc::RunMatrix(windows.size(), [&windows, rooms](size_t i) {
+        elsc::VolanoConfig volano;
+        volano.rooms = rooms;
+        elsc::MachineConfig machine =
+            MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
+        machine.elsc.affinity_decay_window = windows[i];
+        return RunVolano(machine, volano);
+      });
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const uint64_t window = windows[i];
+    const elsc::VolanoRun& run = runs[i];
     if (!run.result.completed) {
       std::fprintf(stderr, "window=%llu run did not complete!\n",
                    static_cast<unsigned long long>(window));

@@ -24,13 +24,19 @@ int main(int argc, char** argv) {
 
   elsc::TextTable table({"extra", "limit", "throughput", "cycles/sched", "tasks examined",
                          "new-cpu pick %"});
-  for (const int extra : {1, 2, 5, 10, 20, 40}) {
-    elsc::VolanoConfig volano;
-    volano.rooms = rooms;
-    elsc::MachineConfig machine =
-        MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
-    machine.elsc.search_limit_extra = extra;
-    const elsc::VolanoRun run = RunVolano(machine, volano);
+  const std::vector<int> extras = {1, 2, 5, 10, 20, 40};
+  const std::vector<elsc::VolanoRun> runs =
+      elsc::RunMatrix(extras.size(), [&extras, rooms](size_t i) {
+        elsc::VolanoConfig volano;
+        volano.rooms = rooms;
+        elsc::MachineConfig machine =
+            MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
+        machine.elsc.search_limit_extra = extras[i];
+        return RunVolano(machine, volano);
+      });
+  for (size_t i = 0; i < extras.size(); ++i) {
+    const int extra = extras[i];
+    const elsc::VolanoRun& run = runs[i];
     if (!run.result.completed) {
       std::fprintf(stderr, "extra=%d run did not complete!\n", extra);
       return 1;

@@ -27,20 +27,28 @@ int main(int argc, char** argv) {
 
   elsc::TextTable table(
       {"other lists", "divisor", "throughput", "cycles/sched", "tasks examined"});
-  for (const int lists : {1, 2, 5, 10, 20, 40}) {
-    elsc::VolanoConfig volano;
-    volano.rooms = rooms;
-    elsc::MachineConfig machine =
-        MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
-    machine.elsc.table.num_other_lists = lists;
-    machine.elsc.table.goodness_divisor =
-        lists >= kMaxStatic ? 1 : (kMaxStatic + lists - 1) / lists;
-    const elsc::VolanoRun run = RunVolano(machine, volano);
+  const std::vector<int> list_counts = {1, 2, 5, 10, 20, 40};
+  auto divisor_for = [kMaxStatic](int lists) {
+    return lists >= kMaxStatic ? 1 : (kMaxStatic + lists - 1) / lists;
+  };
+  const std::vector<elsc::VolanoRun> runs =
+      elsc::RunMatrix(list_counts.size(), [&list_counts, &divisor_for, rooms](size_t i) {
+        elsc::VolanoConfig volano;
+        volano.rooms = rooms;
+        elsc::MachineConfig machine =
+            MakeMachineConfig(elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc);
+        machine.elsc.table.num_other_lists = list_counts[i];
+        machine.elsc.table.goodness_divisor = divisor_for(list_counts[i]);
+        return RunVolano(machine, volano);
+      });
+  for (size_t i = 0; i < list_counts.size(); ++i) {
+    const int lists = list_counts[i];
+    const elsc::VolanoRun& run = runs[i];
     if (!run.result.completed) {
       std::fprintf(stderr, "lists=%d run did not complete!\n", lists);
       return 1;
     }
-    table.AddRow({std::to_string(lists), std::to_string(machine.elsc.table.goodness_divisor),
+    table.AddRow({std::to_string(lists), std::to_string(divisor_for(lists)),
                   elsc::FmtF(run.result.throughput, 0),
                   elsc::FmtF(run.stats.sched.CyclesPerSchedule(), 0),
                   elsc::FmtF(run.stats.sched.TasksExaminedPerCall(), 2)});

@@ -1,12 +1,35 @@
 #include "bench/experiment_util.h"
 
 #include <cstdio>
-
 #include <cstdlib>
 
 #include "src/base/string_util.h"
 
 namespace elsc {
+
+uint64_t VolanoCellKey(const VolanoCellSpec& spec) {
+  return (static_cast<uint64_t>(spec.kernel) << 48) |
+         (static_cast<uint64_t>(spec.scheduler) << 40) |
+         static_cast<uint64_t>(static_cast<uint32_t>(spec.rooms));
+}
+
+uint64_t ReplicateSeed(const VolanoCellSpec& spec, int replicate) {
+  if (replicate == 0) {
+    return spec.seed;
+  }
+  return DeriveSeed(spec.seed, VolanoCellKey(spec), static_cast<uint64_t>(replicate));
+}
+
+int BenchReplicates() {
+  const char* env = std::getenv("ELSC_BENCH_REPLICATES");
+  if (env != nullptr && env[0] != '\0') {
+    const int replicates = std::atoi(env);
+    if (replicates > 0) {
+      return replicates;
+    }
+  }
+  return 1;
+}
 
 VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms, uint64_t seed) {
   VolanoConfig volano;
@@ -15,11 +38,52 @@ VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms,
   return RunVolano(machine, volano);
 }
 
+std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, int jobs) {
+  return RunMatrix(
+      cells.size(),
+      [&cells](size_t i) {
+        const VolanoCellSpec& spec = cells[i];
+        return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms, spec.seed);
+      },
+      jobs);
+}
+
+std::vector<VolanoCellSummary> RunVolanoCellSummaries(const std::vector<VolanoCellSpec>& cells) {
+  const int replicates = BenchReplicates();
+  const size_t total = cells.size() * static_cast<size_t>(replicates);
+  std::vector<VolanoRun> runs = RunMatrix(total, [&cells, replicates](size_t i) {
+    const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
+    const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
+    return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms,
+                         ReplicateSeed(spec, replicate));
+  });
+  std::vector<VolanoCellSummary> summaries(cells.size());
+  for (size_t c = 0; c < cells.size(); ++c) {
+    VolanoCellSummary& summary = summaries[c];
+    for (int r = 0; r < replicates; ++r) {
+      VolanoRun& run = runs[c * static_cast<size_t>(replicates) + static_cast<size_t>(r)];
+      summary.completed = summary.completed && run.result.completed;
+      summary.throughput.Add(run.result.throughput);
+      if (r == 0) {
+        summary.first = std::move(run);
+      }
+    }
+  }
+  return summaries;
+}
+
 std::string FmtF(double value, int decimals) {
   return StrFormat("%.*f", decimals, value);
 }
 
 std::string FmtI(uint64_t value) { return WithThousandsSeparators(value); }
+
+std::string FmtMeanSd(const Summary& summary, int decimals) {
+  if (summary.count() <= 1) {
+    return FmtF(summary.mean(), decimals);
+  }
+  return FmtF(summary.mean(), decimals) + " ±" + FmtF(summary.stddev(), decimals);
+}
 
 void MaybeExportCsv(const std::string& name, const TextTable& table) {
   const char* dir = std::getenv("ELSC_BENCH_CSV_DIR");
@@ -38,6 +102,12 @@ void PrintBenchHeader(const std::string& experiment, const std::string& descript
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("%s\n", description.c_str());
+  const int jobs = BenchJobs();
+  const int replicates = BenchReplicates();
+  if (jobs != 1 || replicates != 1) {
+    std::printf("(harness: %d job%s, %d replicate%s per cell)\n", jobs, jobs == 1 ? "" : "s",
+                replicates, replicates == 1 ? "" : "s");
+  }
   std::printf("================================================================\n");
 }
 

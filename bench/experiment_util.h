@@ -5,6 +5,12 @@
 // through the public API and print the same rows/series the paper reports,
 // alongside the paper's published values where available so the shapes can
 // be compared directly.
+//
+// Cells are independent simulations, so every bench fans them out through
+// the parallel harness (src/harness/run_matrix.h). ELSC_BENCH_JOBS controls
+// the fan-out (default: all host cores; 1 reproduces the historical serial
+// order), and ELSC_BENCH_REPLICATES > 1 makes the throughput benches report
+// mean ± stddev over independently seeded replicates.
 
 #ifndef BENCH_EXPERIMENT_UTIL_H_
 #define BENCH_EXPERIMENT_UTIL_H_
@@ -14,6 +20,8 @@
 #include <vector>
 
 #include "src/api/simulation.h"
+#include "src/harness/run_matrix.h"
+#include "src/stats/summary.h"
 #include "src/stats/table.h"
 
 namespace elsc {
@@ -36,15 +44,52 @@ inline const char* PaperLabel(SchedulerKind kind) {
   return kind == SchedulerKind::kLinux ? "reg" : SchedulerKindName(kind);
 }
 
+// One VolanoMark cell of an experiment matrix.
+struct VolanoCellSpec {
+  KernelConfig kernel = KernelConfig::kUp;
+  SchedulerKind scheduler = SchedulerKind::kLinux;
+  int rooms = 10;
+  uint64_t seed = 1;
+};
+
+// Stable identity of a cell for seed derivation (independent of its position
+// in any particular bench's matrix).
+uint64_t VolanoCellKey(const VolanoCellSpec& spec);
+
+// Seed for replicate `replicate` of a cell. Replicate 0 uses the cell's own
+// seed (reproducing single-run results exactly); later replicates use
+// DeriveSeed(seed, cell_key, replicate).
+uint64_t ReplicateSeed(const VolanoCellSpec& spec, int replicate);
+
+// ELSC_BENCH_REPLICATES if set to a positive integer, else 1.
+int BenchReplicates();
+
 // Runs one VolanoMark cell (config x scheduler x rooms) to completion.
 VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms,
                         uint64_t seed = 1);
 
+// Runs every cell through the parallel harness; results in spec order.
+// jobs = 0 uses BenchJobs().
+std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, int jobs = 0);
+
+// A cell run BenchReplicates() times with derived seeds.
+struct VolanoCellSummary {
+  VolanoRun first;      // Replicate 0 (the cell's own seed) — stats columns.
+  Summary throughput;   // Over all replicates.
+  bool completed = true;  // All replicates completed.
+};
+
+// Runs cells x BenchReplicates() through the harness; summaries in spec order.
+std::vector<VolanoCellSummary> RunVolanoCellSummaries(const std::vector<VolanoCellSpec>& cells);
+
 // Formatting helpers for table cells.
 std::string FmtF(double value, int decimals = 1);
 std::string FmtI(uint64_t value);
+// "870" for a single replicate, "870 ±12" for several.
+std::string FmtMeanSd(const Summary& summary, int decimals = 0);
 
-// Prints the standard bench header (experiment id + workload summary).
+// Prints the standard bench header (experiment id + workload summary),
+// including the harness job/replicate counts when they differ from 1.
 void PrintBenchHeader(const std::string& experiment, const std::string& description);
 
 // If the ELSC_BENCH_CSV_DIR environment variable is set, writes `table` to

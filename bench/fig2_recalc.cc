@@ -22,11 +22,21 @@ int main(int argc, char** argv) {
                          "recalculate-loop entries during a " + std::to_string(rooms) +
                              "-room VolanoMark run (paper plots this on a log scale)");
 
+  // One cell per (kernel, scheduler); the harness fans them out.
+  std::vector<elsc::VolanoCellSpec> cells;
+  for (const auto kernel : elsc::PaperConfigs()) {
+    for (const auto sched : elsc::PaperSchedulers()) {
+      cells.push_back({kernel, sched, rooms, 1});
+    }
+  }
+  const std::vector<elsc::VolanoRun> runs = RunVolanoCells(cells);
+
   elsc::TextTable table({"config", "reg", "elsc", "reg yield_reruns", "elsc yield_reruns"});
   std::vector<elsc::BarGroup> bars;
+  size_t cell = 0;
   for (const auto kernel : elsc::PaperConfigs()) {
-    const elsc::VolanoRun reg = RunVolanoCell(kernel, elsc::SchedulerKind::kLinux, rooms);
-    const elsc::VolanoRun el = RunVolanoCell(kernel, elsc::SchedulerKind::kElsc, rooms);
+    const elsc::VolanoRun& reg = runs[cell++];
+    const elsc::VolanoRun& el = runs[cell++];
     if (!reg.result.completed || !el.result.completed) {
       std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
       return 1;

@@ -32,6 +32,21 @@ void RunChart(const std::string& title, const std::vector<elsc::KernelConfig>& k
   for (size_t i = 1; i < headers.size(); ++i) {
     series.push_back({headers[i], {}});
   }
+  // The whole chart is one matrix of (rooms x kernel x scheduler) cells,
+  // each replicated ELSC_BENCH_REPLICATES times under derived seeds.
+  std::vector<elsc::VolanoCellSpec> cells;
+  for (const int rooms : elsc::PaperRoomCounts()) {
+    if (rooms > max_rooms) {
+      continue;
+    }
+    for (const auto kernel : kernels) {
+      for (const auto sched : elsc::PaperSchedulers()) {
+        cells.push_back({kernel, sched, rooms, 1});
+      }
+    }
+  }
+  const std::vector<elsc::VolanoCellSummary> summaries = RunVolanoCellSummaries(cells);
+  size_t cell = 0;
   for (const int rooms : elsc::PaperRoomCounts()) {
     if (rooms > max_rooms) {
       continue;
@@ -39,11 +54,11 @@ void RunChart(const std::string& title, const std::vector<elsc::KernelConfig>& k
     x_labels.push_back(std::to_string(rooms));
     std::vector<std::string> row = {std::to_string(rooms)};
     size_t column = 0;
-    for (const auto kernel : kernels) {
-      for (const auto sched : elsc::PaperSchedulers()) {
-        const elsc::VolanoRun run = RunVolanoCell(kernel, sched, rooms);
-        row.push_back(run.result.completed ? elsc::FmtF(run.result.throughput, 0) : "FAIL");
-        series[column++].y.push_back(run.result.throughput);
+    for (size_t k = 0; k < kernels.size(); ++k) {
+      for (size_t s = 0; s < elsc::PaperSchedulers().size(); ++s) {
+        const elsc::VolanoCellSummary& summary = summaries[cell++];
+        row.push_back(summary.completed ? elsc::FmtMeanSd(summary.throughput, 0) : "FAIL");
+        series[column++].y.push_back(summary.throughput.mean());
       }
     }
     table.AddRow(std::move(row));

@@ -22,19 +22,28 @@ int main() {
   elsc::TextTable table({"config", "reg tput@5", "reg tput@20", "reg factor", "elsc tput@5",
                          "elsc tput@20", "elsc factor"});
   std::vector<elsc::BarGroup> bars;
+  std::vector<elsc::VolanoCellSpec> cells;
+  for (const auto kernel : elsc::PaperConfigs()) {
+    for (const auto sched : elsc::PaperSchedulers()) {
+      cells.push_back({kernel, sched, 5, 1});
+      cells.push_back({kernel, sched, 20, 1});
+    }
+  }
+  const std::vector<elsc::VolanoCellSummary> summaries = RunVolanoCellSummaries(cells);
+  size_t cell = 0;
   for (const auto kernel : elsc::PaperConfigs()) {
     std::vector<std::string> row = {KernelConfigLabel(kernel)};
     elsc::BarGroup group{KernelConfigLabel(kernel), {}};
-    for (const auto sched : elsc::PaperSchedulers()) {
-      const elsc::VolanoRun five = RunVolanoCell(kernel, sched, 5);
-      const elsc::VolanoRun twenty = RunVolanoCell(kernel, sched, 20);
-      if (!five.result.completed || !twenty.result.completed) {
+    for (size_t s = 0; s < elsc::PaperSchedulers().size(); ++s) {
+      const elsc::VolanoCellSummary& five = summaries[cell++];
+      const elsc::VolanoCellSummary& twenty = summaries[cell++];
+      if (!five.completed || !twenty.completed) {
         std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
         return 1;
       }
-      const double factor = twenty.result.throughput / five.result.throughput;
-      row.push_back(elsc::FmtF(five.result.throughput, 0));
-      row.push_back(elsc::FmtF(twenty.result.throughput, 0));
+      const double factor = twenty.throughput.mean() / five.throughput.mean();
+      row.push_back(elsc::FmtMeanSd(five.throughput, 0));
+      row.push_back(elsc::FmtMeanSd(twenty.throughput, 0));
       row.push_back(elsc::FmtF(factor, 2));
       group.values.push_back(factor);
     }

@@ -24,9 +24,18 @@ int main(int argc, char** argv) {
                           "reg lock-wait share", "elsc lock-wait share"});
   elsc::TextTable examined({"config", "reg tasks examined", "elsc tasks examined"});
 
+  std::vector<elsc::VolanoCellSpec> cells;
   for (const auto kernel : elsc::PaperConfigs()) {
-    const elsc::VolanoRun reg = RunVolanoCell(kernel, elsc::SchedulerKind::kLinux, rooms);
-    const elsc::VolanoRun el = RunVolanoCell(kernel, elsc::SchedulerKind::kElsc, rooms);
+    for (const auto sched : elsc::PaperSchedulers()) {
+      cells.push_back({kernel, sched, rooms, 1});
+    }
+  }
+  const std::vector<elsc::VolanoRun> runs = RunVolanoCells(cells);
+
+  size_t cell = 0;
+  for (const auto kernel : elsc::PaperConfigs()) {
+    const elsc::VolanoRun& reg = runs[cell++];
+    const elsc::VolanoRun& el = runs[cell++];
     if (!reg.result.completed || !el.result.completed) {
       std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
       return 1;

@@ -22,9 +22,17 @@ int main(int argc, char** argv) {
 
   elsc::TextTable table({"config", "sched", "throughput", "cycles/sched", "lock-wait %",
                          "tasks examined", "new-cpu %", "recalcs"});
+  std::vector<elsc::VolanoCellSpec> cells;
   for (const auto kernel : elsc::PaperConfigs()) {
     for (const auto kind : elsc::AllSchedulerKinds()) {
-      const elsc::VolanoRun run = RunVolanoCell(kernel, kind, rooms);
+      cells.push_back({kernel, kind, rooms, 1});
+    }
+  }
+  const std::vector<elsc::VolanoRun> runs = RunVolanoCells(cells);
+  size_t cell = 0;
+  for (const auto kernel : elsc::PaperConfigs()) {
+    for (const auto kind : elsc::AllSchedulerKinds()) {
+      const elsc::VolanoRun& run = runs[cell++];
       if (!run.result.completed) {
         std::fprintf(stderr, "%s/%s did not complete!\n", KernelConfigLabel(kernel),
                      SchedulerKindName(kind));

@@ -25,21 +25,38 @@ int main(int argc, char** argv) {
 
   elsc::TextTable table({"config", "sched", "req/s", "p50 us", "p95 us", "p99 us", "dropped",
                          "cycles/sched"});
-  for (const auto kernel : {elsc::KernelConfig::kSmp1, elsc::KernelConfig::kSmp4}) {
+  const std::vector<elsc::KernelConfig> kernels = {elsc::KernelConfig::kSmp1,
+                                                   elsc::KernelConfig::kSmp4};
+  struct Cell {
+    elsc::KernelConfig kernel;
+    elsc::SchedulerKind sched;
+  };
+  std::vector<Cell> cell_specs;
+  for (const auto kernel : kernels) {
     for (const auto sched : elsc::PaperSchedulers()) {
-      elsc::WebserverConfig workload;
-      workload.workers = workers;
-      workload.arrival_rate_per_sec = rate;
-      const elsc::MachineConfig machine = MakeMachineConfig(kernel, sched);
-      const elsc::WebserverRun run = RunWebserver(machine, workload);
-      table.AddRow({KernelConfigLabel(kernel), elsc::PaperLabel(sched),
-                    elsc::FmtF(run.result.throughput, 0),
-                    elsc::FmtI(run.result.latency_p50_us),
-                    elsc::FmtI(run.result.latency_p95_us),
-                    elsc::FmtI(run.result.latency_p99_us),
-                    elsc::FmtI(run.result.requests_dropped),
-                    elsc::FmtF(run.stats.sched.CyclesPerSchedule(), 0)});
+      cell_specs.push_back({kernel, sched});
     }
+  }
+  const std::vector<elsc::WebserverRun> runs =
+      elsc::RunMatrix(cell_specs.size(), [&cell_specs, workers, rate](size_t i) {
+        elsc::WebserverConfig workload;
+        workload.workers = workers;
+        workload.arrival_rate_per_sec = rate;
+        const elsc::MachineConfig machine =
+            MakeMachineConfig(cell_specs[i].kernel, cell_specs[i].sched);
+        return RunWebserver(machine, workload);
+      });
+  for (size_t i = 0; i < cell_specs.size(); ++i) {
+    const auto kernel = cell_specs[i].kernel;
+    const auto sched = cell_specs[i].sched;
+    const elsc::WebserverRun& run = runs[i];
+    table.AddRow({KernelConfigLabel(kernel), elsc::PaperLabel(sched),
+                  elsc::FmtF(run.result.throughput, 0),
+                  elsc::FmtI(run.result.latency_p50_us),
+                  elsc::FmtI(run.result.latency_p95_us),
+                  elsc::FmtI(run.result.latency_p99_us),
+                  elsc::FmtI(run.result.requests_dropped),
+                  elsc::FmtF(run.stats.sched.CyclesPerSchedule(), 0)});
   }
   table.Print();
   std::printf(

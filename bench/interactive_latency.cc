@@ -75,11 +75,26 @@ int main(int argc, char** argv) {
     headers.push_back(SchedulerKindName(kind));
   }
   elsc::TextTable table(headers);
-  for (const int hogs : {0, 1, 4, 16, 64}) {
-    std::vector<std::string> row = {std::to_string(hogs)};
+  const std::vector<int> hog_counts = {0, 1, 4, 16, 64};
+  struct Cell {
+    int hogs;
+    elsc::SchedulerKind kind;
+  };
+  std::vector<Cell> cells;
+  for (const int hogs : hog_counts) {
     for (const auto kind : elsc::AllSchedulerKinds()) {
-      const LatencyResult result = MeasureLatency(kernel, kind, hogs);
-      row.push_back(elsc::FmtF(result.mean_us, 1));
+      cells.push_back({hogs, kind});
+    }
+  }
+  const std::vector<LatencyResult> results =
+      elsc::RunMatrix(cells.size(), [&cells, kernel](size_t i) {
+        return MeasureLatency(kernel, cells[i].kind, cells[i].hogs);
+      });
+  size_t cell = 0;
+  for (const int hogs : hog_counts) {
+    std::vector<std::string> row = {std::to_string(hogs)};
+    for (size_t k = 0; k < elsc::AllSchedulerKinds().size(); ++k) {
+      row.push_back(elsc::FmtF(results[cell++].mean_us, 1));
     }
     table.AddRow(std::move(row));
   }

@@ -31,21 +31,44 @@ int main(int argc, char** argv) {
     headers.push_back(SchedulerKindName(kind));
   }
   elsc::TextTable table(headers);
-  for (const int tokens : {1, 2, 4, 8, 16, 32}) {
-    std::vector<std::string> row = {std::to_string(tokens)};
+  const std::vector<int> token_counts = {1, 2, 4, 8, 16, 32};
+  struct Cell {
+    int tokens;
+    elsc::SchedulerKind kind;
+  };
+  struct CellResult {
+    bool done = false;
+    double hop_latency_us = 0.0;
+  };
+  std::vector<Cell> cells;
+  for (const int tokens : token_counts) {
     for (const auto kind : elsc::AllSchedulerKinds()) {
-      elsc::MachineConfig mc = MakeMachineConfig(elsc::KernelConfig::kUp, kind, 1);
-      elsc::Machine machine(mc);
-      elsc::TokenRingConfig rc;
-      rc.tasks = ring_tasks;
-      rc.tokens = tokens;
-      rc.total_hops = hops;
-      elsc::TokenRingWorkload ring(machine, rc);
-      ring.Setup();
-      machine.Start();
-      const bool done =
-          machine.RunUntil([&ring] { return ring.Done(); }, elsc::SecToCycles(3600));
-      row.push_back(done ? elsc::FmtF(ring.Result().hop_latency_us, 1) : "FAIL");
+      cells.push_back({tokens, kind});
+    }
+  }
+  const std::vector<CellResult> results =
+      elsc::RunMatrix(cells.size(), [&cells, ring_tasks, hops](size_t i) {
+        elsc::MachineConfig mc = MakeMachineConfig(elsc::KernelConfig::kUp, cells[i].kind, 1);
+        elsc::Machine machine(mc);
+        elsc::TokenRingConfig rc;
+        rc.tasks = ring_tasks;
+        rc.tokens = cells[i].tokens;
+        rc.total_hops = hops;
+        elsc::TokenRingWorkload ring(machine, rc);
+        ring.Setup();
+        machine.Start();
+        CellResult result;
+        result.done =
+            machine.RunUntil([&ring] { return ring.Done(); }, elsc::SecToCycles(3600));
+        result.hop_latency_us = ring.Result().hop_latency_us;
+        return result;
+      });
+  size_t cell = 0;
+  for (const int tokens : token_counts) {
+    std::vector<std::string> row = {std::to_string(tokens)};
+    for (size_t k = 0; k < elsc::AllSchedulerKinds().size(); ++k) {
+      const CellResult& result = results[cell++];
+      row.push_back(result.done ? elsc::FmtF(result.hop_latency_us, 1) : "FAIL");
     }
     table.AddRow(std::move(row));
   }

@@ -61,9 +61,18 @@ int main(int argc, char** argv) {
       "profile reported 37% (5 rooms) to 55% (25 rooms) of kernel time for reg");
 
   elsc::TextTable table({"rooms", "reg sched %", "elsc sched %"});
-  for (const int rooms : {5, 10, 15, 20, 25}) {
-    const Share reg = MeasureShare(kernel, elsc::SchedulerKind::kLinux, rooms);
-    const Share el = MeasureShare(kernel, elsc::SchedulerKind::kElsc, rooms);
+  const std::vector<int> room_counts = {5, 10, 15, 20, 25};
+  const std::vector<elsc::SchedulerKind> kinds = {elsc::SchedulerKind::kLinux,
+                                                  elsc::SchedulerKind::kElsc};
+  const std::vector<Share> shares =
+      elsc::RunMatrix(room_counts.size() * kinds.size(), [&](size_t i) {
+        return MeasureShare(kernel, kinds[i % kinds.size()],
+                            room_counts[i / kinds.size()]);
+      });
+  size_t cell = 0;
+  for (const int rooms : room_counts) {
+    const Share reg = shares[cell++];
+    const Share el = shares[cell++];
     if (!reg.ok || !el.ok) {
       std::fprintf(stderr, "%d-room run did not complete!\n", rooms);
       return 1;

@@ -42,13 +42,23 @@ int main(int argc, char** argv) {
   };
 
   elsc::TextTable table({"Scheduler", "Measured", "Paper", "stddev_s"});
-  for (const PaperRow& row : rows) {
+  const size_t num_rows = sizeof(rows) / sizeof(rows[0]);
+  // One flat matrix of rows x runs cells; seeds stay run+1 as before.
+  const std::vector<elsc::KcompileRun> results =
+      elsc::RunMatrix(num_rows * static_cast<size_t>(runs), [&rows, runs](size_t i) {
+        const PaperRow& row = rows[i / static_cast<size_t>(runs)];
+        const uint64_t run = i % static_cast<size_t>(runs);
+        const elsc::MachineConfig machine =
+            MakeMachineConfig(row.kernel, row.scheduler, run + 1);
+        const elsc::KcompileConfig workload;  // Calibrated defaults.
+        return RunKcompile(machine, workload);
+      });
+  for (size_t r = 0; r < num_rows; ++r) {
+    const PaperRow& row = rows[r];
     elsc::Summary elapsed;
     for (int run = 0; run < runs; ++run) {
-      const elsc::MachineConfig machine =
-          MakeMachineConfig(row.kernel, row.scheduler, static_cast<uint64_t>(run + 1));
-      const elsc::KcompileConfig workload;  // Calibrated defaults.
-      const elsc::KcompileRun result = RunKcompile(machine, workload);
+      const elsc::KcompileRun& result =
+          results[r * static_cast<size_t>(runs) + static_cast<size_t>(run)];
       if (!result.result.completed) {
         std::fprintf(stderr, "%s run %d did not complete!\n", row.label, run);
         return 1;

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/experiment_util.h"
 
@@ -39,14 +41,25 @@ int main(int argc, char** argv) {
   using elsc::SchedulerKind;
 
   // --- VolanoMark runs the claims are checked against ---
-  const auto reg_up_small = RunVolanoCell(KernelConfig::kUp, SchedulerKind::kLinux, small_rooms);
-  const auto reg_up_large = RunVolanoCell(KernelConfig::kUp, SchedulerKind::kLinux, large_rooms);
-  const auto elsc_up_small = RunVolanoCell(KernelConfig::kUp, SchedulerKind::kElsc, small_rooms);
-  const auto elsc_up_large = RunVolanoCell(KernelConfig::kUp, SchedulerKind::kElsc, large_rooms);
-  const auto reg_4p_small = RunVolanoCell(KernelConfig::kSmp4, SchedulerKind::kLinux, small_rooms);
-  const auto reg_4p_large = RunVolanoCell(KernelConfig::kSmp4, SchedulerKind::kLinux, large_rooms);
-  const auto elsc_4p_small = RunVolanoCell(KernelConfig::kSmp4, SchedulerKind::kElsc, small_rooms);
-  const auto elsc_4p_large = RunVolanoCell(KernelConfig::kSmp4, SchedulerKind::kElsc, large_rooms);
+  const std::vector<elsc::VolanoCellSpec> cells = {
+      {KernelConfig::kUp, SchedulerKind::kLinux, small_rooms, 1},
+      {KernelConfig::kUp, SchedulerKind::kLinux, large_rooms, 1},
+      {KernelConfig::kUp, SchedulerKind::kElsc, small_rooms, 1},
+      {KernelConfig::kUp, SchedulerKind::kElsc, large_rooms, 1},
+      {KernelConfig::kSmp4, SchedulerKind::kLinux, small_rooms, 1},
+      {KernelConfig::kSmp4, SchedulerKind::kLinux, large_rooms, 1},
+      {KernelConfig::kSmp4, SchedulerKind::kElsc, small_rooms, 1},
+      {KernelConfig::kSmp4, SchedulerKind::kElsc, large_rooms, 1},
+  };
+  const std::vector<elsc::VolanoRun> runs = RunVolanoCells(cells);
+  const elsc::VolanoRun& reg_up_small = runs[0];
+  const elsc::VolanoRun& reg_up_large = runs[1];
+  const elsc::VolanoRun& elsc_up_small = runs[2];
+  const elsc::VolanoRun& elsc_up_large = runs[3];
+  const elsc::VolanoRun& reg_4p_small = runs[4];
+  const elsc::VolanoRun& reg_4p_large = runs[5];
+  const elsc::VolanoRun& elsc_4p_small = runs[6];
+  const elsc::VolanoRun& elsc_4p_large = runs[7];
 
   Check(reg_up_small.result.completed && reg_up_large.result.completed &&
             elsc_up_small.result.completed && elsc_up_large.result.completed &&
@@ -118,10 +131,19 @@ int main(int argc, char** argv) {
     kc.mean_compile_cycles = elsc::MsToCycles(50);
     kc.serial_parse_cycles = elsc::SecToCycles(1);
     kc.serial_link_cycles = elsc::SecToCycles(2);
-    const auto reg = RunKcompile(MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kLinux), kc);
-    const auto el = RunKcompile(MakeMachineConfig(KernelConfig::kUp, SchedulerKind::kElsc), kc);
-    const auto reg2 =
-        RunKcompile(MakeMachineConfig(KernelConfig::kSmp2, SchedulerKind::kLinux), kc);
+    const std::vector<std::pair<KernelConfig, SchedulerKind>> compile_cells = {
+        {KernelConfig::kUp, SchedulerKind::kLinux},
+        {KernelConfig::kUp, SchedulerKind::kElsc},
+        {KernelConfig::kSmp2, SchedulerKind::kLinux},
+    };
+    const std::vector<elsc::KcompileRun> compiles =
+        elsc::RunMatrix(compile_cells.size(), [&compile_cells, &kc](size_t i) {
+          return RunKcompile(
+              MakeMachineConfig(compile_cells[i].first, compile_cells[i].second), kc);
+        });
+    const elsc::KcompileRun& reg = compiles[0];
+    const elsc::KcompileRun& el = compiles[1];
+    const elsc::KcompileRun& reg2 = compiles[2];
     Check(reg.result.completed && el.result.completed && reg2.result.completed,
           "Table 2: compiles complete", "completion flags");
     const double diff = std::abs(el.result.elapsed_sec - reg.result.elapsed_sec) /

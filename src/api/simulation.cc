@@ -1,6 +1,7 @@
 #include "src/api/simulation.h"
 
 #include "src/base/assert.h"
+#include "src/base/string_util.h"
 
 namespace elsc {
 
@@ -66,11 +67,51 @@ RunStats CollectStats(const Machine& machine) {
   RunStats stats;
   stats.sched = machine.scheduler().stats();
   stats.machine = machine.stats();
+  stats.events = machine.engine().queue_stats();
   stats.elapsed_sec = CyclesToSec(machine.Now());
   return stats;
 }
 
 }  // namespace
+
+std::string RunStatsDigest(const RunStats& stats) {
+  const SchedStats& s = stats.sched;
+  const MachineStats& m = stats.machine;
+  const EventQueueStats& e = stats.events;
+  std::string out;
+  out += StrFormat("sched:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
+                   static_cast<unsigned long long>(s.schedule_calls),
+                   static_cast<unsigned long long>(s.idle_schedules),
+                   static_cast<unsigned long long>(s.cycles_in_schedule),
+                   static_cast<unsigned long long>(s.lock_wait_cycles),
+                   static_cast<unsigned long long>(s.tasks_examined),
+                   static_cast<unsigned long long>(s.recalc_entries),
+                   static_cast<unsigned long long>(s.recalc_tasks_touched),
+                   static_cast<unsigned long long>(s.picks_new_processor),
+                   static_cast<unsigned long long>(s.picks_prev),
+                   static_cast<unsigned long long>(s.picks_no_affinity),
+                   static_cast<unsigned long long>(s.yield_reruns),
+                   static_cast<unsigned long long>(s.wakeups),
+                   static_cast<unsigned long long>(s.preemption_ipis));
+  out += StrFormat("machine:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
+                   static_cast<unsigned long long>(m.ticks),
+                   static_cast<unsigned long long>(m.context_switches),
+                   static_cast<unsigned long long>(m.migrations),
+                   static_cast<unsigned long long>(m.wakeups),
+                   static_cast<unsigned long long>(m.tasks_created),
+                   static_cast<unsigned long long>(m.tasks_exited),
+                   static_cast<unsigned long long>(m.quantum_expiries),
+                   static_cast<unsigned long long>(m.preempt_requests));
+  out += StrFormat("events:%llu,%llu,%llu,%llu,%llu,%llu|",
+                   static_cast<unsigned long long>(e.scheduled),
+                   static_cast<unsigned long long>(e.fired),
+                   static_cast<unsigned long long>(e.cancelled),
+                   static_cast<unsigned long long>(e.callback_heap_allocs),
+                   static_cast<unsigned long long>(e.slot_allocs),
+                   static_cast<unsigned long long>(e.max_heap_depth));
+  out += StrFormat("elapsed:%a", stats.elapsed_sec);
+  return out;
+}
 
 VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,
                     Cycles deadline) {

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "src/sched/sched_stats.h"
+#include "src/sim/event_queue.h"
 #include "src/smp/machine.h"
 #include "src/workloads/kcompile.h"
 #include "src/workloads/volano.h"
@@ -36,8 +37,16 @@ MachineConfig MakeMachineConfig(KernelConfig config, SchedulerKind scheduler, ui
 struct RunStats {
   SchedStats sched;
   MachineStats machine;
+  // Event hot-path counters: allocations and heap depth (see EventQueueStats).
+  EventQueueStats events;
   double elapsed_sec = 0.0;
 };
+
+// Renders every counter in `stats` into one canonical string (elapsed_sec in
+// hex-float, so no precision is lost). Two runs are bit-identical iff their
+// digests compare equal — this is what the harness determinism test checks
+// across job counts.
+std::string RunStatsDigest(const RunStats& stats);
 
 struct VolanoRun {
   VolanoResult result;

@@ -7,11 +7,11 @@
 
 namespace elsc {
 
-EventId Engine::ScheduleAfter(Cycles delay, std::function<void()> fn) {
+EventId Engine::ScheduleAfter(Cycles delay, EventCallback fn) {
   return queue_.Schedule(now_ + delay, std::move(fn));
 }
 
-EventId Engine::ScheduleAt(Cycles when, std::function<void()> fn) {
+EventId Engine::ScheduleAt(Cycles when, EventCallback fn) {
   ELSC_CHECK_MSG(when >= now_, "event scheduled in the past");
   return queue_.Schedule(when, std::move(fn));
 }

@@ -19,11 +19,13 @@ class Engine {
  public:
   Cycles Now() const { return now_; }
 
-  // Schedules `fn` to run `delay` cycles from now.
-  EventId ScheduleAfter(Cycles delay, std::function<void()> fn);
+  // Schedules `fn` to run `delay` cycles from now. Callbacks are stored in
+  // the small-buffer EventCallback type; lambdas with modest captures (and
+  // std::function values) convert implicitly and allocate nothing.
+  EventId ScheduleAfter(Cycles delay, EventCallback fn);
 
   // Schedules `fn` at absolute time `when`; `when` must be >= Now().
-  EventId ScheduleAt(Cycles when, std::function<void()> fn);
+  EventId ScheduleAt(Cycles when, EventCallback fn);
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
@@ -44,6 +46,10 @@ class Engine {
 
   uint64_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.Size(); }
+
+  // Allocation/depth counters of the underlying event queue (see
+  // EventQueueStats); surfaced through RunStats by the api layer.
+  const EventQueueStats& queue_stats() const { return queue_.stats(); }
 
  private:
   bool Step(Cycles deadline);

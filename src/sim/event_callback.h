@@ -1,0 +1,122 @@
+// Move-only callable with inline (small-buffer) storage, used for event
+// callbacks on the simulator's hottest path.
+//
+// Every simulated context switch, segment end, timer tick, and wakeup
+// schedules a closure; with std::function each of those is a heap
+// allocation. All of this library's event closures capture at most a few
+// pointers and integers, so EventCallback stores up to kInlineSize bytes of
+// captures in place and only falls back to the heap for oversized or
+// throwing-move callables (the EventQueue counts those fallbacks in its
+// stats so regressions are visible).
+
+#ifndef SRC_SIM_EVENT_CALLBACK_H_
+#define SRC_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace elsc {
+
+class EventCallback {
+ public:
+  // Sized for the largest closure the Machine schedules (this + CPU id +
+  // task pointer + cost), with headroom for embedders' callbacks.
+  static constexpr size_t kInlineSize = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::kOps;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the callable did not fit the inline buffer.
+  bool heap_allocated() const { return ops_ != nullptr && ops_->heap; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs the callable from `from` into `to`, destroying `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* storage);
+    bool heap;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); }
+    static void Relocate(void* from, void* to) {
+      Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+      ::new (to) Fn(std::move(*src));
+      src->~Fn();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, false};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* storage) { return *reinterpret_cast<Fn**>(storage); }
+    static void Invoke(void* storage) { (*Get(storage))(); }
+    static void Relocate(void* from, void* to) {
+      *reinterpret_cast<Fn**>(to) = Get(from);
+    }
+    static void Destroy(void* storage) { delete Get(storage); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, true};
+  };
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace elsc
+
+#endif  // SRC_SIM_EVENT_CALLBACK_H_

@@ -2,75 +2,111 @@
 //
 // Events with equal timestamps fire in insertion order (a strict requirement
 // for reproducibility: a timer tick and a segment end at the same cycle must
-// resolve deterministically). Cancellation is lazy: cancelled ids are
-// tombstoned and skipped when they reach the head of the heap.
+// resolve deterministically).
+//
+// Hot-path design: event state lives in a slab of reusable slots indexed by
+// a 4-ary min-heap of slot indices, and callbacks use the small-buffer
+// EventCallback type — so scheduling, firing, and cancelling events allocate
+// nothing in steady state (the slab and heap arrays grow to the high-water
+// mark once and are then recycled). Event ids carry the slot's generation
+// counter, which makes Cancel() exact and O(log n): ids of events that
+// already fired or were cancelled never match a live slot, so there is no
+// tombstone set and no way to corrupt the live count by cancelling a stale
+// id.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/base/time_units.h"
+#include "src/sim/event_callback.h"
 
 namespace elsc {
 
+// Encodes {slot index, slot generation}; 0 is never a valid id.
 using EventId = uint64_t;
+
+// Allocation and depth counters for the event hot path. All steady-state
+// values should be flat: callback_heap_allocs counts closures too big for
+// EventCallback's inline buffer, slot_allocs counts slab growths (bounded by
+// the maximum number of simultaneously pending events).
+struct EventQueueStats {
+  uint64_t scheduled = 0;
+  uint64_t fired = 0;
+  uint64_t cancelled = 0;
+  uint64_t callback_heap_allocs = 0;
+  uint64_t slot_allocs = 0;
+  uint64_t max_heap_depth = 0;
+};
 
 class EventQueue {
  public:
   struct Fired {
     Cycles when = 0;
     EventId id = 0;
-    std::function<void()> fn;
+    EventCallback fn;
   };
 
   // Schedules `fn` to fire at absolute time `when`. Returns an id usable with
   // Cancel().
-  EventId Schedule(Cycles when, std::function<void()> fn);
+  EventId Schedule(Cycles when, EventCallback fn);
 
   // Cancels a pending event. Returns false (no-op) if the event already fired
-  // or was already cancelled.
+  // or was already cancelled — the generation check makes this exact.
   bool Cancel(EventId id);
 
-  bool Empty() const { return live_count_ == 0; }
-  size_t Size() const { return live_count_; }
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
 
   // Time of the earliest pending event. Only valid when !Empty().
-  Cycles NextTime();
+  Cycles NextTime() const;
 
   // Pops and returns the earliest pending event. Only valid when !Empty().
   Fired PopNext();
 
+  const EventQueueStats& stats() const { return stats_; }
+
  private:
-  struct Entry {
-    Cycles when;
-    uint64_t seq;  // Tie-break: insertion order.
-    EventId id;
-    std::function<void()> fn;
+  static constexpr uint32_t kNullIndex = 0xffffffffu;
+
+  struct Slot {
+    Cycles when = 0;
+    uint64_t seq = 0;            // Tie-break: insertion order.
+    EventCallback fn;
+    uint32_t generation = 1;     // Bumped on release; stale ids never match.
+    uint32_t heap_index = kNullIndex;  // kNullIndex when free.
+    uint32_t next_free = kNullIndex;
   };
 
-  struct EntryCompare {
-    // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
-    }
-  };
+  static EventId MakeId(uint32_t index, uint32_t generation) {
+    return (static_cast<uint64_t>(generation) << 32) | (index + 1);
+  }
 
-  // Drops tombstoned entries from the head of the heap.
-  void SkipCancelled();
+  // Earliest time, then insertion order (seq is unique, so this is strict).
+  bool Before(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    return sa.when != sb.when ? sa.when < sb.when : sa.seq < sb.seq;
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
-  std::unordered_set<EventId> cancelled_;
+  uint32_t AcquireSlot();
+  void ReleaseSlot(uint32_t index);
+
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void HeapRemoveAt(size_t pos);
+  void SetHeap(size_t pos, uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_index = static_cast<uint32_t>(pos);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> heap_;  // 4-ary min-heap of slot indices.
+  uint32_t free_head_ = kNullIndex;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  size_t live_count_ = 0;
+  EventQueueStats stats_;
 };
 
 }  // namespace elsc

@@ -115,6 +115,7 @@ class Machine : public Waker {
   // ---- Introspection ----
   Cycles Now() const { return engine_.Now(); }
   Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
   Scheduler& scheduler() { return *scheduler_; }
   const Scheduler& scheduler() const { return *scheduler_; }
   const MachineConfig& config() const { return config_; }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -97,6 +99,138 @@ TEST(EventQueueTest, CancelledHeadIsSkipped) {
   EXPECT_EQ(q.NextTime(), 20u);
   q.PopNext().fn();
   EXPECT_EQ(fired, (std::vector<int>{2}));
+}
+
+TEST(EventQueueTest, CancelAfterFireFailsAndKeepsSizeExact) {
+  // Regression: cancelling an id whose event already fired must be a no-op.
+  // The old tombstone implementation treated any unseen id below the next
+  // counter as pending and decremented its live count, corrupting Empty().
+  EventQueue q;
+  const EventId fired_id = q.Schedule(10, [] {});
+  q.Schedule(20, [] {});
+  q.PopNext();  // Fires (and retires) fired_id.
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_FALSE(q.Cancel(fired_id));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_FALSE(q.Empty());
+  q.PopNext();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.Cancel(fired_id));
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, ReusedSlotGetsFreshIdentity) {
+  // After a slot is recycled, the old event's id must not cancel the new
+  // occupant (generation check).
+  EventQueue q;
+  const EventId old_id = q.Schedule(10, [] {});
+  ASSERT_TRUE(q.Cancel(old_id));
+  int fired = 0;
+  const EventId new_id = q.Schedule(30, [&] { ++fired; });
+  EXPECT_NE(old_id, new_id);
+  EXPECT_FALSE(q.Cancel(old_id));  // Stale generation.
+  EXPECT_EQ(q.Size(), 1u);
+  q.PopNext().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, SameTimestampOrderSurvivesInterleavedCancels) {
+  // Insertion order at an equal timestamp must hold even when events
+  // scheduled between the survivors are cancelled (heap removal swaps
+  // arbitrary elements around internally).
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back(q.Schedule(100, [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 40; i += 2) {
+    EXPECT_TRUE(q.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  while (!q.Empty()) {
+    q.PopNext().fn();
+  }
+  ASSERT_EQ(fired.size(), 20u);
+  for (size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(EventQueueTest, StatsCountSchedulesFiresAndCancels) {
+  EventQueue q;
+  const EventId a = q.Schedule(1, [] {});
+  q.Schedule(2, [] {});
+  q.Schedule(3, [] {});
+  q.Cancel(a);
+  q.PopNext();
+  q.PopNext();
+  const EventQueueStats& stats = q.stats();
+  EXPECT_EQ(stats.scheduled, 3u);
+  EXPECT_EQ(stats.fired, 2u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.max_heap_depth, 3u);
+  EXPECT_EQ(stats.callback_heap_allocs, 0u);  // Small lambdas stay inline.
+}
+
+TEST(EventQueueTest, SlotsAreRecycledNotReallocated) {
+  // Steady-state schedule/pop churn must not grow the slab: slot_allocs is
+  // bounded by the maximum number of simultaneously pending events.
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    q.Schedule(static_cast<Cycles>(round), [] {});
+    q.Schedule(static_cast<Cycles>(round) + 1, [] {});
+    q.PopNext();
+    q.PopNext();
+  }
+  EXPECT_LE(q.stats().slot_allocs, 2u);
+  EXPECT_EQ(q.stats().fired, 2000u);
+}
+
+TEST(EventQueuePropertyTest, CancellationHeavyChurnKeepsExactOrder) {
+  // Heavier mix than the test below: two-thirds of events are cancelled,
+  // forcing constant mid-heap removals and slot reuse, while survivors must
+  // still fire in exact (time, insertion) order.
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    struct Expected {
+      Cycles when;
+      uint64_t order;
+    };
+    std::vector<std::pair<Expected, EventId>> live;
+    uint64_t order = 0;
+    for (int i = 0; i < 2000; ++i) {
+      if (live.empty() || rng.NextBool(0.4)) {
+        const Cycles when = rng.NextBelow(50);  // Dense times => many ties.
+        const EventId id = q.Schedule(when, [] {});
+        live.push_back({{when, order++}, id});
+      } else {
+        const size_t idx = rng.NextBelow(live.size());
+        EXPECT_TRUE(q.Cancel(live[idx].second));
+        live.erase(live.begin() + static_cast<long>(idx));
+        // Double-cancel of the same id must fail.
+        if (!live.empty() && rng.NextBool(0.1)) {
+          const EventId survivor = live[rng.NextBelow(live.size())].second;
+          EXPECT_TRUE(q.Cancel(survivor));
+          EXPECT_FALSE(q.Cancel(survivor));
+          live.erase(std::find_if(live.begin(), live.end(),
+                                  [survivor](const auto& e) { return e.second == survivor; }));
+        }
+      }
+    }
+    ASSERT_EQ(q.Size(), live.size());
+    std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+      return a.first.when != b.first.when ? a.first.when < b.first.when
+                                          : a.first.order < b.first.order;
+    });
+    for (const auto& expected : live) {
+      ASSERT_FALSE(q.Empty());
+      const auto fired = q.PopNext();
+      EXPECT_EQ(fired.when, expected.first.when);
+      EXPECT_EQ(fired.id, expected.second);
+    }
+    EXPECT_TRUE(q.Empty());
+  }
 }
 
 TEST(EventQueuePropertyTest, RandomScheduleCancelMaintainsOrder) {

@@ -1,0 +1,165 @@
+// Tests for the parallel experiment harness: the thread pool, ParallelFor,
+// seed derivation, and — the property the whole design hangs on — that
+// RunMatrix produces bit-identical simulation results whatever the job
+// count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/simulation.h"
+#include "src/harness/run_matrix.h"
+#include "src/harness/thread_pool.h"
+
+namespace elsc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCanBeReusedAcrossRounds) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, CoversEachIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 4, 8}) {
+    std::mutex mu;
+    std::multiset<size_t> seen;
+    ParallelFor(237, jobs, [&](size_t i) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(i);
+    });
+    ASSERT_EQ(seen.size(), 237u) << "jobs=" << jobs;
+    for (size_t i = 0; i < 237; ++i) {
+      EXPECT_EQ(seen.count(i), 1u) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, SerialModeRunsInAscendingOrderOnCallingThread) {
+  std::vector<size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(50, 1, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 50u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp) {
+  ParallelFor(0, 4, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(DeriveSeedTest, DeterministicAndSensitiveToEveryInput) {
+  const uint64_t base = DeriveSeed(1, 2, 3);
+  EXPECT_EQ(DeriveSeed(1, 2, 3), base);
+  EXPECT_NE(DeriveSeed(2, 2, 3), base);
+  EXPECT_NE(DeriveSeed(1, 3, 3), base);
+  EXPECT_NE(DeriveSeed(1, 2, 4), base);
+}
+
+TEST(DeriveSeedTest, SpreadsAcrossReplicatesWithoutCollisionsOrZeros) {
+  std::set<uint64_t> seeds;
+  for (uint64_t cell = 0; cell < 64; ++cell) {
+    for (uint64_t replicate = 0; replicate < 64; ++replicate) {
+      const uint64_t seed = DeriveSeed(1, cell, replicate);
+      EXPECT_NE(seed, 0u);
+      seeds.insert(seed);
+    }
+  }
+  EXPECT_EQ(seeds.size(), 64u * 64u);
+}
+
+TEST(BenchJobsTest, EnvOverrideAndDefault) {
+  ASSERT_EQ(setenv("ELSC_BENCH_JOBS", "3", 1), 0);
+  EXPECT_EQ(BenchJobs(), 3);
+  ASSERT_EQ(setenv("ELSC_BENCH_JOBS", "not-a-number", 1), 0);
+  EXPECT_EQ(BenchJobs(), HardwareJobs());
+  ASSERT_EQ(unsetenv("ELSC_BENCH_JOBS"), 0);
+  EXPECT_EQ(BenchJobs(), HardwareJobs());
+  EXPECT_GE(HardwareJobs(), 1);
+}
+
+// The tentpole property: a matrix of real simulation cells produces
+// bit-identical RunStats whether it runs serially or on four threads.
+TEST(RunMatrixTest, SimulationResultsBitIdenticalAcrossJobCounts) {
+  struct CellSpec {
+    KernelConfig kernel;
+    SchedulerKind scheduler;
+    uint64_t seed;
+  };
+  const std::vector<CellSpec> cells = {
+      {KernelConfig::kUp, SchedulerKind::kLinux, 1},
+      {KernelConfig::kUp, SchedulerKind::kElsc, 1},
+      {KernelConfig::kSmp2, SchedulerKind::kElsc, 7},
+      {KernelConfig::kSmp4, SchedulerKind::kLinux, 7},
+  };
+  auto run_cell = [&cells](size_t i) {
+    VolanoConfig volano;
+    volano.rooms = 1;
+    volano.users_per_room = 8;
+    volano.messages_per_user = 10;
+    const VolanoRun run =
+        RunVolano(MakeMachineConfig(cells[i].kernel, cells[i].scheduler, cells[i].seed),
+                  volano);
+    return RunStatsDigest(run.stats);
+  };
+
+  const std::vector<std::string> serial = RunMatrix(cells.size(), run_cell, 1);
+  for (const int jobs : {2, 4}) {
+    const std::vector<std::string> parallel = RunMatrix(cells.size(), run_cell, jobs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " cell=" << i;
+    }
+  }
+  // And re-running serially reproduces the digests exactly (pure seeding).
+  EXPECT_EQ(RunMatrix(cells.size(), run_cell, 1), serial);
+}
+
+TEST(RunMatrixTest, ResultsLandAtTheirOwnIndex) {
+  const std::vector<size_t> results =
+      RunMatrix(100, [](size_t i) { return i * i; }, 4);
+  ASSERT_EQ(results.size(), 100u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], i * i);
+  }
+}
+
+}  // namespace
+}  // namespace elsc

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/api/simulation.h"
+#include "src/harness/run_matrix.h"
 #include "src/workloads/micro_behaviors.h"
 
 namespace elsc {
@@ -18,17 +21,22 @@ VolanoConfig SmallVolano(int rooms = 2) {
 }
 
 TEST(IntegrationTest, ElscThroughputAtLeastStockOnEveryConfig) {
-  // Paper Figure 3: ELSC meets or beats the stock scheduler everywhere.
-  for (const auto kernel :
-       {KernelConfig::kUp, KernelConfig::kSmp1, KernelConfig::kSmp2, KernelConfig::kSmp4}) {
-    const VolanoRun stock =
-        RunVolano(MakeMachineConfig(kernel, SchedulerKind::kLinux), SmallVolano());
-    const VolanoRun elsc =
-        RunVolano(MakeMachineConfig(kernel, SchedulerKind::kElsc), SmallVolano());
-    ASSERT_TRUE(stock.result.completed) << KernelConfigLabel(kernel);
-    ASSERT_TRUE(elsc.result.completed) << KernelConfigLabel(kernel);
+  // Paper Figure 3: ELSC meets or beats the stock scheduler everywhere. The
+  // eight independent runs fan out through the parallel harness.
+  const std::vector<KernelConfig> kernels = {KernelConfig::kUp, KernelConfig::kSmp1,
+                                             KernelConfig::kSmp2, KernelConfig::kSmp4};
+  const std::vector<VolanoRun> runs = RunMatrix(kernels.size() * 2, [&kernels](size_t i) {
+    const KernelConfig kernel = kernels[i / 2];
+    const SchedulerKind kind = i % 2 == 0 ? SchedulerKind::kLinux : SchedulerKind::kElsc;
+    return RunVolano(MakeMachineConfig(kernel, kind), SmallVolano());
+  });
+  for (size_t k = 0; k < kernels.size(); ++k) {
+    const VolanoRun& stock = runs[k * 2];
+    const VolanoRun& elsc = runs[k * 2 + 1];
+    ASSERT_TRUE(stock.result.completed) << KernelConfigLabel(kernels[k]);
+    ASSERT_TRUE(elsc.result.completed) << KernelConfigLabel(kernels[k]);
     EXPECT_GE(elsc.result.throughput, stock.result.throughput * 0.95)
-        << KernelConfigLabel(kernel);
+        << KernelConfigLabel(kernels[k]);
   }
 }
 
