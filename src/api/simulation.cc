@@ -1,7 +1,10 @@
 #include "src/api/simulation.h"
 
+#include <utility>
+
 #include "src/base/assert.h"
 #include "src/base/string_util.h"
+#include "src/faults/fault_injector.h"
 
 namespace elsc {
 
@@ -72,6 +75,46 @@ RunStats CollectStats(const Machine& machine) {
   return stats;
 }
 
+// Shared run loop for every facade entry point: arms the chaos layer (a
+// no-op when `chaos` is defaulted), traps recoverable invariant violations
+// so a corrupted run degrades into RunStats::failed instead of aborting, and
+// folds the injector/auditor verdicts into the stats.
+template <typename Workload>
+RunStats RunWithChaos(Machine& machine, Workload& workload, Cycles deadline,
+                      const ChaosOptions& chaos) {
+  FaultInjector injector(machine, chaos.faults);
+  SchedulerAuditor auditor(machine, chaos.audit);
+  injector.Arm();
+  auditor.Arm();
+  machine.Start();
+  RunStats stats;
+  {
+    ViolationTrap trap;
+    try {
+      machine.RunUntil([&workload] { return workload.Done(); }, deadline);
+    } catch (const InvariantViolation&) {
+      // Recorded in the trap; fall through and report the partial run.
+    }
+    stats = CollectStats(machine);
+    if (trap.triggered()) {
+      const ViolationInfo& v = trap.info();
+      stats.failed = true;
+      stats.failure = StrFormat("invariant violation: %s at %s:%d%s%s", v.expr,
+                                v.file, v.line, v.msg != nullptr ? " — " : "",
+                                v.msg != nullptr ? v.msg : "");
+    }
+  }
+  stats.faults = injector.stats();
+  stats.audit = auditor.stats();
+  if (auditor.failed()) {
+    stats.failed = true;
+    if (stats.failure.empty()) {
+      stats.failure = auditor.diagnosis();
+    }
+  }
+  return stats;
+}
+
 }  // namespace
 
 std::string RunStatsDigest(const RunStats& stats) {
@@ -93,7 +136,7 @@ std::string RunStatsDigest(const RunStats& stats) {
                    static_cast<unsigned long long>(s.yield_reruns),
                    static_cast<unsigned long long>(s.wakeups),
                    static_cast<unsigned long long>(s.preemption_ipis));
-  out += StrFormat("machine:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
+  out += StrFormat("machine:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
                    static_cast<unsigned long long>(m.ticks),
                    static_cast<unsigned long long>(m.context_switches),
                    static_cast<unsigned long long>(m.migrations),
@@ -101,7 +144,10 @@ std::string RunStatsDigest(const RunStats& stats) {
                    static_cast<unsigned long long>(m.tasks_created),
                    static_cast<unsigned long long>(m.tasks_exited),
                    static_cast<unsigned long long>(m.quantum_expiries),
-                   static_cast<unsigned long long>(m.preempt_requests));
+                   static_cast<unsigned long long>(m.preempt_requests),
+                   static_cast<unsigned long long>(m.ticks_dropped),
+                   static_cast<unsigned long long>(m.cpu_stalls),
+                   static_cast<unsigned long long>(m.lock_stall_cycles));
   out += StrFormat("events:%llu,%llu,%llu,%llu,%llu,%llu|",
                    static_cast<unsigned long long>(e.scheduled),
                    static_cast<unsigned long long>(e.fired),
@@ -109,46 +155,78 @@ std::string RunStatsDigest(const RunStats& stats) {
                    static_cast<unsigned long long>(e.callback_heap_allocs),
                    static_cast<unsigned long long>(e.slot_allocs),
                    static_cast<unsigned long long>(e.max_heap_depth));
+  const FaultStats& f = stats.faults;
+  out += StrFormat("faults:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
+                   static_cast<unsigned long long>(f.tick_drops),
+                   static_cast<unsigned long long>(f.tick_jitters),
+                   static_cast<unsigned long long>(f.storm_bursts),
+                   static_cast<unsigned long long>(f.storm_tasks),
+                   static_cast<unsigned long long>(f.spurious_wakes),
+                   static_cast<unsigned long long>(f.yield_tasks),
+                   static_cast<unsigned long long>(f.cpu_stalls),
+                   static_cast<unsigned long long>(f.lock_stalls));
+  const AuditStats& a = stats.audit;
+  out += StrFormat("audit:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
+                   static_cast<unsigned long long>(a.audits),
+                   static_cast<unsigned long long>(a.picks_audited),
+                   static_cast<unsigned long long>(a.conservation_violations),
+                   static_cast<unsigned long long>(a.counter_violations),
+                   static_cast<unsigned long long>(a.structure_violations),
+                   static_cast<unsigned long long>(a.table_violations),
+                   static_cast<unsigned long long>(a.ordering_violations),
+                   static_cast<unsigned long long>(a.starvation_reports),
+                   static_cast<unsigned long long>(a.livelock_reports));
+  // The failure string is a human-readable diagnosis (not canonical); only
+  // the verdict bit participates in the digest.
+  out += StrFormat("failed:%d|", stats.failed ? 1 : 0);
   out += StrFormat("elapsed:%a", stats.elapsed_sec);
   return out;
 }
 
 VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,
-                    Cycles deadline) {
+                    Cycles deadline, const ChaosOptions& chaos) {
   Machine machine(machine_config);
   VolanoWorkload workload(machine, workload_config);
   workload.Setup();
-  machine.Start();
-  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
   VolanoRun run;
+  run.stats = RunWithChaos(machine, workload, deadline, chaos);
   run.result = workload.Result();
-  run.stats = CollectStats(machine);
   return run;
 }
 
 KcompileRun RunKcompile(const MachineConfig& machine_config,
-                        const KcompileConfig& workload_config, Cycles deadline) {
+                        const KcompileConfig& workload_config, Cycles deadline,
+                        const ChaosOptions& chaos) {
   Machine machine(machine_config);
   KcompileWorkload workload(machine, workload_config);
   workload.Setup();
-  machine.Start();
-  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
   KcompileRun run;
+  run.stats = RunWithChaos(machine, workload, deadline, chaos);
   run.result = workload.Result();
-  run.stats = CollectStats(machine);
   return run;
 }
 
 WebserverRun RunWebserver(const MachineConfig& machine_config,
-                          const WebserverConfig& workload_config, Cycles deadline) {
+                          const WebserverConfig& workload_config, Cycles deadline,
+                          const ChaosOptions& chaos) {
   Machine machine(machine_config);
   WebserverWorkload workload(machine, workload_config);
   workload.Setup();
-  machine.Start();
-  machine.RunUntil([&workload] { return workload.Done(); }, deadline);
   WebserverRun run;
+  run.stats = RunWithChaos(machine, workload, deadline, chaos);
   run.result = workload.Result();
-  run.stats = CollectStats(machine);
+  return run;
+}
+
+ChaosMixRun RunChaosMix(const MachineConfig& machine_config,
+                        const ChaosMixConfig& workload_config, Cycles deadline,
+                        const ChaosOptions& chaos) {
+  Machine machine(machine_config);
+  ChaosMixWorkload workload(machine, workload_config);
+  workload.Setup();
+  ChaosMixRun run;
+  run.stats = RunWithChaos(machine, workload, deadline, chaos);
+  run.result = workload.Result();
   return run;
 }
 

@@ -11,9 +11,12 @@
 
 #include <string>
 
+#include "src/faults/auditor.h"
+#include "src/faults/fault_plan.h"
 #include "src/sched/sched_stats.h"
 #include "src/sim/event_queue.h"
 #include "src/smp/machine.h"
+#include "src/workloads/chaos_mix.h"
 #include "src/workloads/kcompile.h"
 #include "src/workloads/volano.h"
 #include "src/workloads/webserver.h"
@@ -34,11 +37,28 @@ KernelConfig KernelConfigFromLabel(const std::string& label);
 // Applies the kernel configuration to a MachineConfig (cpu count + smp flag).
 MachineConfig MakeMachineConfig(KernelConfig config, SchedulerKind scheduler, uint64_t seed = 1);
 
+// Optional chaos layer for any run: a fault-injection plan plus the
+// invariant auditor/watchdog. Both default to off, so `RunVolano(mc, wc)`
+// behaves exactly as before; pass `{FullChaosPlan(seed), StrictAudit()}` to
+// run the same workload under hostile conditions with every invariant
+// cross-checked.
+struct ChaosOptions {
+  FaultPlan faults;
+  AuditConfig audit;
+};
+
 struct RunStats {
   SchedStats sched;
   MachineStats machine;
   // Event hot-path counters: allocations and heap depth (see EventQueueStats).
   EventQueueStats events;
+  // Chaos layer (all zero when ChaosOptions were defaulted).
+  FaultStats faults;
+  AuditStats audit;
+  // Set when the run was stopped by the watchdog or unwound by a recoverable
+  // invariant violation; `failure` carries the structured diagnosis.
+  bool failed = false;
+  std::string failure;
   double elapsed_sec = 0.0;
 };
 
@@ -63,18 +83,29 @@ struct WebserverRun {
   RunStats stats;
 };
 
+struct ChaosMixRun {
+  ChaosMixResult result;
+  RunStats stats;
+};
+
 // Runs VolanoMark to completion. `deadline` bounds simulated time (default
 // one simulated hour); the run aborts the process if the workload deadlocks
-// past it with completed == false in the result.
+// past it with completed == false in the result. `chaos` (default: off)
+// layers fault injection and the scheduler auditor onto the run.
 VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,
-                    Cycles deadline = SecToCycles(3600));
+                    Cycles deadline = SecToCycles(3600), const ChaosOptions& chaos = {});
 
 KcompileRun RunKcompile(const MachineConfig& machine_config, const KcompileConfig& workload_config,
-                        Cycles deadline = SecToCycles(7200));
+                        Cycles deadline = SecToCycles(7200), const ChaosOptions& chaos = {});
 
 WebserverRun RunWebserver(const MachineConfig& machine_config,
                           const WebserverConfig& workload_config,
-                          Cycles deadline = SecToCycles(3600));
+                          Cycles deadline = SecToCycles(3600), const ChaosOptions& chaos = {});
+
+// Runs the chaos-mix workload (the fault-injection substrate) to drain.
+ChaosMixRun RunChaosMix(const MachineConfig& machine_config,
+                        const ChaosMixConfig& workload_config,
+                        Cycles deadline = SecToCycles(600), const ChaosOptions& chaos = {});
 
 }  // namespace elsc
 

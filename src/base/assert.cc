@@ -1,0 +1,37 @@
+#include "src/base/assert.h"
+
+namespace elsc {
+
+namespace {
+// Innermost active trap for this thread. A plain pointer chain (each trap
+// saves the previous head) keeps nesting O(1) with no allocation.
+thread_local ViolationTrap* g_active_trap = nullptr;
+}  // namespace
+
+ViolationTrap::ViolationTrap() : prev_(g_active_trap) {
+  g_active_trap = this;
+}
+
+ViolationTrap::~ViolationTrap() {
+  g_active_trap = prev_;
+}
+
+ViolationTrap* ViolationTrap::Active() {
+  return g_active_trap;
+}
+
+void VerifyFail(const char* expr, const char* file, int line, const char* msg) {
+  ViolationTrap* trap = ViolationTrap::Active();
+  if (trap == nullptr) {
+    AssertFail(expr, file, line, msg);
+  }
+  ViolationInfo info;
+  info.expr = expr;
+  info.file = file;
+  info.line = line;
+  info.msg = msg;
+  trap->Record(info);
+  throw InvariantViolation{info};
+}
+
+}  // namespace elsc

@@ -3,10 +3,21 @@
 // ELSC_CHECK(cond)      — always-on invariant check; aborts with a message.
 // ELSC_CHECK_MSG(c, m)  — always-on check with an extra human-readable message.
 // ELSC_DCHECK(cond)     — debug-only check, compiled out in NDEBUG builds.
+// ELSC_VERIFY(cond)     — recoverable invariant check: if a ViolationTrap is
+//                         active on this thread the failure is recorded there
+//                         and an InvariantViolation is thrown so the run can
+//                         unwind into a failed RunStats; otherwise it aborts
+//                         exactly like ELSC_CHECK.
+// ELSC_VERIFY_MSG(c, m) — recoverable check with an extra message.
 //
 // These are used instead of <cassert> so that release builds (the default for
 // benchmarks) still validate the simulation's kernel invariants: a scheduler
 // that silently corrupts its run queue produces plausible-looking garbage.
+//
+// Library hot paths (run-queue operations, wait queues, invariant sweeps) use
+// the ELSC_VERIFY variants so that bench matrices and the fault-injection
+// auditor can degrade gracefully; tests and configuration validation keep the
+// hard-aborting ELSC_CHECK.
 
 #ifndef SRC_BASE_ASSERT_H_
 #define SRC_BASE_ASSERT_H_
@@ -25,6 +36,63 @@ namespace elsc {
   std::abort();
 }
 
+// Where an ELSC_VERIFY fired. All members point at string literals baked into
+// the binary, so the struct is trivially copyable and never owns memory.
+struct ViolationInfo {
+  const char* expr = nullptr;
+  const char* file = nullptr;
+  int line = 0;
+  const char* msg = nullptr;  // nullptr when the _MSG variant was not used
+};
+
+// Thrown by ELSC_VERIFY when a ViolationTrap is active on the current thread.
+// Deliberately not derived from std::exception: nothing should catch this by
+// accident — only the run loops that installed a trap.
+struct InvariantViolation {
+  ViolationInfo info;
+};
+
+// Out-of-line failure path for ELSC_VERIFY: records into the active trap and
+// throws InvariantViolation, or falls back to AssertFail when no trap is
+// installed (so library code still fails loudly in tests and direct use).
+[[noreturn]] void VerifyFail(const char* expr, const char* file, int line,
+                             const char* msg);
+
+// RAII scope that makes ELSC_VERIFY failures recoverable on this thread.
+// Traps nest: the innermost active trap receives the violation, and the
+// previous trap (if any) is restored on destruction. Thread-local, so harness
+// worker threads running independent cells never observe each other's traps.
+class ViolationTrap {
+ public:
+  ViolationTrap();
+  ~ViolationTrap();
+
+  ViolationTrap(const ViolationTrap&) = delete;
+  ViolationTrap& operator=(const ViolationTrap&) = delete;
+
+  bool triggered() const { return triggered_; }
+  const ViolationInfo& info() const { return info_; }
+
+  // The innermost active trap on this thread, or nullptr.
+  static ViolationTrap* Active();
+
+ private:
+  friend void VerifyFail(const char* expr, const char* file, int line,
+                         const char* msg);
+
+  void Record(const ViolationInfo& info) {
+    // Keep the first violation: later ones are usually knock-on damage.
+    if (!triggered_) {
+      triggered_ = true;
+      info_ = info;
+    }
+  }
+
+  ViolationTrap* prev_ = nullptr;
+  bool triggered_ = false;
+  ViolationInfo info_;
+};
+
 }  // namespace elsc
 
 #define ELSC_CHECK(cond)                                        \
@@ -38,6 +106,20 @@ namespace elsc {
   do {                                                          \
     if (!(cond)) {                                              \
       ::elsc::AssertFail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                           \
+  } while (0)
+
+#define ELSC_VERIFY(cond)                                       \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::elsc::VerifyFail(#cond, __FILE__, __LINE__, nullptr);   \
+    }                                                           \
+  } while (0)
+
+#define ELSC_VERIFY_MSG(cond, msg)                              \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::elsc::VerifyFail(#cond, __FILE__, __LINE__, (msg));     \
     }                                                           \
   } while (0)
 

@@ -1,0 +1,139 @@
+#include "src/faults/fault_injector.h"
+
+#include <string>
+
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+
+namespace {
+
+// One fork-storm burst: forks `children` short-lived spinner children (one
+// per segment, so the forks interleave with scheduling) and exits.
+class StormForker : public TaskBehavior {
+ public:
+  StormForker(std::vector<std::unique_ptr<TaskBehavior>>* pool, int children,
+              Rng* rng, FaultStats* stats)
+      : pool_(pool), children_(children), rng_(rng), stats_(stats) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    if (forked_ >= children_) {
+      return Segment::Exit(UsToCycles(20));
+    }
+    ++forked_;
+    // Children burn 1-4 ms of work in sub-millisecond bursts, then exit —
+    // the storm is all churn: create, run briefly, die.
+    const Cycles work = MsToCycles(1 + rng_->NextBelow(4));
+    pool_->push_back(std::make_unique<SpinnerBehavior>(UsToCycles(200), work));
+    TaskParams params;
+    params.name = "storm-child";
+    params.behavior = pool_->back().get();
+    machine.ForkTask(&task, params);
+    ++stats_->storm_tasks;
+    return Segment::RunAgain(UsToCycles(50));
+  }
+
+ private:
+  std::vector<std::unique_ptr<TaskBehavior>>* pool_;
+  int children_;
+  Rng* rng_;
+  FaultStats* stats_;
+  int forked_ = 0;
+};
+
+}  // namespace
+
+FaultInjector::FaultInjector(Machine& machine, const FaultPlan& plan)
+    : machine_(machine), plan_(plan), rng_(plan.seed) {}
+
+void FaultInjector::Arm() {
+  Engine& engine = machine_.engine();
+  if (plan_.timer_period > 0) {
+    engine.ScheduleAfter(plan_.timer_period, [this] { TimerChaos(); });
+  }
+  if (plan_.fork_storm_period > 0 && plan_.fork_storm_bursts > 0) {
+    engine.ScheduleAfter(plan_.fork_storm_period, [this] { ForkStormBurst(); });
+  }
+  if (plan_.spurious_wake_period > 0) {
+    engine.ScheduleAfter(plan_.spurious_wake_period, [this] { SpuriousWakeBurst(); });
+  }
+  if (plan_.cpu_stall_period > 0 && plan_.cpu_stall_count > 0) {
+    engine.ScheduleAfter(plan_.cpu_stall_period, [this] { CpuStall(); });
+  }
+  if (plan_.lock_stall_period > 0) {
+    engine.ScheduleAfter(plan_.lock_stall_period, [this] { LockStall(); });
+  }
+  for (int i = 0; i < plan_.yield_hammer_tasks; ++i) {
+    // 2001-era JVM spin locks: tiny burst, sched_yield, repeat.
+    behaviors_.push_back(std::make_unique<YielderBehavior>(
+        UsToCycles(20 + rng_.NextBelow(180)),
+        static_cast<uint64_t>(plan_.yield_hammer_iterations)));
+    TaskParams params;
+    params.name = "yield-hammer-" + std::to_string(i);
+    params.behavior = behaviors_.back().get();
+    machine_.CreateTask(params);
+    ++stats_.yield_tasks;
+  }
+}
+
+void FaultInjector::TimerChaos() {
+  if (plan_.tick_drop_rate > 0.0 && rng_.NextDouble() < plan_.tick_drop_rate) {
+    machine_.InjectTickDrops(1);
+    ++stats_.tick_drops;
+  }
+  if (plan_.tick_jitter_max > 0) {
+    const Cycles jitter = rng_.NextBelow(plan_.tick_jitter_max + 1);
+    if (jitter > 0) {
+      machine_.InjectTickJitter(jitter);
+      ++stats_.tick_jitters;
+    }
+  }
+  machine_.engine().ScheduleAfter(plan_.timer_period, [this] { TimerChaos(); });
+}
+
+void FaultInjector::ForkStormBurst() {
+  behaviors_.push_back(std::make_unique<StormForker>(
+      &behaviors_, plan_.fork_storm_children, &rng_, &stats_));
+  TaskParams params;
+  params.name = "storm-forker-" + std::to_string(storms_launched_);
+  params.behavior = behaviors_.back().get();
+  machine_.CreateTask(params);
+  ++stats_.storm_bursts;
+  ++stats_.storm_tasks;
+  if (++storms_launched_ < plan_.fork_storm_bursts) {
+    machine_.engine().ScheduleAfter(plan_.fork_storm_period, [this] { ForkStormBurst(); });
+  }
+}
+
+void FaultInjector::SpuriousWakeBurst() {
+  const auto& tasks = machine_.all_tasks();
+  if (!tasks.empty()) {
+    for (int i = 0; i < plan_.spurious_wakes_per_burst; ++i) {
+      // Uniform over the whole table, zombies and runnables included:
+      // sleepers get genuinely early wakes, the rest exercise
+      // WakeUpProcess()'s tolerate-spurious-wake early-out.
+      Task* victim = tasks[rng_.NextBelow(tasks.size())].get();
+      machine_.WakeUpProcess(victim);
+      ++stats_.spurious_wakes;
+    }
+  }
+  machine_.engine().ScheduleAfter(plan_.spurious_wake_period, [this] { SpuriousWakeBurst(); });
+}
+
+void FaultInjector::CpuStall() {
+  const int victim = static_cast<int>(
+      rng_.NextBelow(static_cast<uint64_t>(machine_.num_cpus())));
+  machine_.StallCpu(victim, plan_.cpu_stall_duration);
+  ++stats_.cpu_stalls;
+  if (++stalls_launched_ < plan_.cpu_stall_count) {
+    machine_.engine().ScheduleAfter(plan_.cpu_stall_period, [this] { CpuStall(); });
+  }
+}
+
+void FaultInjector::LockStall() {
+  machine_.AddLockHolderStall(plan_.lock_stall_cycles);
+  ++stats_.lock_stalls;
+  machine_.engine().ScheduleAfter(plan_.lock_stall_period, [this] { LockStall(); });
+}
+
+}  // namespace elsc

@@ -1,0 +1,54 @@
+// FaultInjector: drives a FaultPlan against a Machine through the discrete-
+// event engine, so faults are ordinary events — fully deterministic, fully
+// replayable from {machine seed, plan seed}.
+
+#ifndef SRC_FAULTS_FAULT_INJECTOR_H_
+#define SRC_FAULTS_FAULT_INJECTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/faults/fault_plan.h"
+#include "src/kernel/behavior.h"
+#include "src/smp/machine.h"
+
+namespace elsc {
+
+class FaultInjector {
+ public:
+  // The machine must outlive the injector. Arm() before machine.Start().
+  FaultInjector(Machine& machine, const FaultPlan& plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Schedules the plan's recurring fault events and creates the yield-hammer
+  // population. No-op for a disabled plan; call at most once.
+  void Arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  void TimerChaos();
+  void ForkStormBurst();
+  void SpuriousWakeBurst();
+  void CpuStall();
+  void LockStall();
+
+  Machine& machine_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  int storms_launched_ = 0;
+  int stalls_launched_ = 0;
+  // Behaviors backing injected tasks (storm forkers/children, yield
+  // hammers); the Machine holds raw pointers into these, so they live here
+  // for the machine's whole run.
+  std::vector<std::unique_ptr<TaskBehavior>> behaviors_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_FAULTS_FAULT_INJECTOR_H_

@@ -1,0 +1,111 @@
+// Deterministic fault-injection plans (the repo's chaos layer).
+//
+// A FaultPlan is a pure-data description of hostile conditions to inject
+// into a run: timer-tick jitter/loss, fork/exit storms, spurious wait-queue
+// wakeups, sched_yield hammering, CPU stall/hotplug windows, and lock-holder
+// preemption spikes. Everything is derived from `seed`, so a plan replayed
+// against the same machine configuration produces a bit-identical run — the
+// harness fans chaos cells across worker threads exactly like any other
+// matrix cell.
+//
+// All injectors default to off; a default-constructed FaultPlan is a no-op.
+
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "src/base/time_units.h"
+
+namespace elsc {
+
+struct FaultPlan {
+  // Seed for the injector's private RNG (victim choice, jitter magnitudes,
+  // storm shapes). Independent of the machine's own seed.
+  uint64_t seed = 1;
+
+  // -- Timer chaos: every `timer_period`, drop the next tick with
+  //    probability `tick_drop_rate` and add uniform jitter in
+  //    [0, tick_jitter_max] cycles to the timer's next re-arm.
+  Cycles timer_period = 0;  // 0 = off
+  double tick_drop_rate = 0.0;
+  Cycles tick_jitter_max = 0;
+
+  // -- Fork/exit storms: every `fork_storm_period`, create a forker task
+  //    that forks `fork_storm_children` short-lived spinner children and
+  //    exits; at most `fork_storm_bursts` bursts per run.
+  Cycles fork_storm_period = 0;  // 0 = off
+  int fork_storm_children = 0;
+  int fork_storm_bursts = 0;
+
+  // -- Spurious wakeups: every `spurious_wake_period`, WakeUpProcess() is
+  //    called on `spurious_wakes_per_burst` tasks picked uniformly from the
+  //    whole task table — sleepers get genuinely early wakes, runnable and
+  //    zombie victims exercise the tolerate-spurious-wake paths.
+  Cycles spurious_wake_period = 0;  // 0 = off
+  int spurious_wakes_per_burst = 0;
+
+  // -- sched_yield hammering: `yield_hammer_tasks` yield-loop tasks created
+  //    when the injector arms; each yields `yield_hammer_iterations` times
+  //    (tiny bursts) and exits.
+  int yield_hammer_tasks = 0;  // 0 = off
+  int yield_hammer_iterations = 0;
+
+  // -- CPU stall/hotplug: every `cpu_stall_period`, one uniformly-chosen CPU
+  //    stops taking ticks and executing for `cpu_stall_duration`, then
+  //    rejoins; at most `cpu_stall_count` stalls per run.
+  Cycles cpu_stall_period = 0;  // 0 = off
+  Cycles cpu_stall_duration = 0;
+  int cpu_stall_count = 0;
+
+  // -- Lock-holder preemption: every `lock_stall_period`, the next
+  //    schedule() pick holds the global run-queue lock `lock_stall_cycles`
+  //    longer (per-CPU-queue schedulers ignore this — they never take it).
+  Cycles lock_stall_period = 0;  // 0 = off
+  Cycles lock_stall_cycles = 0;
+
+  bool Enabled() const {
+    return timer_period > 0 || fork_storm_period > 0 ||
+           spurious_wake_period > 0 || yield_hammer_tasks > 0 ||
+           cpu_stall_period > 0 || lock_stall_period > 0;
+  }
+};
+
+// What the injector actually did; part of RunStats so chaos benches can
+// report per-injector activity next to the audit verdict.
+struct FaultStats {
+  uint64_t tick_drops = 0;      // Ticks lost.
+  uint64_t tick_jitters = 0;    // Re-arms perturbed.
+  uint64_t storm_bursts = 0;    // Fork storms launched.
+  uint64_t storm_tasks = 0;     // Tasks created by storms (forkers + children).
+  uint64_t spurious_wakes = 0;  // WakeUpProcess() calls injected.
+  uint64_t yield_tasks = 0;     // Yield-hammer tasks created.
+  uint64_t cpu_stalls = 0;      // Stall windows entered.
+  uint64_t lock_stalls = 0;     // Lock-holder spikes injected.
+};
+
+// Every injector on at moderate intensity — the chaos-smoke preset.
+inline FaultPlan FullChaosPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.timer_period = MsToCycles(30);
+  plan.tick_drop_rate = 0.25;
+  plan.tick_jitter_max = MsToCycles(2);
+  plan.fork_storm_period = MsToCycles(250);
+  plan.fork_storm_children = 4;
+  plan.fork_storm_bursts = 8;
+  plan.spurious_wake_period = MsToCycles(20);
+  plan.spurious_wakes_per_burst = 3;
+  plan.yield_hammer_tasks = 4;
+  plan.yield_hammer_iterations = 60;
+  plan.cpu_stall_period = MsToCycles(400);
+  plan.cpu_stall_duration = MsToCycles(50);
+  plan.cpu_stall_count = 6;
+  plan.lock_stall_period = MsToCycles(80);
+  plan.lock_stall_cycles = UsToCycles(500);
+  return plan;
+}
+
+}  // namespace elsc
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -5,13 +5,13 @@
 namespace elsc {
 
 void WaitQueue::Enqueue(Task* task) {
-  ELSC_CHECK_MSG(task->waiting_on == nullptr, "task already on a wait queue");
+  ELSC_VERIFY_MSG(task->waiting_on == nullptr, "task already on a wait queue");
   ListAddTail(&task->wait_node, &head_);
   task->waiting_on = this;
 }
 
 void WaitQueue::Remove(Task* task) {
-  ELSC_CHECK_MSG(task->waiting_on == this, "task not on this wait queue");
+  ELSC_VERIFY_MSG(task->waiting_on == this, "task not on this wait queue");
   ListDel(&task->wait_node);
   task->wait_node.next = nullptr;
   task->wait_node.prev = nullptr;

@@ -42,7 +42,7 @@ void ElscRunQueue::UpdateTopsAfterInsert(int index, const Task& task) {
 }
 
 void ElscRunQueue::Insert(Task* task) {
-  ELSC_CHECK_MSG(task->run_list_index == kNoList, "task already in an ELSC list");
+  ELSC_VERIFY_MSG(task->run_list_index == kNoList, "task already in an ELSC list");
   const int index = IndexFor(*task);
   if (IsRtList(index) || task->counter != 0) {
     // Schedulable now: front of the list, like the stock scheduler's
@@ -61,10 +61,10 @@ void ElscRunQueue::Insert(Task* task) {
 
 void ElscRunQueue::Remove(Task* task) {
   const int index = task->run_list_index;
-  ELSC_CHECK_MSG(index != kNoList, "task not in any ELSC list");
+  ELSC_VERIFY_MSG(index != kNoList, "task not in any ELSC list");
   ListDel(&task->run_list);
   task->run_list_index = kNoList;
-  ELSC_CHECK(sizes_[index] > 0);
+  ELSC_VERIFY(sizes_[index] > 0);
   --sizes_[index];
   --total_;
   if (index == top_ || index == next_top_) {
@@ -111,7 +111,7 @@ bool ElscRunQueue::HasExhaustedTask(int index) const {
 
 void ElscRunQueue::MoveFirstInSection(Task* task) {
   const int index = task->run_list_index;
-  ELSC_CHECK(index != kNoList);
+  ELSC_VERIFY(index != kNoList);
   ListHead* head = &lists_[index];
   if (IsRtList(index) || task->counter != 0) {
     ListMove(&task->run_list, head);
@@ -136,7 +136,7 @@ void ElscRunQueue::MoveFirstInSection(Task* task) {
 
 void ElscRunQueue::MoveLastInSection(Task* task) {
   const int index = task->run_list_index;
-  ELSC_CHECK(index != kNoList);
+  ELSC_VERIFY(index != kNoList);
   ListHead* head = &lists_[index];
   if (!IsRtList(index) && task->counter == 0) {
     ListMoveTail(&task->run_list, head);
@@ -204,25 +204,25 @@ void ElscRunQueue::CheckInvariants(size_t expected_in_lists) const {
     size_t list_count = 0;
     bool seen_exhausted = false;
     for (const ListHead* node = head->next; node != head; node = node->next) {
-      ELSC_CHECK(node->next->prev == node);
-      ELSC_CHECK(node->prev->next == node);
+      ELSC_VERIFY(node->next->prev == node);
+      ELSC_VERIFY(node->prev->next == node);
       const Task* p = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
-      ELSC_CHECK_MSG(p->run_list_index == i, "task's cached list index is wrong");
-      ELSC_CHECK_MSG(p->state == TaskState::kRunning, "non-runnable task in ELSC table");
+      ELSC_VERIFY_MSG(p->run_list_index == i, "task's cached list index is wrong");
+      ELSC_VERIFY_MSG(p->state == TaskState::kRunning, "non-runnable task in ELSC table");
       if (IsRtList(i)) {
-        ELSC_CHECK_MSG(PolicyIsRealtime(p->policy), "non-RT task in an RT list");
+        ELSC_VERIFY_MSG(PolicyIsRealtime(p->policy), "non-RT task in an RT list");
       } else {
-        ELSC_CHECK_MSG(!PolicyIsRealtime(p->policy), "RT task in a SCHED_OTHER list");
+        ELSC_VERIFY_MSG(!PolicyIsRealtime(p->policy), "RT task in a SCHED_OTHER list");
         if (p->counter == 0) {
           seen_exhausted = true;
         } else {
-          ELSC_CHECK_MSG(!seen_exhausted, "active task behind an exhausted task in a list");
+          ELSC_VERIFY_MSG(!seen_exhausted, "active task behind an exhausted task in a list");
         }
       }
       ++list_count;
-      ELSC_CHECK_MSG(list_count <= total_ + 1, "ELSC list corrupt (cycle?)");
+      ELSC_VERIFY_MSG(list_count <= total_ + 1, "ELSC list corrupt (cycle?)");
     }
-    ELSC_CHECK_MSG(list_count == sizes_[i], "ELSC per-list size counter out of sync");
+    ELSC_VERIFY_MSG(list_count == sizes_[i], "ELSC per-list size counter out of sync");
     counted += list_count;
     if (expect_top == kNoList && HasActiveTask(i)) {
       expect_top = i;
@@ -231,10 +231,10 @@ void ElscRunQueue::CheckInvariants(size_t expected_in_lists) const {
       expect_next_top = i;
     }
   }
-  ELSC_CHECK_MSG(counted == total_, "ELSC total size out of sync");
-  ELSC_CHECK_MSG(counted == expected_in_lists, "ELSC table population unexpected");
-  ELSC_CHECK_MSG(top_ == expect_top, "ELSC top pointer stale");
-  ELSC_CHECK_MSG(next_top_ == expect_next_top, "ELSC next_top pointer stale");
+  ELSC_VERIFY_MSG(counted == total_, "ELSC total size out of sync");
+  ELSC_VERIFY_MSG(counted == expected_in_lists, "ELSC table population unexpected");
+  ELSC_VERIFY_MSG(top_ == expect_top, "ELSC top pointer stale");
+  ELSC_VERIFY_MSG(next_top_ == expect_next_top, "ELSC next_top pointer stale");
 }
 
 }  // namespace elsc

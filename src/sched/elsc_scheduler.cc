@@ -19,14 +19,14 @@ ElscScheduler::ElscScheduler(const CostModel& cost_model, TaskList* all_tasks,
 }
 
 void ElscScheduler::AddToRunQueue(Task* task) {
-  ELSC_CHECK_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
+  ELSC_VERIFY_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
   table_.Insert(task);
   ++nr_running_;
   ++stats_.wakeups;
 }
 
 void ElscScheduler::DelFromRunQueue(Task* task) {
-  ELSC_CHECK_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
+  ELSC_VERIFY_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
   if (task->run_list_index != ElscRunQueue::kNoList) {
     table_.Remove(task);
   }
@@ -275,7 +275,7 @@ void ElscScheduler::CheckInvariants() const {
   // full machine context assert the exact split; here verify table-internal
   // consistency only.
   table_.CheckInvariants(table_.TotalSize());
-  ELSC_CHECK_MSG(table_.TotalSize() <= nr_running_,
+  ELSC_VERIFY_MSG(table_.TotalSize() <= nr_running_,
                  "more tasks in the ELSC table than on the run queue");
 }
 

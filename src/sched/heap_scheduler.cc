@@ -67,7 +67,7 @@ void HeapScheduler::SiftDown(size_t index) {
 }
 
 void HeapScheduler::HeapPush(Task* task, CostMeter* meter, long key_penalty) {
-  ELSC_CHECK_MSG(task->heap_index == -1, "task already in run-queue heap");
+  ELSC_VERIFY_MSG(task->heap_index == -1, "task already in run-queue heap");
   heap_.push_back(task);
   keys_.push_back(KeyOf(*task) - key_penalty);
   task->heap_index = static_cast<int>(heap_.size() - 1);
@@ -76,7 +76,7 @@ void HeapScheduler::HeapPush(Task* task, CostMeter* meter, long key_penalty) {
 }
 
 Task* HeapScheduler::HeapPopAt(size_t index, CostMeter* meter) {
-  ELSC_CHECK(index < heap_.size());
+  ELSC_VERIFY(index < heap_.size());
   Task* removed = heap_[index];
   const size_t last = heap_.size() - 1;
   if (index != last) {
@@ -96,7 +96,7 @@ Task* HeapScheduler::HeapPopAt(size_t index, CostMeter* meter) {
 }
 
 void HeapScheduler::AddToRunQueue(Task* task) {
-  ELSC_CHECK_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
+  ELSC_VERIFY_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
   task->run_list.next = &task->run_list;  // "On the run queue" marker.
   task->run_list.prev = &task->run_list;
   HeapPush(task, nullptr);
@@ -105,7 +105,7 @@ void HeapScheduler::AddToRunQueue(Task* task) {
 }
 
 void HeapScheduler::DelFromRunQueue(Task* task) {
-  ELSC_CHECK_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
+  ELSC_VERIFY_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
   if (task->heap_index != -1) {
     HeapPopAt(static_cast<size_t>(task->heap_index), nullptr);
   }
@@ -196,14 +196,14 @@ Task* HeapScheduler::Schedule(int this_cpu, Task* prev, CostMeter& meter) {
 }
 
 void HeapScheduler::CheckInvariants() const {
-  ELSC_CHECK(heap_.size() == keys_.size());
-  ELSC_CHECK_MSG(heap_.size() <= nr_running_, "more tasks in heap than on run queue");
+  ELSC_VERIFY(heap_.size() == keys_.size());
+  ELSC_VERIFY_MSG(heap_.size() <= nr_running_, "more tasks in heap than on run queue");
   for (size_t i = 0; i < heap_.size(); ++i) {
-    ELSC_CHECK_MSG(heap_[i]->heap_index == static_cast<int>(i), "heap_index out of sync");
-    ELSC_CHECK_MSG(heap_[i]->state == TaskState::kRunning, "non-runnable task in heap");
+    ELSC_VERIFY_MSG(heap_[i]->heap_index == static_cast<int>(i), "heap_index out of sync");
+    ELSC_VERIFY_MSG(heap_[i]->state == TaskState::kRunning, "non-runnable task in heap");
     if (i > 0) {
       const size_t parent = (i - 1) / 2;
-      ELSC_CHECK_MSG(keys_[parent] >= keys_[i], "heap property violated");
+      ELSC_VERIFY_MSG(keys_[parent] >= keys_[i], "heap property violated");
     }
   }
 }

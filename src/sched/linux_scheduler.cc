@@ -8,7 +8,7 @@
 namespace elsc {
 
 void LinuxScheduler::AddToRunQueue(Task* task) {
-  ELSC_CHECK_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
+  ELSC_VERIFY_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
   // Newly created or awakened tasks go to the *front* of the run queue
   // (paper §3.2): list_add(&p->run_list, &runqueue_head).
   ListAdd(&task->run_list, &runqueue_head_);
@@ -17,7 +17,7 @@ void LinuxScheduler::AddToRunQueue(Task* task) {
 }
 
 void LinuxScheduler::DelFromRunQueue(Task* task) {
-  ELSC_CHECK_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
+  ELSC_VERIFY_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
   --nr_running_;
   ListDel(&task->run_list);
   // The kernel marks "off the run queue" by nulling only the next pointer.
@@ -26,12 +26,12 @@ void LinuxScheduler::DelFromRunQueue(Task* task) {
 }
 
 void LinuxScheduler::MoveFirstRunQueue(Task* task) {
-  ELSC_CHECK(task->OnRunQueue());
+  ELSC_VERIFY(task->OnRunQueue());
   ListMove(&task->run_list, &runqueue_head_);
 }
 
 void LinuxScheduler::MoveLastRunQueue(Task* task) {
-  ELSC_CHECK(task->OnRunQueue());
+  ELSC_VERIFY(task->OnRunQueue());
   ListMoveTail(&task->run_list, &runqueue_head_);
 }
 
@@ -136,18 +136,18 @@ void LinuxScheduler::CheckInvariants() const {
   // matches nr_running, and every member must be TASK_RUNNING.
   size_t count = 0;
   for (const ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
-    ELSC_CHECK(node->next->prev == node);
-    ELSC_CHECK(node->prev->next == node);
+    ELSC_VERIFY(node->next->prev == node);
+    ELSC_VERIFY(node->prev->next == node);
     const Task* p = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
     // A task that just marked itself INTERRUPTIBLE stays on the queue until
     // its own schedule() call removes it (it still has the CPU meanwhile) —
     // exactly the kernel's window between set_current_state and schedule().
-    ELSC_CHECK_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
+    ELSC_VERIFY_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
                    "non-runnable task on run queue");
     ++count;
-    ELSC_CHECK_MSG(count <= all_tasks_->size() + 1, "run queue list is corrupt (cycle?)");
+    ELSC_VERIFY_MSG(count <= all_tasks_->size() + 1, "run queue list is corrupt (cycle?)");
   }
-  ELSC_CHECK_MSG(count == nr_running_, "nr_running out of sync with run queue length");
+  ELSC_VERIFY_MSG(count == nr_running_, "nr_running out of sync with run queue length");
 }
 
 }  // namespace elsc

@@ -25,7 +25,7 @@ int MultiQueueScheduler::HomeQueue(const Task& task) const {
 }
 
 void MultiQueueScheduler::AddToRunQueue(Task* task) {
-  ELSC_CHECK_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
+  ELSC_VERIFY_MSG(!task->OnRunQueue(), "add_to_runqueue: task already on run queue");
   const int q = HomeQueue(*task);
   ListAdd(&task->run_list, &queues_[static_cast<size_t>(q)].head);
   task->run_list_index = q;
@@ -35,25 +35,25 @@ void MultiQueueScheduler::AddToRunQueue(Task* task) {
 }
 
 void MultiQueueScheduler::DelFromRunQueue(Task* task) {
-  ELSC_CHECK_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
+  ELSC_VERIFY_MSG(task->OnRunQueue(), "del_from_runqueue: task not on run queue");
   const int q = task->run_list_index;
-  ELSC_CHECK(q >= 0 && q < config_.num_cpus);
+  ELSC_VERIFY(q >= 0 && q < config_.num_cpus);
   ListDel(&task->run_list);
   task->run_list.next = nullptr;
   task->run_list.prev = nullptr;
   task->run_list_index = -1;
-  ELSC_CHECK(sizes_[static_cast<size_t>(q)] > 0);
+  ELSC_VERIFY(sizes_[static_cast<size_t>(q)] > 0);
   --sizes_[static_cast<size_t>(q)];
   --nr_running_;
 }
 
 void MultiQueueScheduler::MoveFirstRunQueue(Task* task) {
-  ELSC_CHECK(task->OnRunQueue());
+  ELSC_VERIFY(task->OnRunQueue());
   ListMove(&task->run_list, &queues_[static_cast<size_t>(task->run_list_index)].head);
 }
 
 void MultiQueueScheduler::MoveLastRunQueue(Task* task) {
-  ELSC_CHECK(task->OnRunQueue());
+  ELSC_VERIFY(task->OnRunQueue());
   ListMoveTail(&task->run_list, &queues_[static_cast<size_t>(task->run_list_index)].head);
 }
 
@@ -207,20 +207,20 @@ void MultiQueueScheduler::CheckInvariants() const {
     const ListHead* head = &queues_[static_cast<size_t>(q)].head;
     size_t count = 0;
     for (const ListHead* node = head->next; node != head; node = node->next) {
-      ELSC_CHECK(node->next->prev == node);
-      ELSC_CHECK(node->prev->next == node);
+      ELSC_VERIFY(node->next->prev == node);
+      ELSC_VERIFY(node->prev->next == node);
       const Task* p = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
-      ELSC_CHECK_MSG(p->run_list_index == q, "multiqueue task in wrong queue");
+      ELSC_VERIFY_MSG(p->run_list_index == q, "multiqueue task in wrong queue");
       // Mid-block window: see LinuxScheduler::CheckInvariants.
-      ELSC_CHECK_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
+      ELSC_VERIFY_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
                      "non-runnable task on a run queue");
       ++count;
-      ELSC_CHECK_MSG(count <= nr_running_ + 1, "multiqueue list corrupt (cycle?)");
+      ELSC_VERIFY_MSG(count <= nr_running_ + 1, "multiqueue list corrupt (cycle?)");
     }
-    ELSC_CHECK_MSG(count == sizes_[static_cast<size_t>(q)], "queue size counter out of sync");
+    ELSC_VERIFY_MSG(count == sizes_[static_cast<size_t>(q)], "queue size counter out of sync");
     total += count;
   }
-  ELSC_CHECK_MSG(total == nr_running_, "nr_running out of sync with queues");
+  ELSC_VERIFY_MSG(total == nr_running_, "nr_running out of sync with queues");
 }
 
 }  // namespace elsc

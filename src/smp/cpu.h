@@ -48,6 +48,10 @@ struct Cpu {
   // When the current idle period began (valid while current == nullptr).
   Cycles idle_since = 0;
 
+  // Fault injection: a stalled CPU takes no ticks, installs no segments and
+  // defers preemption requests until Machine::ResumeCpu() rejoins it.
+  bool stalled = false;
+
   CpuStats stats;
 
   bool IsIdle() const { return current == nullptr; }

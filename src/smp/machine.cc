@@ -99,6 +99,10 @@ bool Machine::RunUntilAllExited(Cycles deadline) {
 
 void Machine::RequestSchedule(int cpu_id) {
   Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  if (c.stalled) {
+    c.need_resched = true;  // Re-examined when the CPU rejoins.
+    return;
+  }
   if (c.schedule_pending) {
     return;
   }
@@ -136,6 +140,9 @@ void Machine::DoSchedule(int cpu_id) {
   CostMeter meter(config_.cost_model);
   Task* next = scheduler_->Schedule(cpu_id, prev, meter);
   CheckInvariantsIfEnabled();
+  if (pick_observer_) {
+    pick_observer_(cpu_id, prev, next);
+  }
 
   // Claim the pick immediately: between here and the dispatch event another
   // CPU may run its own schedule() (always possible for per-CPU-queue
@@ -146,7 +153,14 @@ void Machine::DoSchedule(int cpu_id) {
     next->has_cpu = 1;
   }
 
-  const Cycles pick_cost = meter.cycles();
+  Cycles pick_cost = meter.cycles();
+  if (pending_lock_stall_ > 0 && scheduler_->uses_global_lock()) {
+    // Lock-holder preemption spike: this pick holds the run-queue lock
+    // longer, so every waiter behind it eats the delay too.
+    pick_cost += pending_lock_stall_;
+    stats_.lock_stall_cycles += pending_lock_stall_;
+    pending_lock_stall_ = 0;
+  }
   engine_.ScheduleAfter(pick_cost,
                         [this, cpu_id, next, pick_cost] { FinishSchedule(cpu_id, next, pick_cost); });
 }
@@ -257,6 +271,9 @@ Segment Machine::FetchSegment(Task* task) {
 
 void Machine::InstallSegment(int cpu_id, Cycles overhead) {
   Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  if (c.stalled) {
+    return;  // Parked; ResumeCpu() re-installs the segment at rejoin.
+  }
   Task* task = c.current;
   ELSC_CHECK(task != nullptr);
 
@@ -400,6 +417,10 @@ void Machine::ExitTask(int cpu_id, Task* task) {
 
 void Machine::PreemptCpu(int cpu_id) {
   Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  if (c.stalled) {
+    c.need_resched = true;  // Honored when the CPU rejoins.
+    return;
+  }
   if (c.schedule_pending) {
     return;  // Already on its way into schedule().
   }
@@ -421,6 +442,10 @@ void Machine::PreemptCpu(int cpu_id) {
 void Machine::RescheduleIdle(Task* woken) {
   if (!config_.smp) {
     Cpu& c = *cpus_[0];
+    if (c.stalled) {
+      c.need_resched = true;
+      return;
+    }
     if (c.schedule_pending) {
       // The pick in flight predates this wakeup; re-run schedule() right
       // after it completes so the woken task is considered.
@@ -443,12 +468,12 @@ void Machine::RescheduleIdle(Task* woken) {
   // then any idle CPU, then the CPU whose current task it beats by the
   // largest preemption-goodness margin.
   Cpu& last = *cpus_[static_cast<size_t>(woken->processor)];
-  if (last.current == nullptr && !last.schedule_pending) {
+  if (last.current == nullptr && !last.schedule_pending && !last.stalled) {
     RequestSchedule(last.id);
     return;
   }
   for (auto& cpu : cpus_) {
-    if (cpu->current == nullptr && !cpu->schedule_pending) {
+    if (cpu->current == nullptr && !cpu->schedule_pending && !cpu->stalled) {
       RequestSchedule(cpu->id);
       return;
     }
@@ -457,7 +482,10 @@ void Machine::RescheduleIdle(Task* woken) {
   long best_delta = 0;
   bool all_pending = true;
   for (auto& cpu : cpus_) {
-    if (cpu->schedule_pending || cpu->current == nullptr) {
+    // Stalled CPUs are unavailable for preemption; if every CPU is stalled
+    // or mid-schedule(), the all_pending fallback below parks the wake on
+    // the home CPU's need_resched, honored at rejoin.
+    if (cpu->stalled || cpu->schedule_pending || cpu->current == nullptr) {
       continue;
     }
     all_pending = false;
@@ -564,6 +592,14 @@ double Machine::LoadAvg(int which) const {
 }
 
 void Machine::OnTimerTick() {
+  if (pending_tick_drops_ > 0) {
+    // Injected tick loss: the interrupt never happens — no counter decay, no
+    // quantum expiry, no load sampling — but the timer stays armed.
+    --pending_tick_drops_;
+    ++stats_.ticks_dropped;
+    RearmTimer();
+    return;
+  }
   ++stats_.ticks;
   // calc_load(): every 5 seconds (500 ticks at HZ=100), fold nr_running into
   // the exponentially-damped 1/5/15-minute averages.
@@ -578,6 +614,9 @@ void Machine::OnTimerTick() {
     }
   }
   for (auto& cpu : cpus_) {
+    if (cpu->stalled) {
+      continue;  // A stalled CPU takes no ticks.
+    }
     Task* task = cpu->current;
     if (task == nullptr) {
       continue;
@@ -601,7 +640,50 @@ void Machine::OnTimerTick() {
       }
     }
   }
-  engine_.ScheduleAfter(kTickCycles, [this] { OnTimerTick(); });
+  RearmTimer();
+}
+
+void Machine::RearmTimer() {
+  const Cycles delay = kTickCycles + pending_tick_jitter_;
+  pending_tick_jitter_ = 0;
+  engine_.ScheduleAfter(delay, [this] { OnTimerTick(); });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+void Machine::StallCpu(int cpu_id, Cycles duration) {
+  ELSC_CHECK(cpu_id >= 0 && cpu_id < num_cpus());
+  Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  if (c.stalled || duration == 0) {
+    return;
+  }
+  c.stalled = true;
+  ++stats_.cpu_stalls;
+  if (c.segment_event != 0) {
+    StopSegment(cpu_id);  // Credits partial work; the segment stays active.
+  }
+  engine_.ScheduleAfter(duration, [this, cpu_id] { ResumeCpu(cpu_id); });
+}
+
+void Machine::ResumeCpu(int cpu_id) {
+  Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  c.stalled = false;
+  if (c.schedule_pending) {
+    return;  // A pick from before the stall is still in flight.
+  }
+  if (c.current != nullptr) {
+    if (c.segment_event == 0) {
+      // Resume the parked segment; a deferred preemption is honored inside.
+      InstallSegment(cpu_id, 0);
+    }
+    return;
+  }
+  // Idle rejoin: re-enter schedule() so any wake deferred during the stall
+  // (or work queued behind busy peers) is picked up immediately.
+  c.need_resched = false;
+  RequestSchedule(cpu_id);
 }
 
 void Machine::CheckInvariantsIfEnabled() {

@@ -64,6 +64,10 @@ struct MachineStats {
   uint64_t tasks_exited = 0;
   uint64_t quantum_expiries = 0;
   uint64_t preempt_requests = 0;  // reschedule_idle() decided to preempt.
+  // Fault injection (all zero when no FaultInjector is armed).
+  uint64_t ticks_dropped = 0;      // Timer ticks lost to injected tick loss.
+  uint64_t cpu_stalls = 0;         // StallCpu() stall windows entered.
+  Cycles lock_stall_cycles = 0;    // Injected lock-holder preemption time.
 };
 
 struct TaskParams {
@@ -139,6 +143,27 @@ class Machine : public Waker {
   // All tasks ever created (zombies included); owned by the machine.
   const std::vector<std::unique_ptr<Task>>& all_tasks() const { return tasks_; }
 
+  // ---- Fault-injection hooks (driven by src/faults/) ----
+  // Stalls a CPU for `duration` cycles: its live segment is parked (partial
+  // work credited), it takes no timer ticks, and preemption requests are
+  // deferred until it rejoins. Models a hotplug pause / SMI-style stall.
+  // No-op if the CPU is already stalled or duration == 0.
+  void StallCpu(int cpu_id, Cycles duration);
+  // Drops the next `n` timer ticks (the timer keeps re-arming; the dropped
+  // ticks decrement no counters and expire no quanta).
+  void InjectTickDrops(uint64_t n) { pending_tick_drops_ += n; }
+  // Delays the timer's next re-arm by `delta` extra cycles (tick jitter).
+  void InjectTickJitter(Cycles delta) { pending_tick_jitter_ += delta; }
+  // The next schedule() pick on a global-lock scheduler holds the run-queue
+  // lock `extra` cycles longer (lock-holder preemption spike). Ignored by
+  // per-CPU-queue schedulers, which never take the global lock.
+  void AddLockHolderStall(Cycles extra) { pending_lock_stall_ += extra; }
+  // Observer invoked synchronously after every scheduler pick (before the
+  // pick is claimed), with the run queue in its post-pick state. Used by the
+  // SchedulerAuditor to audit pick ordering.
+  using PickObserver = std::function<void(int cpu_id, const Task* prev, const Task* next)>;
+  void SetPickObserver(PickObserver observer) { pick_observer_ = std::move(observer); }
+
  private:
   // ---- schedule() path ----
   void RequestSchedule(int cpu_id);
@@ -161,6 +186,10 @@ class Machine : public Waker {
 
   // ---- timer ----
   void OnTimerTick();
+  void RearmTimer();
+
+  // ---- fault injection ----
+  void ResumeCpu(int cpu_id);
 
   void ExitTask(int cpu_id, Task* task);
   void CheckInvariantsIfEnabled();
@@ -179,6 +208,12 @@ class Machine : public Waker {
   // Global run-queue lock model: one holder at a time, FIFO waiters.
   bool lock_held_ = false;
   std::deque<int> lock_waiters_;
+
+  // Pending injected faults (consumed by the timer / schedule paths).
+  uint64_t pending_tick_drops_ = 0;
+  Cycles pending_tick_jitter_ = 0;
+  Cycles pending_lock_stall_ = 0;
+  PickObserver pick_observer_;
 
   TraceRecorder trace_;
   size_t live_tasks_ = 0;

@@ -1,0 +1,131 @@
+#include "src/workloads/chaos_mix.h"
+
+#include <string>
+#include <utility>
+
+#include "src/kernel/policy.h"
+#include "src/workloads/micro_behaviors.h"
+
+namespace elsc {
+
+// Forks `children` short-lived fixed-work children, one per segment (so the
+// forks interleave with scheduling and quantum splitting), then exits.
+class ChaosForker : public TaskBehavior {
+ public:
+  ChaosForker(ChaosMixWorkload* workload, int children)
+      : workload_(workload), children_(children) {}
+
+  Segment NextSegment(Machine& machine, Task& task) override {
+    if (forked_ >= children_) {
+      return Segment::Exit(UsToCycles(30));
+    }
+    ++forked_;
+    const Cycles work = MsToCycles(1 + workload_->rng_.NextBelow(3));
+    TaskParams params;
+    params.name = task.name + "-child";
+    params.behavior = workload_->Adopt(
+        std::make_unique<FixedWorkBehavior>(work, UsToCycles(400)));
+    machine.ForkTask(&task, params);
+    return Segment::RunAgain(UsToCycles(80));
+  }
+
+ private:
+  ChaosMixWorkload* workload_;
+  int children_;
+  int forked_ = 0;
+};
+
+ChaosMixWorkload::ChaosMixWorkload(Machine& machine, const ChaosMixConfig& config)
+    : machine_(machine), config_(config), rng_(config.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+ChaosMixWorkload::~ChaosMixWorkload() = default;
+
+TaskBehavior* ChaosMixWorkload::Adopt(std::unique_ptr<TaskBehavior> behavior) {
+  behaviors_.push_back(std::move(behavior));
+  return behaviors_.back().get();
+}
+
+void ChaosMixWorkload::Setup() {
+  for (int i = 0; i < config_.spinners; ++i) {
+    TaskParams params;
+    params.name = "mix-spin-" + std::to_string(i);
+    params.priority = 10 + static_cast<long>(rng_.NextBelow(25));
+    params.behavior = Adopt(std::make_unique<SpinnerBehavior>(
+        UsToCycles(300 + rng_.NextBelow(700)),
+        MsToCycles(5 + rng_.NextBelow(15))));
+    machine_.CreateTask(params);
+  }
+  for (int i = 0; i < config_.yielders; ++i) {
+    TaskParams params;
+    params.name = "mix-yield-" + std::to_string(i);
+    params.behavior = Adopt(std::make_unique<YielderBehavior>(
+        UsToCycles(20 + rng_.NextBelow(130)), 30 + rng_.NextBelow(60)));
+    machine_.CreateTask(params);
+  }
+  for (int i = 0; i < config_.interactive; ++i) {
+    TaskParams params;
+    params.name = "mix-inter-" + std::to_string(i);
+    params.behavior = Adopt(std::make_unique<InteractiveBehavior>(
+        UsToCycles(100 + rng_.NextBelow(300)),
+        MsToCycles(1 + rng_.NextBelow(5)), 4 + rng_.NextBelow(8)));
+    machine_.CreateTask(params);
+  }
+  for (int i = 0; i < config_.waiters; ++i) {
+    const uint64_t wakes = 2 + rng_.NextBelow(3);
+    auto behavior =
+        std::make_unique<WaiterBehavior>(&queue_, wakes, UsToCycles(30));
+    waiters_.push_back(WaiterSlot{behavior.get(), wakes});
+    TaskParams params;
+    params.name = "mix-wait-" + std::to_string(i);
+    params.behavior = Adopt(std::move(behavior));
+    machine_.CreateTask(params);
+  }
+  for (int i = 0; i < config_.forkers; ++i) {
+    TaskParams params;
+    params.name = "mix-fork-" + std::to_string(i);
+    params.behavior =
+        Adopt(std::make_unique<ChaosForker>(this, config_.forker_children));
+    machine_.CreateTask(params);
+  }
+  for (int i = 0; i < config_.rt_tasks; ++i) {
+    TaskParams params;
+    params.name = "mix-rt-" + std::to_string(i);
+    params.policy = kSchedRr;
+    params.rt_priority = 5 + static_cast<long>(i);
+    params.behavior = Adopt(std::make_unique<SpinnerBehavior>(
+        UsToCycles(500), MsToCycles(2 + rng_.NextBelow(4))));
+    machine_.CreateTask(params);
+  }
+  if (config_.waiters > 0) {
+    machine_.engine().ScheduleAfter(config_.wake_period, [this] { WakePulse(); });
+  }
+}
+
+void ChaosMixWorkload::WakePulse() {
+  // Keep pulsing until every waiter has been dispatched its final wake.
+  // (Spurious wakes from a fault plan can retire a waiter early; extra
+  // WakeAll calls on an empty queue are harmless no-ops.)
+  bool pending = false;
+  for (const WaiterSlot& slot : waiters_) {
+    if (slot.behavior->times_woken() < slot.wakes_needed) {
+      pending = true;
+      break;
+    }
+  }
+  if (!pending) {
+    return;
+  }
+  queue_.WakeAll(machine_);
+  machine_.engine().ScheduleAfter(config_.wake_period, [this] { WakePulse(); });
+}
+
+bool ChaosMixWorkload::Done() const { return machine_.live_tasks() == 0; }
+
+ChaosMixResult ChaosMixWorkload::Result() const {
+  ChaosMixResult result;
+  result.completed = machine_.live_tasks() == 0;
+  result.tasks_spawned = machine_.stats().tasks_created;
+  return result;
+}
+
+}  // namespace elsc

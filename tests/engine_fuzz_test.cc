@@ -14,8 +14,12 @@ namespace elsc {
 namespace {
 
 TEST(EngineFuzzTest, ExactlyOnceDeliveryUnderRandomCancels) {
-  Rng rng(31337);
   for (int round = 0; round < 25; ++round) {
+    // Per-round seed so a failure reports exactly which round to replay.
+    const uint64_t round_seed = 31337 + static_cast<uint64_t>(round) * 9973;
+    SCOPED_TRACE("repro: round=" + std::to_string(round) +
+                 " seed=" + std::to_string(round_seed));
+    Rng rng(round_seed);
     Engine engine;
     std::set<int> delivered;
     std::vector<std::pair<int, EventId>> live;  // (token, id)

@@ -152,6 +152,44 @@ TEST(RunMatrixTest, SimulationResultsBitIdenticalAcrossJobCounts) {
   EXPECT_EQ(RunMatrix(cells.size(), run_cell, 1), serial);
 }
 
+// Chaos cells obey the same cardinal rule: a fault plan replayed on 1, 2, or
+// 4 worker threads produces bit-identical digests — fault injection and the
+// auditor add nothing schedule-dependent.
+TEST(RunMatrixTest, ChaosCellsBitIdenticalAcrossJobCounts) {
+  struct CellSpec {
+    KernelConfig kernel;
+    SchedulerKind scheduler;
+    uint64_t seed;
+  };
+  const std::vector<CellSpec> cells = {
+      {KernelConfig::kUp, SchedulerKind::kLinux, 3},
+      {KernelConfig::kSmp2, SchedulerKind::kElsc, 3},
+      {KernelConfig::kSmp2, SchedulerKind::kHeap, 5},
+      {KernelConfig::kSmp4, SchedulerKind::kMultiQueue, 5},
+  };
+  auto run_cell = [&cells](size_t i) {
+    ChaosMixConfig mix;
+    mix.seed = cells[i].seed;
+    ChaosOptions chaos;
+    chaos.faults = FullChaosPlan(cells[i].seed);
+    chaos.audit = StrictAudit();
+    const ChaosMixRun run =
+        RunChaosMix(MakeMachineConfig(cells[i].kernel, cells[i].scheduler, cells[i].seed),
+                    mix, SecToCycles(120), chaos);
+    return RunStatsDigest(run.stats);
+  };
+
+  const std::vector<std::string> serial = RunMatrix(cells.size(), run_cell, 1);
+  for (const int jobs : {2, 4}) {
+    const std::vector<std::string> parallel = RunMatrix(cells.size(), run_cell, jobs);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i]) << "jobs=" << jobs << " cell=" << i;
+    }
+  }
+  EXPECT_EQ(RunMatrix(cells.size(), run_cell, 1), serial);
+}
+
 TEST(RunMatrixTest, ResultsLandAtTheirOwnIndex) {
   const std::vector<size_t> results =
       RunMatrix(100, [](size_t i) { return i * i; }, 4);

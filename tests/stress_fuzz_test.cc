@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "src/api/simulation.h"
 #include "src/base/rng.h"
 #include "src/smp/machine.h"
 #include "src/workloads/micro_behaviors.h"
@@ -63,6 +64,11 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST_P(StressFuzzTest, ChaoticMixSurvivesAndCompletes) {
   const FuzzCase fuzz = GetParam();
+  // One-line repro recipe for any failure below.
+  SCOPED_TRACE("repro: --gtest_filter='*ChaoticMix*" +
+               std::string(SchedulerKindName(fuzz.kind)) + "_seed" +
+               std::to_string(fuzz.seed) + "' (scheduler=" +
+               SchedulerKindName(fuzz.kind) + " seed=" + std::to_string(fuzz.seed) + ")");
   Rng rng(fuzz.seed * 7919);
 
   MachineConfig config;
@@ -152,6 +158,47 @@ TEST_P(StressFuzzTest, ChaoticMixSurvivesAndCompletes) {
   EXPECT_GE(spinner_done, total_spinner_work);
   EXPECT_EQ(machine.stats().tasks_created,
             machine.stats().tasks_exited + machine.live_tasks());
+}
+
+// The chaos extension of the sweep: the same scheduler × seed matrix run
+// through the fault-injection layer with the strict auditor watching. The
+// survival property strengthens from "nothing aborts" to "every audited
+// invariant holds under hostile conditions".
+TEST_P(StressFuzzTest, FullChaosSweepHoldsEveryAuditedInvariant) {
+  const FuzzCase fuzz = GetParam();
+  SCOPED_TRACE("repro: --gtest_filter='*FullChaosSweep*" +
+               std::string(SchedulerKindName(fuzz.kind)) + "_seed" +
+               std::to_string(fuzz.seed) + "' (scheduler=" +
+               SchedulerKindName(fuzz.kind) + " seed=" + std::to_string(fuzz.seed) + ")");
+  Rng rng(fuzz.seed * 6271);
+  const KernelConfig kernels[] = {KernelConfig::kUp, KernelConfig::kSmp1,
+                                  KernelConfig::kSmp2, KernelConfig::kSmp4};
+  const KernelConfig kernel = kernels[rng.NextBelow(4)];
+
+  ChaosMixConfig mix;
+  mix.seed = fuzz.seed;
+  mix.spinners = static_cast<int>(4 + rng.NextBelow(10));
+  mix.yielders = static_cast<int>(2 + rng.NextBelow(6));
+  mix.interactive = static_cast<int>(2 + rng.NextBelow(8));
+  mix.waiters = static_cast<int>(1 + rng.NextBelow(6));
+  mix.forkers = static_cast<int>(1 + rng.NextBelow(4));
+  mix.rt_tasks = static_cast<int>(rng.NextBelow(3));
+
+  ChaosOptions chaos;
+  chaos.faults = FullChaosPlan(fuzz.seed * 31 + 7);
+  chaos.audit = StrictAudit();
+
+  const ChaosMixRun run = RunChaosMix(MakeMachineConfig(kernel, fuzz.kind, fuzz.seed),
+                                      mix, SecToCycles(120), chaos);
+  EXPECT_TRUE(run.result.completed);
+  EXPECT_FALSE(run.stats.failed) << run.stats.failure;
+  EXPECT_EQ(run.stats.audit.violations(), 0u)
+      << "conservation=" << run.stats.audit.conservation_violations
+      << " counter=" << run.stats.audit.counter_violations
+      << " structure=" << run.stats.audit.structure_violations
+      << " table=" << run.stats.audit.table_violations
+      << " ordering=" << run.stats.audit.ordering_violations;
+  EXPECT_EQ(run.stats.audit.watchdog_firings(), 0u);
 }
 
 }  // namespace
