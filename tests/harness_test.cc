@@ -190,6 +190,122 @@ TEST(RunMatrixTest, ChaosCellsBitIdenticalAcrossJobCounts) {
   EXPECT_EQ(RunMatrix(cells.size(), run_cell, 1), serial);
 }
 
+// ---------------------------------------------------------------------------
+// Golden-stats determinism suite.
+//
+// These digests were recorded from the simulator BEFORE the host-time
+// hot-path overhaul (task arena, ELSC occupancy bitmap, idle-CPU mask, trace
+// ring buffer) landed, and must stay bit-identical forever after: host-time
+// optimizations are not allowed to change a single simulated counter. Each
+// digest folds in every RunStats field — sched, machine, events, faults,
+// audit, the failure verdict, and the simulated elapsed time (hex float).
+//
+// To re-record after an *intentional* behavior change (new counter, changed
+// simulation semantics — never a perf change), run:
+//   ELSC_GOLDEN_PRINT=1 ./harness_test --gtest_filter='GoldenStats*'
+// and paste the printed lines over the `golden` fields below.
+// ---------------------------------------------------------------------------
+
+enum class GoldenKind { kVolano, kChaos };
+
+struct GoldenCell {
+  GoldenKind kind;
+  KernelConfig kernel;
+  SchedulerKind scheduler;
+  uint64_t seed;
+  const char* golden;
+};
+
+std::string RunGoldenCell(const GoldenCell& cell) {
+  const MachineConfig mc = MakeMachineConfig(cell.kernel, cell.scheduler, cell.seed);
+  if (cell.kind == GoldenKind::kVolano) {
+    VolanoConfig volano;
+    volano.rooms = 1;
+    volano.users_per_room = 8;
+    volano.messages_per_user = 10;
+    return RunStatsDigest(RunVolano(mc, volano).stats);
+  }
+  ChaosMixConfig mix;
+  mix.seed = cell.seed;
+  ChaosOptions chaos;
+  chaos.faults = FullChaosPlan(cell.seed);
+  chaos.audit = StrictAudit();
+  return RunStatsDigest(RunChaosMix(mc, mix, SecToCycles(120), chaos).stats);
+}
+
+// Every scheduler appears in both a clean VolanoMark cell and a full-chaos
+// cell (fork/exit storms, spurious wakes, CPU stalls, strict auditing), so
+// the goldens pin down the allocation order, idle-CPU selection, ELSC table
+// walk, and trace-adjacent paths the overhaul touches.
+const std::vector<GoldenCell>& GoldenCells() {
+  static const std::vector<GoldenCell> cells = {
+      {GoldenKind::kVolano, KernelConfig::kUp, SchedulerKind::kLinux, 11,
+       "sched:4223,9,10160840,0,27431,290,4630,0,291,0,0,1457,109|machine:22,3923,0,1423,34,34,0,"
+       "109,0,0,0|events:10884,10799,83,0,3,3|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,0|"
+       "failed:0|elapsed:0x1.d54f0f31cc2aep-3"},
+      {GoldenKind::kVolano, KernelConfig::kUp, SchedulerKind::kElsc, 11,
+       "sched:4168,9,5042880,0,7191,0,0,0,1590,0,1578,1437,221|machine:21,2569,0,1403,34,34,0,221,"
+       "0,0,0|events:10773,10567,204,0,3,3|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,0|failed:"
+       "0|elapsed:0x1.b958a76102795p-3"},
+      {GoldenKind::kVolano, KernelConfig::kSmp2, SchedulerKind::kElsc, 12,
+       "sched:4416,23,6265220,272580,11207,0,0,454,1935,454,1930,1215,147|machine:12,2458,454,"
+       "1181,34,34,0,147,0,0,0|events:11246,11103,141,0,4,4|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,"
+       "0,0,0,0,0|failed:0|elapsed:0x1.fcc983413d8dp-4"},
+      {GoldenKind::kVolano, KernelConfig::kSmp4, SchedulerKind::kLinux, 12,
+       "sched:3671,61,10656440,3287342,30191,350,5758,312,367,312,0,1120,112|machine:7,3243,312,"
+       "1089,34,34,0,112,0,0,0|events:9713,9608,103,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,"
+       "0,0,0,0|failed:0|elapsed:0x1.324af571b19e2p-4"},
+      {GoldenKind::kVolano, KernelConfig::kSmp4, SchedulerKind::kHeap, 13,
+       "sched:2615,42,3106773,152635,2573,0,0,1593,344,1593,0,950,96|machine:7,2229,1593,917,34,"
+       "34,0,96,0,0,0|events:7620,7528,90,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,0|"
+       "failed:0|elapsed:0x1.38525d9ae5c9fp-4"},
+      {GoldenKind::kVolano, KernelConfig::kSmp4, SchedulerKind::kMultiQueue, 14,
+       "sched:3912,37,5481810,0,8892,326,5262,197,361,197,0,1080,162|machine:6,3514,197,1046,34,"
+       "34,0,162,0,0,0|events:10218,10058,158,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,"
+       "0|failed:0|elapsed:0x1.1136b16cf4f5ep-4"},
+      {GoldenKind::kChaos, KernelConfig::kSmp2, SchedulerKind::kLinux, 21,
+       "sched:589,6,2290810,53970,7672,3,7,5,4,5,0,75,4|machine:8,579,5,43,32,32,0,4,0,0,200000|"
+       "events:1460,1445,6,0,15,15|faults:1,3,0,0,12,4,0,1|audit:9,588,0,0,0,0,0,0,0|failed:0|"
+       "elapsed:0x1.7c49a63c3f4b7p-4"},
+      {GoldenKind::kChaos, KernelConfig::kSmp4, SchedulerKind::kElsc, 22,
+       "sched:632,16,1307390,61600,3224,0,0,154,61,154,57,85,15|machine:4,555,154,53,32,32,0,15,"
+       "0,0,0|events:1458,1428,19,0,19,19|faults:0,1,0,0,6,4,0,0|audit:4,631,0,0,0,0,0,0,0|failed:"
+       "0|elapsed:0x1.6c74ede8a6472p-5"},
+      {GoldenKind::kChaos, KernelConfig::kUp, SchedulerKind::kHeap, 23,
+       "sched:564,1,697070,0,563,0,0,0,36,0,0,81,30|machine:10,527,0,49,32,32,0,30,1,0,200000|"
+       "events:1369,1326,34,0,15,15|faults:2,4,0,0,18,4,0,1|audit:12,563,0,0,0,0,0,0,0|failed:0|"
+       "elapsed:0x1.f30786dcfe734p-4"},
+      {GoldenKind::kChaos, KernelConfig::kSmp2, SchedulerKind::kMultiQueue, 24,
+       "sched:592,2,1411330,0,4143,3,6,4,3,4,0,86,2|machine:7,587,4,54,32,32,0,2,1,0,0|events:"
+       "1424,1411,4,0,16,16|faults:2,3,0,0,12,4,0,1|audit:9,590,0,0,0,0,0,0,0|failed:0|elapsed:"
+       "0x1.734bde24e3e51p-4"},
+  };
+  return cells;
+}
+
+TEST(GoldenStatsTest, DigestsMatchRecordedGoldenAtEveryJobCount) {
+  const std::vector<GoldenCell>& cells = GoldenCells();
+  auto run_cell = [&cells](size_t i) { return RunGoldenCell(cells[i]); };
+  const bool print = std::getenv("ELSC_GOLDEN_PRINT") != nullptr;
+  for (const int jobs : {1, 2, 4}) {
+    const std::vector<std::string> digests = RunMatrix(cells.size(), run_cell, jobs);
+    ASSERT_EQ(digests.size(), cells.size());
+    if (print && jobs == 1) {
+      for (size_t i = 0; i < digests.size(); ++i) {
+        printf("GOLDEN[%zu] = \"%s\"\n", i, digests[i].c_str());
+      }
+      fflush(stdout);
+    }
+    for (size_t i = 0; i < cells.size(); ++i) {
+      EXPECT_EQ(digests[i], cells[i].golden)
+          << "jobs=" << jobs << " cell=" << i << " ("
+          << KernelConfigLabel(cells[i].kernel) << "/"
+          << SchedulerKindName(cells[i].scheduler) << " seed=" << cells[i].seed
+          << ") — simulated behavior diverged from the recorded golden";
+    }
+  }
+}
+
 TEST(RunMatrixTest, ResultsLandAtTheirOwnIndex) {
   const std::vector<size_t> results =
       RunMatrix(100, [](size_t i) { return i * i; }, 4);
