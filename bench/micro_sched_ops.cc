@@ -15,7 +15,10 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/arena.h"
+#include "src/base/bitmap.h"
 #include "src/base/rng.h"
+#include "src/kernel/task.h"
 #include "src/sched/cost_model.h"
 #include "src/sched/factory.h"
 #include "tests/sched_test_util.h"
@@ -82,6 +85,97 @@ void BM_AddDel(benchmark::State& state, SchedulerKind kind) {
     extra->run_list.prev = nullptr;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Table search: "find the highest populated list" — the query at the heart of
+// the ELSC table scan — implemented two ways. The linear scan is what the
+// run queue did before the occupancy bitmap; the bitmap answers with a
+// count-leading-zeros. Sparse occupancy (few populated lists near the bottom
+// of a wide table) is the bitmap's best case and the linear scan's worst.
+// ---------------------------------------------------------------------------
+
+struct TableOccupancy {
+  TableOccupancy(int lists, int populated) : occupied(static_cast<size_t>(lists), false), bitmap(lists) {
+    Rng rng(7);
+    for (int i = 0; i < populated; ++i) {
+      // Bias toward low indices, like a table where most tasks have modest
+      // static goodness: the search from the top walks many empty lists.
+      const int idx = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(lists / 2)));
+      occupied[static_cast<size_t>(idx)] = true;
+      bitmap.Set(idx);
+    }
+  }
+  std::vector<bool> occupied;
+  OccupancyBitmap bitmap;
+};
+
+void BM_TableSearchLinear(benchmark::State& state) {
+  const int lists = static_cast<int>(state.range(0));
+  TableOccupancy table(lists, /*populated=*/4);
+  for (auto _ : state) {
+    int found = -1;
+    for (int i = lists - 1; i >= 0; --i) {
+      if (table.occupied[static_cast<size_t>(i)]) {
+        found = i;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+}
+
+void BM_TableSearchBitmap(benchmark::State& state) {
+  const int lists = static_cast<int>(state.range(0));
+  TableOccupancy table(lists, /*populated=*/4);
+  for (auto _ : state) {
+    int found = table.bitmap.Highest();
+    benchmark::DoNotOptimize(found);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task allocation: the slab arena (what the Machine uses) versus a fresh heap
+// allocation per task (what it used before). The churn pattern mirrors a
+// fork/exit-heavy workload: allocate a batch, release it, repeat — the arena
+// serves every post-warmup allocation from its freelist.
+// ---------------------------------------------------------------------------
+
+constexpr int kAllocBatch = 64;
+
+void BM_TaskAllocHeap(benchmark::State& state) {
+  std::vector<std::unique_ptr<Task>> batch;
+  batch.reserve(kAllocBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kAllocBatch; ++i) {
+      batch.push_back(std::make_unique<Task>());
+      benchmark::DoNotOptimize(batch.back().get());
+    }
+    batch.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kAllocBatch);
+}
+
+void BM_TaskAllocArena(benchmark::State& state) {
+  SlabArena<Task> arena;
+  std::vector<Task*> batch;
+  batch.reserve(kAllocBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kAllocBatch; ++i) {
+      batch.push_back(arena.Allocate());
+      benchmark::DoNotOptimize(batch.back());
+    }
+    for (Task* t : batch) {
+      arena.Release(t);
+    }
+    batch.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kAllocBatch);
+}
+
+BENCHMARK(BM_TableSearchLinear)->RangeMultiplier(2)->Range(16, 256);
+BENCHMARK(BM_TableSearchBitmap)->RangeMultiplier(2)->Range(16, 256);
+BENCHMARK(BM_TaskAllocHeap);
+BENCHMARK(BM_TaskAllocArena);
 
 BENCHMARK_CAPTURE(BM_Schedule, linux, SchedulerKind::kLinux)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_Schedule, elsc, SchedulerKind::kElsc)->RangeMultiplier(4)->Range(8, 2048);

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Perf gate for the simulator hot path: builds the default tree, runs the two
+# perf benchmarks, and compares the fresh BENCH_perf_smoke.json against the
+# committed baseline (bench/baselines/BENCH_perf_smoke.json).
+#
+# The comparison WARNS and exits 0 on regressions — wall-clock numbers from
+# CI machines are too noisy for a hard gate (this container shows +/-15% on
+# identical binaries). The printed deltas are the signal; a human promotes a
+# fresh JSON to the baseline with:
+#
+#   cp build/BENCH_perf_smoke.json bench/baselines/BENCH_perf_smoke.json
+#
+#   usage: scripts/ci_bench.sh [churn_events] [rooms]
+#
+# Documented in docs/PERF.md.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${ELSC_BUILD_JOBS:-2}"
+churn_events="${1:-3000000}"
+rooms="${2:-5}"
+baseline="bench/baselines/BENCH_perf_smoke.json"
+
+echo "=== build (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops
+
+echo "=== perf_smoke (${churn_events} churn events, ${rooms} rooms) ==="
+(cd build && ./bench/perf_smoke "${churn_events}" "${rooms}")
+
+echo "=== micro_sched_ops (table search + task alloc + schedule/add-del) ==="
+./build/bench/micro_sched_ops --benchmark_min_time=0.05 2>/dev/null |
+  grep -E "BM_TableSearch|BM_TaskAlloc|BM_Schedule" || true
+
+json_field() {
+  # json_field <file> <key>: extracts a bare numeric field from the flat JSON
+  # perf_smoke writes (no jq in the image).
+  sed -n "s/^ *\"$2\": \([0-9.][0-9.]*\),*$/\1/p" "$1"
+}
+
+echo "=== compare vs ${baseline} ==="
+if [[ ! -f "${baseline}" ]]; then
+  echo "no committed baseline; skipping comparison"
+  exit 0
+fi
+
+status=0
+compare() {
+  # compare <key> <higher_is_better:1|0>
+  local key="$1" higher="$2" old new
+  old="$(json_field "${baseline}" "${key}")"
+  new="$(json_field build/BENCH_perf_smoke.json "${key}")"
+  if [[ -z "${old}" || -z "${new}" ]]; then
+    echo "  ${key}: missing from one of the files"
+    return
+  fi
+  # Flag changes beyond 20% in the bad direction (beneath measured noise).
+  local verdict
+  verdict="$(awk -v o="${old}" -v n="${new}" -v h="${higher}" 'BEGIN {
+    if (o == n) { ratio = 1.0; }        # Covers 0 -> 0 counters.
+    else if (h == 1) { ratio = (o > 0) ? n / o : 0; }
+    else { ratio = (n > 0) ? o / n : 0; }
+    printf "%.2f %s", ratio, (ratio < 0.80) ? "REGRESSION?" : "ok";
+  }')"
+  echo "  ${key}: baseline ${old} -> ${new}  (${verdict})"
+  if [[ "${verdict}" == *REGRESSION* ]]; then
+    status=1
+  fi
+}
+
+compare events_per_sec 1
+compare matrix_serial_sec 0
+compare callback_heap_allocs 0
+
+if [[ "${status}" -ne 0 ]]; then
+  echo "WARNING: possible perf regression (see above). Not failing the build:"
+  echo "re-run on a quiet machine before trusting a single sample."
+fi
+echo "bench gate: done"

@@ -1,0 +1,135 @@
+// A small fixed-capacity occupancy bitmap with find-first/find-last-set
+// queries, the building block behind the O(1) run-queue table scans.
+//
+// This is the classic priority-bitmap trick (the one the Linux 2.6 O(1)
+// scheduler used to replace "scan all lists for the highest populated one"):
+// keep one bit per list, and turn every "highest populated list" question
+// into a count-leading-zeros instruction. The ELSC table tracks three of
+// these (occupied / active / exhausted); the Machine uses one as its idle-CPU
+// mask.
+//
+// Capacity is bounded (kMaxBits) so the storage is a flat in-object array —
+// no heap allocation, no pointer chase on the hot path. The bound comfortably
+// covers the widest table the ablation benches sweep (50 lists) and any
+// simulated CPU count.
+
+#ifndef SRC_BASE_BITMAP_H_
+#define SRC_BASE_BITMAP_H_
+
+#include <cstdint>
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+class OccupancyBitmap {
+ public:
+  // 4 × 64 = 256 positions; plenty for 50-list tables and 64-CPU machines.
+  static constexpr int kMaxBits = 256;
+  static constexpr int kWordBits = 64;
+  static constexpr int kWords = kMaxBits / kWordBits;
+
+  OccupancyBitmap() = default;
+  explicit OccupancyBitmap(int bits) { Reset(bits); }
+
+  // Sets the logical size (queries never return indices >= `bits`) and
+  // clears every bit.
+  void Reset(int bits) {
+    ELSC_CHECK_MSG(bits >= 0 && bits <= kMaxBits, "OccupancyBitmap capacity exceeded");
+    bits_ = bits;
+    ClearAll();
+  }
+
+  int bits() const { return bits_; }
+
+  void Set(int i) { words_[Word(i)] |= Mask(i); }
+  void Clear(int i) { words_[Word(i)] &= ~Mask(i); }
+  void Assign(int i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+  bool Test(int i) const { return (words_[Word(i)] & Mask(i)) != 0; }
+
+  void ClearAll() {
+    for (uint64_t& w : words_) {
+      w = 0;
+    }
+  }
+  // Copies another bitmap's bits (sizes must match). Used for the
+  // "active = occupied" reset after a global counter recalculation.
+  void CopyFrom(const OccupancyBitmap& other) {
+    ELSC_CHECK(bits_ == other.bits_);
+    for (int w = 0; w < kWords; ++w) {
+      words_[w] = other.words_[w];
+    }
+  }
+
+  bool Any() const {
+    uint64_t acc = 0;
+    for (const uint64_t w : words_) {
+      acc |= w;
+    }
+    return acc != 0;
+  }
+  bool None() const { return !Any(); }
+
+  // Index of the highest set bit, or -1 if none.
+  int Highest() const { return HighestAtOrBelow(bits_ - 1); }
+
+  // Index of the highest set bit <= `limit`, or -1. `limit` may be -1 (empty
+  // range) or beyond bits() (clamped), matching "next populated list at or
+  // below" semantics.
+  int HighestAtOrBelow(int limit) const {
+    if (limit >= bits_) {
+      limit = bits_ - 1;
+    }
+    if (limit < 0) {
+      return -1;
+    }
+    int w = Word(limit);
+    // Mask off bits above `limit` within its word.
+    uint64_t word = words_[w] & (~uint64_t{0} >> (kWordBits - 1 - Bit(limit)));
+    while (true) {
+      if (word != 0) {
+        return w * kWordBits + (kWordBits - 1 - __builtin_clzll(word));
+      }
+      if (w == 0) {
+        return -1;
+      }
+      word = words_[--w];
+    }
+  }
+
+  // Index of the lowest set bit, or -1 if none.
+  int Lowest() const {
+    for (int w = 0; w * kWordBits < bits_; ++w) {
+      if (words_[w] != 0) {
+        return w * kWordBits + __builtin_ctzll(words_[w]);
+      }
+    }
+    return -1;
+  }
+
+  int PopCount() const {
+    int count = 0;
+    for (const uint64_t w : words_) {
+      count += __builtin_popcountll(w);
+    }
+    return count;
+  }
+
+ private:
+  static int Word(int i) { return i >> 6; }
+  static int Bit(int i) { return i & 63; }
+  static uint64_t Mask(int i) { return uint64_t{1} << Bit(i); }
+
+  uint64_t words_[kWords] = {0, 0, 0, 0};
+  int bits_ = 0;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_BITMAP_H_

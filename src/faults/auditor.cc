@@ -63,7 +63,7 @@ void SchedulerAuditor::AuditConservation() {
   size_t on_queue = 0;
   size_t live = 0;
   for (const auto& owned : machine_.all_tasks()) {
-    const Task* t = owned.get();
+    const Task* t = owned;
     if (t->state != TaskState::kZombie) {
       ++live;
     }
@@ -94,7 +94,7 @@ void SchedulerAuditor::AuditConservation() {
 
 void SchedulerAuditor::AuditCounters() {
   for (const auto& owned : machine_.all_tasks()) {
-    const Task* t = owned.get();
+    const Task* t = owned;
     if (t->state == TaskState::kZombie) {
       continue;
     }
@@ -165,7 +165,7 @@ void SchedulerAuditor::ObservePick(int cpu_id, const Task* prev, const Task* nex
   bool any_candidate = false;
   bool rt_candidate = false;
   for (const auto& owned : machine_.all_tasks()) {
-    const Task* t = owned.get();
+    const Task* t = owned;
     if (t->state != TaskState::kRunning || !t->OnRunQueue()) {
       continue;
     }
@@ -196,7 +196,7 @@ void SchedulerAuditor::ObservePick(int cpu_id, const Task* prev, const Task* nex
 void SchedulerAuditor::CheckStarvation() {
   const Cycles now = machine_.Now();
   for (const auto& owned : machine_.all_tasks()) {
-    const Task* t = owned.get();
+    const Task* t = owned;
     if (t->state != TaskState::kRunning || t->has_cpu != 0) {
       continue;
     }

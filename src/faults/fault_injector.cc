@@ -112,7 +112,7 @@ void FaultInjector::SpuriousWakeBurst() {
       // Uniform over the whole table, zombies and runnables included:
       // sleepers get genuinely early wakes, the rest exercise
       // WakeUpProcess()'s tolerate-spurious-wake early-out.
-      Task* victim = tasks[rng_.NextBelow(tasks.size())].get();
+      Task* victim = tasks[rng_.NextBelow(tasks.size())];
       machine_.WakeUpProcess(victim);
       ++stats_.spurious_wakes;
     }

@@ -9,8 +9,7 @@
 #ifndef SRC_KERNEL_BEHAVIOR_H_
 #define SRC_KERNEL_BEHAVIOR_H_
 
-#include <functional>
-
+#include "src/base/inline_function.h"
 #include "src/base/time_units.h"
 
 namespace elsc {
@@ -39,9 +38,12 @@ struct Segment {
   // already been satisfied, the sleep is skipped, and the task re-enters the
   // scheduler runnable. Prevents lost wake-ups between a failed non-blocking
   // operation and the block taking effect.
-  std::function<bool()> still_blocked;
+  // InlineFunction rather than std::function: the predicate travels by value
+  // (behavior → segment → task) on the block hot path, and the small-buffer
+  // type moves trivially instead of via indirect manager calls.
+  InlineFunction<bool> still_blocked;
 
-  static Segment Block(Cycles cycles, WaitQueue* wq, std::function<bool()> still_blocked = {}) {
+  static Segment Block(Cycles cycles, WaitQueue* wq, InlineFunction<bool> still_blocked = {}) {
     Segment seg{cycles, SegmentAfter::kBlock, wq, 0, {}};
     seg.still_blocked = std::move(still_blocked);
     return seg;

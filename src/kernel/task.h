@@ -10,9 +10,9 @@
 #define SRC_KERNEL_TASK_H_
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
+#include "src/base/inline_function.h"
 #include "src/base/intrusive_list.h"
 #include "src/base/time_units.h"
 #include "src/kernel/mm.h"
@@ -55,7 +55,13 @@ struct TaskStats {
 };
 
 struct Task {
-  // ---- Table 1: scheduler-relevant task_struct fields ----
+  // Field order is hot-first: schedulers touch the Table-1 block plus the
+  // run-queue bookkeeping on every examine/insert/remove, so those share the
+  // task's leading cache lines; identity, wait-queue, and statistics fields
+  // are only touched on slow paths (blocking, exit, reporting) and live at
+  // the tail.
+
+  // ---- Table 1: scheduler-relevant task_struct fields (hot) ----
   TaskState state = TaskState::kRunning;   // volatile long state
   uint32_t policy = kSchedOther;           // unsigned long policy (+ SCHED_YIELD bit)
   long counter = kDefaultPriority;         // long counter (quantum remaining, ticks)
@@ -66,34 +72,27 @@ struct Task {
   int has_cpu = 0;                         // 1 while executing on a processor
   int processor = 0;                       // CPU the task last ran on / runs on
 
-  // ELSC bookkeeping: which table list the task currently sits in (-1 when
-  // not in any list). Lets removal avoid recomputing the index from fields
-  // that may have changed.
+  // ---- Run-queue bookkeeping (hot) ----
+  // ELSC: which table list the task currently sits in (-1 when not in any
+  // list). Lets removal avoid recomputing the index from fields that may
+  // have changed.
   int run_list_index = -1;
-
-  // HeapScheduler bookkeeping: the task's slot in the run-queue heap (-1
-  // when not in the heap). Enables O(log n) removal of arbitrary tasks.
+  // HeapScheduler: the task's slot in the run-queue heap (-1 when not in the
+  // heap). Enables O(log n) removal of arbitrary tasks.
   int heap_index = -1;
-
+  // LinuxScheduler: the task's slot in the dense scan mirror of the run
+  // queue (-1 when off the queue). Enables O(1) swap-pop removal from the
+  // mirror; see LinuxScheduler::Schedule for why the mirror exists.
+  int scan_slot = -1;
   // Dispatch stamp: the value of its CPU's dispatch sequence when this task
   // last started running there. Used by affinity-decay policies to judge how
   // stale the task's cache footprint is (paper §8: "Do we care about
   // processor affinity after many other tasks have run?").
   uint64_t last_run_stamp = 0;
-
-  // ---- Identity ----
+  // Used by goodness() ties and trace records on the dispatch path.
   int pid = 0;
-  std::string name;
 
-  // ---- Kernel bookkeeping ----
-  ListHead task_list_node;   // Membership in the global task list (for_each_task).
-  ListHead wait_node;        // Membership in a wait queue while blocked.
-  WaitQueue* waiting_on = nullptr;
-
-  // ---- Workload hook ----
-  TaskBehavior* behavior = nullptr;  // Owned by the workload, not the task.
-
-  // ---- Machine runtime state ----
+  // ---- Machine runtime state (warm: touched per segment, not per examine) ----
   // Remaining CPU work in the task's current behavior segment. A preempted
   // task resumes the same segment.
   Cycles segment_remaining = 0;
@@ -103,11 +102,24 @@ struct Task {
   int pending_after = 0;
   WaitQueue* pending_wait = nullptr;
   Cycles pending_sleep = 0;
-  std::function<bool()> pending_block_check;
   // Dispatch bookkeeping for event invalidation and accounting.
   Cycles last_dispatch_time = 0;
   Cycles became_runnable_at = 0;
   uint64_t dispatch_generation = 0;
+  // Outstanding engine timer-wake events that captured this task's pointer;
+  // the arena must not recycle the slot while any are pending.
+  int pending_timer_wakes = 0;
+
+  // ---- Cold: identity, kernel bookkeeping, workload hook, statistics ----
+  std::string name;
+  // This task's slot in Machine::all_tasks() (creation-order registry);
+  // lets opt-in zombie recycling unregister in O(1).
+  int registry_slot = -1;
+  ListHead task_list_node;   // Membership in the global task list (for_each_task).
+  ListHead wait_node;        // Membership in a wait queue while blocked.
+  WaitQueue* waiting_on = nullptr;
+  TaskBehavior* behavior = nullptr;  // Owned by the workload, not the task.
+  InlineFunction<bool> pending_block_check;
 
   TaskStats stats;
 

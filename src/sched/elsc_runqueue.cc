@@ -16,6 +16,9 @@ ElscRunQueue::ElscRunQueue(const ElscTableConfig& config) : config_(config) {
   for (auto& head : lists_) {
     InitListHead(&head);
   }
+  occupied_.Reset(config_.total_lists());
+  active_.Reset(config_.total_lists());
+  exhausted_.Reset(config_.total_lists());
 }
 
 int ElscRunQueue::IndexFor(const Task& task) const {
@@ -32,15 +35,6 @@ int ElscRunQueue::IndexFor(const Task& task) const {
   return static_cast<int>(std::clamp<long>(index, 0, config_.num_other_lists - 1));
 }
 
-void ElscRunQueue::UpdateTopsAfterInsert(int index, const Task& task) {
-  const bool active = IsRtList(index) || task.counter != 0;
-  if (active) {
-    top_ = std::max(top_, index);
-  } else {
-    next_top_ = std::max(next_top_, index);
-  }
-}
-
 void ElscRunQueue::Insert(Task* task) {
   ELSC_VERIFY_MSG(task->run_list_index == kNoList, "task already in an ELSC list");
   const int index = IndexFor(*task);
@@ -48,15 +42,24 @@ void ElscRunQueue::Insert(Task* task) {
     // Schedulable now: front of the list, like the stock scheduler's
     // add-to-front bias for fresh wakeups.
     ListAdd(&task->run_list, &lists_[index]);
+    occupied_.Set(index);
+    active_.Set(index);
+    if (index > top_) {
+      top_ = index;
+    }
   } else {
     // Exhausted: park at the tail (predicted index), out of the search's way
     // but in position for the next recalculation.
     ListAddTail(&task->run_list, &lists_[index]);
+    occupied_.Set(index);
+    exhausted_.Set(index);
+    if (index > next_top_) {
+      next_top_ = index;
+    }
   }
   task->run_list_index = index;
   ++sizes_[index];
   ++total_;
-  UpdateTopsAfterInsert(index, *task);
 }
 
 void ElscRunQueue::Remove(Task* task) {
@@ -67,8 +70,20 @@ void ElscRunQueue::Remove(Task* task) {
   ELSC_VERIFY(sizes_[index] > 0);
   --sizes_[index];
   --total_;
-  if (index == top_ || index == next_top_) {
-    RecomputeTops();
+  UpdateBitsAndTops(index);
+}
+
+void ElscRunQueue::UpdateBitsAndTops(int index) {
+  occupied_.Assign(index, !ListEmpty(&lists_[index]));
+  active_.Assign(index, HasActiveTask(index));
+  exhausted_.Assign(index, HasExhaustedTask(index));
+  // Only a removal from the top list can lower the top, so the common case
+  // (removal below the tops) leaves both untouched.
+  if (index == top_) {
+    top_ = active_.Highest();
+  }
+  if (index == next_top_) {
+    next_top_ = exhausted_.Highest();
   }
 }
 
@@ -168,31 +183,18 @@ void ElscRunQueue::Reindex(Task* task) {
   Insert(task);
 }
 
-void ElscRunQueue::OnCountersRecalculated() { RecomputeTops(); }
-
-int ElscRunQueue::NextPopulatedList(int below) const {
-  for (int i = std::min(below, config_.total_lists() - 1); i >= 0; --i) {
-    if (!ListEmpty(&lists_[i])) {
-      return i;
-    }
-  }
-  return kNoList;
+void ElscRunQueue::OnCountersRecalculated() {
+  // Every task still in a list just had its counter recalculated to
+  // counter/2 + priority >= kMinPriority > 0 (RT tasks are active
+  // regardless), so every occupied list is now active and none is exhausted.
+  active_.CopyFrom(occupied_);
+  exhausted_.ClearAll();
+  top_ = active_.Highest();
+  next_top_ = kNoList;
 }
 
-void ElscRunQueue::RecomputeTops() {
-  top_ = kNoList;
-  next_top_ = kNoList;
-  for (int i = config_.total_lists() - 1; i >= 0; --i) {
-    if (top_ == kNoList && HasActiveTask(i)) {
-      top_ = i;
-    }
-    if (next_top_ == kNoList && HasExhaustedTask(i)) {
-      next_top_ = i;
-    }
-    if (top_ != kNoList && next_top_ != kNoList) {
-      break;
-    }
-  }
+int ElscRunQueue::NextPopulatedList(int below) const {
+  return occupied_.HighestAtOrBelow(below);
 }
 
 void ElscRunQueue::CheckInvariants(size_t expected_in_lists) const {
@@ -224,6 +226,14 @@ void ElscRunQueue::CheckInvariants(size_t expected_in_lists) const {
     }
     ELSC_VERIFY_MSG(list_count == sizes_[i], "ELSC per-list size counter out of sync");
     counted += list_count;
+    // The occupancy bitmaps must agree with the actual list contents — the
+    // O(1) find-last-set scans are only correct if these bits are exact.
+    ELSC_VERIFY_MSG(occupied_.Test(i) == !ListEmpty(head),
+                    "ELSC occupied bitmap disagrees with list emptiness");
+    ELSC_VERIFY_MSG(active_.Test(i) == HasActiveTask(i),
+                    "ELSC active bitmap disagrees with list contents");
+    ELSC_VERIFY_MSG(exhausted_.Test(i) == HasExhaustedTask(i),
+                    "ELSC exhausted bitmap disagrees with list contents");
     if (expect_top == kNoList && HasActiveTask(i)) {
       expect_top = i;
     }

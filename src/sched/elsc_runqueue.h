@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/intrusive_list.h"
 #include "src/kernel/task.h"
 
@@ -99,13 +100,14 @@ class ElscRunQueue {
   // Highest populated list at or below `below`, or kNoList.
   int NextPopulatedList(int below) const;
 
-  // Validates structural invariants; aborts on violation.
+  // Validates structural invariants (including that the occupancy bitmaps
+  // agree with actual list contents); aborts on violation.
   void CheckInvariants(size_t expected_in_lists) const;
 
-  void RecomputeTops();
-
  private:
-  void UpdateTopsAfterInsert(int index, const Task& task);
+  // Refreshes list `index`'s active/exhausted/occupied bits from its O(1)
+  // front/back state, then re-derives top/next_top with find-last-set.
+  void UpdateBitsAndTops(int index);
 
   ElscTableConfig config_;
   std::vector<ListHead> lists_;
@@ -113,6 +115,14 @@ class ElscRunQueue {
   size_t total_ = 0;
   int top_ = kNoList;
   int next_top_ = kNoList;
+  // One bit per list. `occupied_` = list non-empty; `active_` = holds a task
+  // schedulable without a recalculation (any RT task, or counter > 0);
+  // `exhausted_` = holds a zero-counter SCHED_OTHER task. top/next_top are
+  // always the highest set bits of active_/exhausted_, so maintenance that
+  // used to rescan all 30 lists is a find-last-set.
+  OccupancyBitmap occupied_;
+  OccupancyBitmap active_;
+  OccupancyBitmap exhausted_;
 };
 
 }  // namespace elsc

@@ -14,6 +14,8 @@ void LinuxScheduler::AddToRunQueue(Task* task) {
   ListAdd(&task->run_list, &runqueue_head_);
   ++nr_running_;
   ++stats_.wakeups;
+  task->scan_slot = static_cast<int>(scan_.size());
+  scan_.push_back(ScanEntry{task, --front_stamp_});
 }
 
 void LinuxScheduler::DelFromRunQueue(Task* task) {
@@ -23,16 +25,24 @@ void LinuxScheduler::DelFromRunQueue(Task* task) {
   // The kernel marks "off the run queue" by nulling only the next pointer.
   task->run_list.next = nullptr;
   task->run_list.prev = nullptr;
+  // Swap-pop the mirror slot; the moved entry keeps its stamp.
+  const size_t slot = static_cast<size_t>(task->scan_slot);
+  scan_[slot] = scan_.back();
+  scan_[slot].task->scan_slot = static_cast<int>(slot);
+  scan_.pop_back();
+  task->scan_slot = -1;
 }
 
 void LinuxScheduler::MoveFirstRunQueue(Task* task) {
   ELSC_VERIFY(task->OnRunQueue());
   ListMove(&task->run_list, &runqueue_head_);
+  scan_[task->scan_slot].stamp = --front_stamp_;
 }
 
 void LinuxScheduler::MoveLastRunQueue(Task* task) {
   ELSC_VERIFY(task->OnRunQueue());
   ListMoveTail(&task->run_list, &runqueue_head_);
+  scan_[task->scan_slot].stamp = ++back_stamp_;
 }
 
 void LinuxScheduler::RecalculateCounters() {
@@ -82,17 +92,41 @@ Task* LinuxScheduler::Schedule(int this_cpu, Task* prev, CostMeter& meter) {
 
     // The heart of the stock scheduler: evaluate goodness() for every task
     // on the run queue that is not currently executing on a processor.
-    for (ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
-      Task* p = ListEntry<Task, &Task::run_list>(node);
+    //
+    // The walk runs over the dense mirror instead of the list so the loads
+    // are independent and prefetchable — host-time only. Equivalence with
+    // the list walk: the kernel loop keeps the *first* task in list order
+    // whose goodness strictly exceeds everything before it (ties lose to the
+    // earlier task and to prev's seed value `c`). Mirror stamps strictly
+    // increase front-to-back, so that task is exactly the lexicographic
+    // maximum of (goodness, -stamp) over the same examined set; comparing
+    // its weight against `c` with strict > once at the end preserves prev's
+    // tie win. The examined set — every queued task with has_cpu == 0 — and
+    // hence every ChargeExamine() is identical.
+    Task* cand = nullptr;
+    long cand_w = 0;
+    int64_t cand_stamp = 0;
+    const size_t n = scan_.size();
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 4 < n) {
+        __builtin_prefetch(scan_[i + 4].task);
+      }
+      Task* p = scan_[i].task;
       if (!CanSchedule(*p)) {
         continue;
       }
       meter.ChargeExamine();
       const long weight = Goodness(*p, this_cpu, this_mm, config_.smp);
-      if (weight > c) {
-        c = weight;
-        next = p;
+      if (cand == nullptr || weight > cand_w ||
+          (weight == cand_w && scan_[i].stamp < cand_stamp)) {
+        cand = p;
+        cand_w = weight;
+        cand_stamp = scan_[i].stamp;
       }
+    }
+    if (cand != nullptr && cand_w > c) {
+      c = cand_w;
+      next = cand;
     }
 
     // Do we need to re-calculate counters? c == 0 means a runnable task was
@@ -133,8 +167,12 @@ std::string LinuxScheduler::DebugString() const {
 
 void LinuxScheduler::CheckInvariants() const {
   // The list must be a consistent circular doubly-linked list whose length
-  // matches nr_running, and every member must be TASK_RUNNING.
+  // matches nr_running, and every member must be TASK_RUNNING. The scan
+  // mirror must contain exactly the list's members, each task's scan_slot
+  // must point at its own entry, and stamps must strictly increase along the
+  // list front-to-back (the property the Schedule() equivalence relies on).
   size_t count = 0;
+  int64_t prev_stamp = front_stamp_ - 1;  // Strictly below every live stamp.
   for (const ListHead* node = runqueue_head_.next; node != &runqueue_head_; node = node->next) {
     ELSC_VERIFY(node->next->prev == node);
     ELSC_VERIFY(node->prev->next == node);
@@ -144,10 +182,17 @@ void LinuxScheduler::CheckInvariants() const {
     // exactly the kernel's window between set_current_state and schedule().
     ELSC_VERIFY_MSG(p->state == TaskState::kRunning || p->has_cpu != 0,
                    "non-runnable task on run queue");
+    ELSC_VERIFY_MSG(p->scan_slot >= 0 && static_cast<size_t>(p->scan_slot) < scan_.size() &&
+                        scan_[p->scan_slot].task == p,
+                    "scan mirror out of sync with run queue list");
+    const int64_t stamp = scan_[p->scan_slot].stamp;
+    ELSC_VERIFY_MSG(stamp > prev_stamp, "scan mirror stamps not increasing in list order");
+    prev_stamp = stamp;
     ++count;
     ELSC_VERIFY_MSG(count <= all_tasks_->size() + 1, "run queue list is corrupt (cycle?)");
   }
   ELSC_VERIFY_MSG(count == nr_running_, "nr_running out of sync with run queue length");
+  ELSC_VERIFY_MSG(scan_.size() == count, "scan mirror size out of sync with run queue length");
 }
 
 }  // namespace elsc

@@ -13,6 +13,7 @@
 #ifndef SRC_SCHED_LINUX_SCHEDULER_H_
 #define SRC_SCHED_LINUX_SCHEDULER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/base/intrusive_list.h"
@@ -55,6 +56,28 @@ class LinuxScheduler : public Scheduler {
   static bool CanSchedule(const Task& p) { return p.has_cpu == 0; }
 
   ListHead runqueue_head_;
+
+  // Dense mirror of the run queue, used only by the Schedule() scan. The
+  // circular list above stays authoritative (kernel parity, snapshots,
+  // invariants); the mirror lets the O(n) goodness scan walk a contiguous
+  // array of task pointers instead of chasing list nodes, turning a serial
+  // dependent-load chain into independent, prefetchable loads. Host-time
+  // only: the examine count and the picked task are provably identical
+  // (see the equivalence argument in Schedule()).
+  //
+  // `stamp` reproduces list order without ever shifting the array: stamps
+  // strictly increase from list front to list back (front inserts take
+  // --front_stamp_, tail moves take ++back_stamp_), so "first task with the
+  // strictly greatest goodness in list order" equals "task with the
+  // lexicographically greatest (goodness, -stamp)". CheckInvariants()
+  // verifies mirror membership and stamp monotonicity against the list.
+  struct ScanEntry {
+    Task* task;
+    int64_t stamp;
+  };
+  std::vector<ScanEntry> scan_;
+  int64_t front_stamp_ = 0;  // Next front insert gets --front_stamp_.
+  int64_t back_stamp_ = 0;   // Next tail move gets ++back_stamp_.
 };
 
 }  // namespace elsc

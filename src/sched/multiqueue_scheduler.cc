@@ -17,6 +17,8 @@ MultiQueueScheduler::MultiQueueScheduler(const CostModel& cost_model, TaskList* 
   for (auto& queue : queues_) {
     InitListHead(&queue.head);
   }
+  nonempty_.Reset(config.num_cpus);
+  steal_order_.reserve(queues_.size());
 }
 
 int MultiQueueScheduler::HomeQueue(const Task& task) const {
@@ -30,6 +32,7 @@ void MultiQueueScheduler::AddToRunQueue(Task* task) {
   ListAdd(&task->run_list, &queues_[static_cast<size_t>(q)].head);
   task->run_list_index = q;
   ++sizes_[static_cast<size_t>(q)];
+  nonempty_.Set(q);
   ++nr_running_;
   ++stats_.wakeups;
 }
@@ -43,7 +46,9 @@ void MultiQueueScheduler::DelFromRunQueue(Task* task) {
   task->run_list.prev = nullptr;
   task->run_list_index = -1;
   ELSC_VERIFY(sizes_[static_cast<size_t>(q)] > 0);
-  --sizes_[static_cast<size_t>(q)];
+  if (--sizes_[static_cast<size_t>(q)] == 0) {
+    nonempty_.Clear(q);
+  }
   --nr_running_;
 }
 
@@ -129,28 +134,37 @@ Task* MultiQueueScheduler::Schedule(int this_cpu, Task* prev, CostMeter& meter) 
     Task* stolen = nullptr;
     long stolen_weight = 0;
     bool any_runnable_elsewhere = false;
-    // Visit peers longest-first.
-    std::vector<int> order;
-    for (int q = 0; q < config_.num_cpus; ++q) {
-      if (q != this_cpu) {
-        order.push_back(q);
+    // Non-empty-queue bitmap early exit: when every peer queue is empty the
+    // longest-first ordering below would visit nothing, so skip building it.
+    const bool any_peer_work =
+        nonempty_.Any() &&
+        !(nonempty_.PopCount() == 1 && nonempty_.Test(this_cpu));
+    if (any_peer_work) {
+      // Visit peers longest-first. The scratch vector is rebuilt and sorted
+      // exactly as before, so ties between equal-length queues resolve the
+      // same way; only the per-call allocation is gone.
+      steal_order_.clear();
+      for (int q = 0; q < config_.num_cpus; ++q) {
+        if (q != this_cpu) {
+          steal_order_.push_back(q);
+        }
       }
-    }
-    std::sort(order.begin(), order.end(),
-              [this](int a, int b) { return sizes_[static_cast<size_t>(a)] > sizes_[static_cast<size_t>(b)]; });
-    for (const int q : order) {
-      if (sizes_[static_cast<size_t>(q)] == 0) {
-        continue;
-      }
-      meter.ChargeLock();  // Peer queue lock.
-      long weight = kUnschedulableWeight;
-      Task* candidate = SearchQueue(q, this_cpu, this_mm, meter, &weight);
-      if (candidate != nullptr) {
-        any_runnable_elsewhere = true;
-        if (weight > stolen_weight) {
-          stolen_weight = weight;
-          stolen = candidate;
-          break;  // Longest queue's best positive candidate is good enough.
+      std::sort(steal_order_.begin(), steal_order_.end(),
+                [this](int a, int b) { return sizes_[static_cast<size_t>(a)] > sizes_[static_cast<size_t>(b)]; });
+      for (const int q : steal_order_) {
+        if (sizes_[static_cast<size_t>(q)] == 0) {
+          continue;
+        }
+        meter.ChargeLock();  // Peer queue lock.
+        long weight = kUnschedulableWeight;
+        Task* candidate = SearchQueue(q, this_cpu, this_mm, meter, &weight);
+        if (candidate != nullptr) {
+          any_runnable_elsewhere = true;
+          if (weight > stolen_weight) {
+            stolen_weight = weight;
+            stolen = candidate;
+            break;  // Longest queue's best positive candidate is good enough.
+          }
         }
       }
     }
@@ -163,6 +177,7 @@ Task* MultiQueueScheduler::Schedule(int this_cpu, Task* prev, CostMeter& meter) 
       ListAdd(&stolen->run_list, &queues_[static_cast<size_t>(this_cpu)].head);
       stolen->run_list_index = this_cpu;
       ++sizes_[static_cast<size_t>(this_cpu)];
+      nonempty_.Set(this_cpu);
       ++nr_running_;
       ++steals_;
       meter.ChargeIndex();
@@ -218,6 +233,8 @@ void MultiQueueScheduler::CheckInvariants() const {
       ELSC_VERIFY_MSG(count <= nr_running_ + 1, "multiqueue list corrupt (cycle?)");
     }
     ELSC_VERIFY_MSG(count == sizes_[static_cast<size_t>(q)], "queue size counter out of sync");
+    ELSC_VERIFY_MSG(nonempty_.Test(q) == (count != 0),
+                    "multiqueue non-empty bitmap disagrees with queue contents");
     total += count;
   }
   ELSC_VERIFY_MSG(total == nr_running_, "nr_running out of sync with queues");

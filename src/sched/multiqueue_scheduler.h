@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/intrusive_list.h"
 #include "src/sched/scheduler.h"
 
@@ -65,6 +66,15 @@ class MultiQueueScheduler : public Scheduler {
 
   std::vector<PerCpu> queues_;
   std::vector<size_t> sizes_;
+  // Bit q set iff queue q is non-empty: lets the steal path skip the
+  // longest-first sort entirely when every peer queue is empty (the common
+  // case on lightly loaded machines), without changing which queue is
+  // visited when work does exist.
+  OccupancyBitmap nonempty_;
+  // Scratch for the longest-first peer ordering, reused across Schedule()
+  // calls to avoid a heap allocation per steal attempt. Built and sorted
+  // exactly as the per-call vector was, so the visit order is unchanged.
+  std::vector<int> steal_order_;
   uint64_t steals_ = 0;
 };
 

@@ -1,35 +1,8 @@
 #include "src/sim/engine.h"
 
 #include <limits>
-#include <utility>
-
-#include "src/base/assert.h"
 
 namespace elsc {
-
-EventId Engine::ScheduleAfter(Cycles delay, EventCallback fn) {
-  return queue_.Schedule(now_ + delay, std::move(fn));
-}
-
-EventId Engine::ScheduleAt(Cycles when, EventCallback fn) {
-  ELSC_CHECK_MSG(when >= now_, "event scheduled in the past");
-  return queue_.Schedule(when, std::move(fn));
-}
-
-bool Engine::Step(Cycles deadline) {
-  if (queue_.Empty()) {
-    return false;
-  }
-  if (queue_.NextTime() > deadline) {
-    return false;
-  }
-  EventQueue::Fired fired = queue_.PopNext();
-  ELSC_CHECK_MSG(fired.when >= now_, "event queue time went backwards");
-  now_ = fired.when;
-  ++events_processed_;
-  fired.fn();
-  return true;
-}
 
 uint64_t Engine::RunUntil(Cycles deadline) {
   stop_requested_ = false;

@@ -9,7 +9,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "src/base/assert.h"
 #include "src/base/time_units.h"
 #include "src/sim/event_queue.h"
 
@@ -22,10 +24,16 @@ class Engine {
   // Schedules `fn` to run `delay` cycles from now. Callbacks are stored in
   // the small-buffer EventCallback type; lambdas with modest captures (and
   // std::function values) convert implicitly and allocate nothing.
-  EventId ScheduleAfter(Cycles delay, EventCallback fn);
+  // Inline (with Step below) so the per-event path inlines across TUs.
+  EventId ScheduleAfter(Cycles delay, EventCallback fn) {
+    return queue_.Schedule(now_ + delay, std::move(fn));
+  }
 
   // Schedules `fn` at absolute time `when`; `when` must be >= Now().
-  EventId ScheduleAt(Cycles when, EventCallback fn);
+  EventId ScheduleAt(Cycles when, EventCallback fn) {
+    ELSC_CHECK_MSG(when >= now_, "event scheduled in the past");
+    return queue_.Schedule(when, std::move(fn));
+  }
 
   bool Cancel(EventId id) { return queue_.Cancel(id); }
 
@@ -52,7 +60,20 @@ class Engine {
   const EventQueueStats& queue_stats() const { return queue_.stats(); }
 
  private:
-  bool Step(Cycles deadline);
+  bool Step(Cycles deadline) {
+    if (queue_.Empty()) {
+      return false;
+    }
+    if (queue_.NextTime() > deadline) {
+      return false;
+    }
+    EventQueue::Fired fired = queue_.PopNext();
+    ELSC_CHECK_MSG(fired.when >= now_, "event queue time went backwards");
+    now_ = fired.when;
+    ++events_processed_;
+    fired.fn();
+    return true;
+  }
 
   EventQueue queue_;
   Cycles now_ = 0;

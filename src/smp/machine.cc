@@ -20,10 +20,12 @@ Machine::Machine(const MachineConfig& config)
                                config_.elsc);
   }
   cpus_.reserve(static_cast<size_t>(config_.num_cpus));
+  idle_cpus_.Reset(config_.num_cpus);
   for (int i = 0; i < config_.num_cpus; ++i) {
     auto cpu = std::make_unique<Cpu>();
     cpu->id = i;
     cpus_.push_back(std::move(cpu));
+    idle_cpus_.Set(i);  // Fresh CPUs are idle and available.
   }
 }
 
@@ -37,9 +39,9 @@ MmStruct* Machine::CreateMm() {
 Task* Machine::CreateTask(const TaskParams& params) {
   ELSC_CHECK(params.priority >= kMinPriority && params.priority <= kMaxPriority);
   ELSC_CHECK(params.rt_priority >= 0 && params.rt_priority <= kMaxRtPriority);
-  auto owned = std::make_unique<Task>();
-  Task* task = owned.get();
-  tasks_.push_back(std::move(owned));
+  Task* task = task_arena_.Allocate();
+  task->registry_slot = static_cast<int>(tasks_.size());
+  tasks_.push_back(task);
 
   task->pid = pids_.Next();
   task->name = params.name.empty() ? "task-" + std::to_string(task->pid) : params.name;
@@ -108,6 +110,7 @@ void Machine::RequestSchedule(int cpu_id) {
   }
   ELSC_CHECK_MSG(c.segment_event == 0, "schedule requested with a live segment");
   c.schedule_pending = true;
+  UpdateIdleMask(cpu_id);
   c.schedule_requested_at = Now();
   if (!scheduler_->uses_global_lock()) {
     // Per-CPU-queue schedulers do not serialize on the global runqueue_lock.
@@ -174,6 +177,7 @@ void Machine::FinishSchedule(int cpu_id, Task* next, Cycles pick_cost) {
   }
   c.schedule_pending = false;
   Dispatch(cpu_id, next);
+  UpdateIdleMask(cpu_id);
   // A wakeup may have arrived while this schedule() was in flight. The
   // running case is handled when the segment is installed; the idle case
   // must re-enter schedule() here or the wake would be lost.
@@ -210,6 +214,7 @@ void Machine::Dispatch(int cpu_id, Task* next) {
       c.idle_since = Now();
       ++c.stats.idle_periods;
       trace_.Record(Now(), TraceEventType::kIdle, cpu_id, 0);
+      MaybeRecycleTask(prev);
     }
     return;
   }
@@ -251,6 +256,9 @@ void Machine::Dispatch(int cpu_id, Task* next) {
   trace_.Record(Now(), TraceEventType::kDispatch, cpu_id, next->pid);
 
   InstallSegment(cpu_id, overhead);
+  if (prev != nullptr) {
+    MaybeRecycleTask(prev);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -359,10 +367,15 @@ void Machine::OnSegmentEnd(int cpu_id, uint64_t generation) {
       task->state = TaskState::kInterruptible;
       ++task->stats.voluntary_switches;
       // Timer-driven wake; WakeUpProcess() tolerates the task having been
-      // woken earlier (or having exited) by then.
+      // woken earlier (or having exited) by then. The pending-wake count
+      // keeps the arena from recycling a zombie this event still points at.
       Task* sleeper = task;
-      engine_.ScheduleAfter(task->pending_sleep,
-                            [this, sleeper] { WakeUpProcess(sleeper); });
+      ++sleeper->pending_timer_wakes;
+      engine_.ScheduleAfter(task->pending_sleep, [this, sleeper] {
+        --sleeper->pending_timer_wakes;
+        WakeUpProcess(sleeper);
+        MaybeRecycleTask(sleeper);
+      });
       trace_.Record(Now(), TraceEventType::kSleep, cpu_id, task->pid);
       RequestSchedule(cpu_id);
       break;
@@ -466,17 +479,18 @@ void Machine::RescheduleIdle(Task* woken) {
 
   // SMP reschedule_idle(): prefer the woken task's last CPU if it is idle,
   // then any idle CPU, then the CPU whose current task it beats by the
-  // largest preemption-goodness margin.
-  Cpu& last = *cpus_[static_cast<size_t>(woken->processor)];
-  if (last.current == nullptr && !last.schedule_pending && !last.stalled) {
-    RequestSchedule(last.id);
+  // largest preemption-goodness margin. The idle-CPU mask answers the first
+  // two preferences in O(1) — the bit for CPU i is set exactly when
+  // current == nullptr && !schedule_pending && !stalled, and Lowest() is the
+  // first match of the old ascending-id scan.
+  if (idle_cpus_.Test(woken->processor)) {
+    RequestSchedule(woken->processor);
     return;
   }
-  for (auto& cpu : cpus_) {
-    if (cpu->current == nullptr && !cpu->schedule_pending && !cpu->stalled) {
-      RequestSchedule(cpu->id);
-      return;
-    }
+  const int first_idle = idle_cpus_.Lowest();
+  if (first_idle >= 0) {
+    RequestSchedule(first_idle);
+    return;
   }
   int best_cpu = -1;
   long best_delta = 0;
@@ -660,6 +674,7 @@ void Machine::StallCpu(int cpu_id, Cycles duration) {
     return;
   }
   c.stalled = true;
+  UpdateIdleMask(cpu_id);
   ++stats_.cpu_stalls;
   if (c.segment_event != 0) {
     StopSegment(cpu_id);  // Credits partial work; the segment stays active.
@@ -670,6 +685,7 @@ void Machine::StallCpu(int cpu_id, Cycles duration) {
 void Machine::ResumeCpu(int cpu_id) {
   Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
   c.stalled = false;
+  UpdateIdleMask(cpu_id);
   if (c.schedule_pending) {
     return;  // A pick from before the stall is still in flight.
   }
@@ -686,9 +702,39 @@ void Machine::ResumeCpu(int cpu_id) {
   RequestSchedule(cpu_id);
 }
 
+void Machine::UpdateIdleMask(int cpu_id) {
+  const Cpu& c = *cpus_[static_cast<size_t>(cpu_id)];
+  idle_cpus_.Assign(cpu_id, c.current == nullptr && !c.schedule_pending && !c.stalled);
+}
+
+void Machine::MaybeRecycleTask(Task* task) {
+  if (!config_.recycle_exited_tasks) {
+    return;
+  }
+  // Safe only once nothing can reach the task anymore: it has exited, no CPU
+  // still holds it as its schedule() prev, no timer wake event captured it,
+  // and it is off every run-queue structure.
+  if (task->state != TaskState::kZombie || task->has_cpu != 0 ||
+      task->pending_timer_wakes > 0 || task->OnRunQueue()) {
+    return;
+  }
+  const size_t slot = static_cast<size_t>(task->registry_slot);
+  ELSC_CHECK(slot < tasks_.size() && tasks_[slot] == task);
+  tasks_[slot] = tasks_.back();
+  tasks_[slot]->registry_slot = static_cast<int>(slot);
+  tasks_.pop_back();
+  task_arena_.Release(task);
+}
+
 void Machine::CheckInvariantsIfEnabled() {
   if (config_.check_invariants) {
     scheduler_->CheckInvariants();
+    for (int i = 0; i < num_cpus(); ++i) {
+      const Cpu& c = *cpus_[static_cast<size_t>(i)];
+      ELSC_VERIFY_MSG(idle_cpus_.Test(i) ==
+                          (c.current == nullptr && !c.schedule_pending && !c.stalled),
+                      "idle-CPU mask disagrees with per-CPU state");
+    }
   }
 }
 

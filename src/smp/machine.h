@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "src/base/arena.h"
+#include "src/base/bitmap.h"
 #include "src/base/rng.h"
 #include "src/base/time_units.h"
 #include "src/kernel/behavior.h"
@@ -48,6 +50,14 @@ struct MachineConfig {
   uint64_t seed = 1;
   // Run scheduler invariant checks after every operation (slow; tests only).
   bool check_invariants = false;
+  // Recycle exited tasks' arena slots once no CPU or pending timer event can
+  // still reference them. Off by default: recycling removes zombies from
+  // all_tasks() (and reuses their memory), which is observable to consumers
+  // that index the registry — e.g. the fault injector's spurious-wake victim
+  // selection — so enabling it changes fault-replay sequences. Embedders
+  // running long churn-heavy simulations without such consumers can turn it
+  // on to bound memory by the peak (not total) task population.
+  bool recycle_exited_tasks = false;
   // Extension seam: when set, the Machine builds its scheduler through this
   // factory instead of `scheduler`, so embedders can plug in custom policies
   // (see examples/custom_scheduler.cpp).
@@ -140,8 +150,10 @@ class Machine : public Waker {
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
-  // All tasks ever created (zombies included); owned by the machine.
-  const std::vector<std::unique_ptr<Task>>& all_tasks() const { return tasks_; }
+  // All tasks, in creation order, zombies included (unless
+  // recycle_exited_tasks reclaimed them); owned by the machine's task arena.
+  const std::vector<Task*>& all_tasks() const { return tasks_; }
+  const ArenaStats& task_arena_stats() const { return task_arena_.stats(); }
 
   // ---- Fault-injection hooks (driven by src/faults/) ----
   // Stalls a CPU for `duration` cycles: its live segment is parked (partial
@@ -194,13 +206,28 @@ class Machine : public Waker {
   void ExitTask(int cpu_id, Task* task);
   void CheckInvariantsIfEnabled();
 
+  // ---- idle-CPU mask ----
+  // Re-derives cpu_id's bit: set iff the CPU is idle and available (no
+  // current task, no schedule() in flight, not stalled). Called after every
+  // mutation of those three fields so RescheduleIdle() can find an idle CPU
+  // with one find-first-set instead of scanning every CPU per wakeup.
+  void UpdateIdleMask(int cpu_id);
+
+  // ---- task arena ----
+  // Releases a zombie's slot back to the arena once nothing references it
+  // (recycle_exited_tasks only).
+  void MaybeRecycleTask(Task* task);
+
   MachineConfig config_;
   Engine engine_;
   Rng rng_;
   PidAllocator pids_;
   TaskList task_list_;
   std::vector<std::unique_ptr<MmStruct>> mms_;
-  std::vector<std::unique_ptr<Task>> tasks_;
+  // Task storage: slab arena for stable pointers + freelist reuse; `tasks_`
+  // is the creation-order registry backing all_tasks().
+  SlabArena<Task> task_arena_;
+  std::vector<Task*> tasks_;
   std::unique_ptr<Scheduler> scheduler_;
   std::vector<std::unique_ptr<Cpu>> cpus_;
   MachineStats stats_;
@@ -214,6 +241,9 @@ class Machine : public Waker {
   Cycles pending_tick_jitter_ = 0;
   Cycles pending_lock_stall_ = 0;
   PickObserver pick_observer_;
+
+  // Bit i set iff CPU i is idle and available (see UpdateIdleMask).
+  OccupancyBitmap idle_cpus_;
 
   TraceRecorder trace_;
   size_t live_tasks_ = 0;

@@ -26,23 +26,12 @@ const char* TraceEventTypeName(TraceEventType type) {
   return "?";
 }
 
-void TraceRecorder::Record(Cycles when, TraceEventType type, int cpu, int pid) {
-  if (!enabled_) {
-    return;
-  }
-  ++total_;
-  if (events_.size() == capacity_) {
-    events_.pop_front();
-    ++dropped_;
-  }
-  events_.push_back(TraceEvent{when, type, cpu, pid});
-}
-
 std::string TraceRecorder::Render() const {
   std::string out;
-  for (const TraceEvent& event : events_) {
-    out += StrFormat("t=%llu %s cpu%d pid%d\n", static_cast<unsigned long long>(event.when),
-                     TraceEventTypeName(event.type), event.cpu, event.pid);
+  for (size_t i = 0; i < size(); ++i) {
+    const TraceEvent& ev = event(i);
+    out += StrFormat("t=%llu %s cpu%d pid%d\n", static_cast<unsigned long long>(ev.when),
+                     TraceEventTypeName(ev.type), ev.cpu, ev.pid);
   }
   return out;
 }

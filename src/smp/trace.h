@@ -7,10 +7,12 @@
 #ifndef SRC_SMP_TRACE_H_
 #define SRC_SMP_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
+#include "src/base/assert.h"
 #include "src/base/time_units.h"
 
 namespace elsc {
@@ -35,6 +37,12 @@ struct TraceEvent {
   int pid = 0;
 };
 
+// Fixed-capacity ring: Enable() preallocates the whole buffer once, and
+// recording is an inline bounds-free store + index wrap — no allocation and
+// no deque node churn on the dispatch hot path. When the ring is full the
+// oldest record is overwritten and the drop counter advances; consumers must
+// treat the trace as a *suffix* of the run (check dropped() before assuming
+// lossless capture — see docs/PERF.md).
 class TraceRecorder {
  public:
   // Disabled (capacity 0) by default; Enable() turns recording on with a
@@ -42,29 +50,66 @@ class TraceRecorder {
   void Enable(size_t capacity) {
     capacity_ = capacity;
     enabled_ = capacity > 0;
+    ring_.assign(capacity, TraceEvent{});
+    start_ = 0;
+    size_ = 0;
+    total_ = 0;
+    dropped_ = 0;
   }
   bool enabled() const { return enabled_; }
+  size_t capacity() const { return capacity_; }
 
-  void Record(Cycles when, TraceEventType type, int cpu, int pid);
+  void Record(Cycles when, TraceEventType type, int cpu, int pid) {
+    if (!enabled_) {
+      return;
+    }
+    ++total_;
+    size_t slot;
+    if (size_ == capacity_) {
+      // Full: overwrite the oldest record.
+      slot = start_;
+      start_ = Next(start_);
+      ++dropped_;
+    } else {
+      slot = Wrap(start_ + size_);
+      ++size_;
+    }
+    ring_[slot] = TraceEvent{when, type, cpu, pid};
+  }
 
-  size_t size() const { return events_.size(); }
+  size_t size() const { return size_; }
   uint64_t total_recorded() const { return total_; }
   uint64_t dropped() const { return dropped_; }
-  const std::deque<TraceEvent>& events() const { return events_; }
+  // True iff every recorded event is still in the ring.
+  bool lossless() const { return dropped_ == 0; }
+
+  // i-th retained event, oldest first (0 <= i < size()).
+  const TraceEvent& event(size_t i) const {
+    ELSC_CHECK(i < size_);
+    return ring_[Wrap(start_ + i)];
+  }
+  const TraceEvent& front() const { return event(0); }
+  const TraceEvent& back() const { return event(size_ - 1); }
 
   // Renders "t=<cycles> <type> cpu<k> pid<p>" lines.
   std::string Render() const;
 
   void Clear() {
-    events_.clear();
+    start_ = 0;
+    size_ = 0;
     total_ = 0;
     dropped_ = 0;
   }
 
  private:
+  size_t Next(size_t i) const { return i + 1 == capacity_ ? 0 : i + 1; }
+  size_t Wrap(size_t i) const { return i >= capacity_ ? i - capacity_ : i; }
+
   bool enabled_ = false;
   size_t capacity_ = 0;
-  std::deque<TraceEvent> events_;
+  std::vector<TraceEvent> ring_;
+  size_t start_ = 0;   // Index of the oldest retained event.
+  size_t size_ = 0;    // Retained events (<= capacity_).
   uint64_t total_ = 0;
   uint64_t dropped_ = 0;
 };

@@ -43,6 +43,16 @@ std::string RenderProcSchedStats(const Machine& machine) {
   out += StrFormat("loadavg:              %.2f %.2f %.2f\n", machine.LoadAvg(0),
                    machine.LoadAvg(1), machine.LoadAvg(2));
 
+  // The trace ring overwrites its oldest records when full; surfacing the
+  // drop count here means a report reader never mistakes a truncated trace
+  // for the whole run.
+  const TraceRecorder& trace = machine.trace();
+  if (trace.enabled()) {
+    out += StrFormat("trace_recorded:       %llu\n", (unsigned long long)trace.total_recorded());
+    out += StrFormat("trace_dropped:        %llu%s\n", (unsigned long long)trace.dropped(),
+                     trace.lossless() ? "" : "  (ring wrapped; trace is a suffix of the run)");
+  }
+
   for (int i = 0; i < machine.num_cpus(); ++i) {
     const Cpu& cpu = machine.cpu(i);
     const double busy = CyclesToSec(cpu.stats.busy_cycles);

@@ -45,7 +45,7 @@ std::string RenderPs(const Machine& machine, const PsOptions& options) {
     if (!options.include_zombies && task->state == TaskState::kZombie) {
       continue;
     }
-    tasks.push_back(task.get());
+    tasks.push_back(task);
   }
   if (options.sort_by_cpu) {
     std::stable_sort(tasks.begin(), tasks.end(), [](const Task* a, const Task* b) {

@@ -97,7 +97,9 @@ bool TokenRingWorkload::CountHopWithLatency(Cycles latency) {
   return true;
 }
 
-bool TokenRingWorkload::Done() const { return tokens_retired_ >= config_.tokens; }
+bool TokenRingWorkload::Done() const {
+  return tokens_retired_ >= static_cast<uint64_t>(config_.tokens);
+}
 
 TokenRingResult TokenRingWorkload::Result() const {
   TokenRingResult result;

@@ -1,0 +1,98 @@
+// Tests for the slab arena: stable pointers, freelist reuse, liveness
+// accounting, and destructor cleanup of still-live objects.
+
+#include "src/base/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace elsc {
+namespace {
+
+struct Tracked {
+  static int live_count;
+  int value = 0;
+  Tracked() { ++live_count; }
+  ~Tracked() { --live_count; }
+};
+int Tracked::live_count = 0;
+
+TEST(SlabArenaTest, AllocatesValueInitializedObjects) {
+  SlabArena<Tracked, 4> arena;
+  Tracked* a = arena.Allocate();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, 0);
+  EXPECT_EQ(arena.live(), 1u);
+  EXPECT_EQ(arena.stats().allocated, 1u);
+  EXPECT_EQ(arena.stats().chunks, 1u);
+}
+
+TEST(SlabArenaTest, PointersStayStableAcrossGrowth) {
+  SlabArena<Tracked, 4> arena;
+  std::vector<Tracked*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    Tracked* p = arena.Allocate();
+    p->value = i;
+    ptrs.push_back(p);
+  }
+  EXPECT_EQ(arena.stats().chunks, 25u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ptrs[static_cast<size_t>(i)]->value, i) << "pointer invalidated by growth";
+  }
+  // All distinct slots.
+  EXPECT_EQ(std::set<Tracked*>(ptrs.begin(), ptrs.end()).size(), 100u);
+}
+
+TEST(SlabArenaTest, ReleaseRecyclesSlots) {
+  SlabArena<Tracked, 4> arena;
+  Tracked* a = arena.Allocate();
+  Tracked* b = arena.Allocate();
+  a->value = 41;
+  arena.Release(a);
+  EXPECT_EQ(arena.live(), 1u);
+  Tracked* c = arena.Allocate();
+  EXPECT_EQ(c, a) << "freelist must hand back the released slot";
+  EXPECT_EQ(c->value, 0) << "recycled slot must be freshly constructed";
+  EXPECT_EQ(arena.stats().reused, 1u);
+  EXPECT_EQ(arena.stats().chunks, 1u);
+  arena.Release(b);
+  arena.Release(c);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(SlabArenaTest, ChurnReusesInsteadOfGrowing) {
+  SlabArena<Tracked, 8> arena;
+  // Peak population 8 → one chunk, however much churn follows.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Tracked*> batch;
+    for (int i = 0; i < 8; ++i) {
+      batch.push_back(arena.Allocate());
+    }
+    for (Tracked* p : batch) {
+      arena.Release(p);
+    }
+  }
+  EXPECT_EQ(arena.stats().chunks, 1u);
+  EXPECT_EQ(arena.stats().allocated, 400u);
+  EXPECT_EQ(arena.stats().reused, 392u);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(SlabArenaTest, DestructorDestroysLiveObjects) {
+  Tracked::live_count = 0;
+  {
+    SlabArena<Tracked, 4> arena;
+    for (int i = 0; i < 10; ++i) {
+      arena.Allocate();
+    }
+    Tracked* last = arena.Allocate();
+    arena.Release(last);
+    EXPECT_EQ(Tracked::live_count, 10);
+  }
+  EXPECT_EQ(Tracked::live_count, 0) << "arena destructor must destroy live objects";
+}
+
+}  // namespace
+}  // namespace elsc

@@ -1,0 +1,114 @@
+// Tests for the fixed-capacity occupancy bitmap backing the O(1) run-queue
+// scans: the find-first/find-last queries must agree with a straightforward
+// linear scan on every state the table code can put it in.
+
+#include "src/base/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/rng.h"
+
+namespace elsc {
+namespace {
+
+TEST(OccupancyBitmapTest, StartsEmpty) {
+  OccupancyBitmap bm(30);
+  EXPECT_EQ(bm.bits(), 30);
+  EXPECT_TRUE(bm.None());
+  EXPECT_FALSE(bm.Any());
+  EXPECT_EQ(bm.Highest(), -1);
+  EXPECT_EQ(bm.Lowest(), -1);
+  EXPECT_EQ(bm.HighestAtOrBelow(29), -1);
+  EXPECT_EQ(bm.PopCount(), 0);
+}
+
+TEST(OccupancyBitmapTest, SetClearTest) {
+  OccupancyBitmap bm(30);
+  bm.Set(7);
+  bm.Set(21);
+  EXPECT_TRUE(bm.Test(7));
+  EXPECT_TRUE(bm.Test(21));
+  EXPECT_FALSE(bm.Test(8));
+  EXPECT_EQ(bm.PopCount(), 2);
+  bm.Clear(7);
+  EXPECT_FALSE(bm.Test(7));
+  bm.Assign(3, true);
+  bm.Assign(21, false);
+  EXPECT_TRUE(bm.Test(3));
+  EXPECT_FALSE(bm.Test(21));
+}
+
+TEST(OccupancyBitmapTest, HighestLowestAcrossWordBoundaries) {
+  // 100 bits spans two words; exercise both sides of the 64-bit seam.
+  OccupancyBitmap bm(100);
+  bm.Set(3);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(99);
+  EXPECT_EQ(bm.Highest(), 99);
+  EXPECT_EQ(bm.Lowest(), 3);
+  EXPECT_EQ(bm.HighestAtOrBelow(98), 64);
+  EXPECT_EQ(bm.HighestAtOrBelow(64), 64);
+  EXPECT_EQ(bm.HighestAtOrBelow(63), 63);
+  EXPECT_EQ(bm.HighestAtOrBelow(62), 3);
+  EXPECT_EQ(bm.HighestAtOrBelow(3), 3);
+  EXPECT_EQ(bm.HighestAtOrBelow(2), -1);
+  EXPECT_EQ(bm.HighestAtOrBelow(-1), -1);
+  // A limit beyond bits() clamps (NextPopulatedList passes top-1 freely).
+  EXPECT_EQ(bm.HighestAtOrBelow(1000), 99);
+}
+
+TEST(OccupancyBitmapTest, CopyFromAndClearAll) {
+  OccupancyBitmap a(50);
+  OccupancyBitmap b(50);
+  a.Set(0);
+  a.Set(49);
+  b.CopyFrom(a);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(49));
+  EXPECT_EQ(b.PopCount(), 2);
+  b.ClearAll();
+  EXPECT_TRUE(b.None());
+  EXPECT_TRUE(a.Test(49)) << "CopyFrom must not disturb the source";
+}
+
+TEST(OccupancyBitmapTest, ResetChangesSizeAndClears) {
+  OccupancyBitmap bm(10);
+  bm.Set(9);
+  bm.Reset(64);
+  EXPECT_EQ(bm.bits(), 64);
+  EXPECT_TRUE(bm.None());
+  bm.Set(63);
+  EXPECT_EQ(bm.Highest(), 63);
+}
+
+// Randomized cross-check against a std::set reference model.
+TEST(OccupancyBitmapTest, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(123);
+  for (const int bits : {1, 30, 64, 65, 200, 256}) {
+    OccupancyBitmap bm(bits);
+    std::set<int> model;
+    for (int step = 0; step < 2000; ++step) {
+      const int i = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(bits)));
+      if (rng.NextBelow(2) == 0) {
+        bm.Set(i);
+        model.insert(i);
+      } else {
+        bm.Clear(i);
+        model.erase(i);
+      }
+      ASSERT_EQ(bm.PopCount(), static_cast<int>(model.size()));
+      ASSERT_EQ(bm.Any(), !model.empty());
+      ASSERT_EQ(bm.Highest(), model.empty() ? -1 : *model.rbegin());
+      ASSERT_EQ(bm.Lowest(), model.empty() ? -1 : *model.begin());
+      const int limit = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(bits)));
+      auto it = model.upper_bound(limit);
+      ASSERT_EQ(bm.HighestAtOrBelow(limit), it == model.begin() ? -1 : *std::prev(it));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elsc

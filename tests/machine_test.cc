@@ -313,5 +313,87 @@ TEST(MachinePriorityTest, SetTaskPriorityRefilesTask) {
   (void)hog_task;
 }
 
+TEST(MachineArenaTest, ZombiesStayRegisteredByDefault) {
+  Machine machine(SmpConfig(2, SchedulerKind::kElsc));
+  std::vector<std::unique_ptr<SpinnerBehavior>> behaviors;
+  for (int i = 0; i < 6; ++i) {
+    behaviors.push_back(std::make_unique<SpinnerBehavior>(MsToCycles(1), MsToCycles(5)));
+    TaskParams params;
+    params.behavior = behaviors.back().get();
+    machine.CreateTask(params);
+  }
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(5)));
+  // Without recycle_exited_tasks, exited tasks remain visible (ps-style
+  // reports and the fault injector's victim table depend on this).
+  EXPECT_EQ(machine.all_tasks().size(), 6u);
+  for (const Task* task : machine.all_tasks()) {
+    EXPECT_EQ(task->state, TaskState::kZombie);
+  }
+  EXPECT_EQ(machine.task_arena_stats().reused, 0u);
+  EXPECT_EQ(machine.task_arena_stats().released, 0u);
+}
+
+TEST(MachineArenaTest, RecycleReusesTaskSlots) {
+  MachineConfig config = SmpConfig(2, SchedulerKind::kElsc);
+  config.recycle_exited_tasks = true;
+  Machine machine(config);
+
+  // Waves of short-lived tasks: later waves must land in slots freed by
+  // earlier ones. Behaviors outlive their tasks.
+  std::vector<std::unique_ptr<SpinnerBehavior>> behaviors;
+  auto spawn = [&machine, &behaviors](int count) {
+    for (int i = 0; i < count; ++i) {
+      behaviors.push_back(std::make_unique<SpinnerBehavior>(MsToCycles(1), MsToCycles(4)));
+      TaskParams params;
+      params.behavior = behaviors.back().get();
+      machine.CreateTask(params);
+    }
+  };
+  spawn(4);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(5)));
+  // RunUntilAllExited stops at the final exit event; run a little longer so
+  // the CPU's pending reschedule dispatches to idle and releases the last
+  // zombie (a zombie stays `current` until the switch away from it).
+  machine.RunFor(MsToCycles(1));
+  EXPECT_EQ(machine.all_tasks().size(), 0u) << "recycled zombies must leave the registry";
+  const uint64_t released_first_wave = machine.task_arena_stats().released;
+  EXPECT_EQ(released_first_wave, 4u);
+
+  spawn(4);
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  machine.RunFor(MsToCycles(1));
+  EXPECT_EQ(machine.all_tasks().size(), 0u);
+  EXPECT_GT(machine.task_arena_stats().reused, 0u) << "second wave must reuse freed slots";
+  EXPECT_EQ(machine.task_arena_stats().allocated, 8u);
+  EXPECT_EQ(machine.task_arena_stats().released, 8u);
+}
+
+TEST(MachineArenaTest, RecycleIsSafeWithSleepersAndInvariantChecks) {
+  // Sleeping tasks hold pending timer wakes; recycling must wait for those
+  // to drain (a recycled-too-early task would be touched by a stale timer).
+  MachineConfig config = SmpConfig(2, SchedulerKind::kLinux);
+  config.recycle_exited_tasks = true;
+  Machine machine(config);
+  std::vector<std::unique_ptr<InteractiveBehavior>> sleepers;
+  std::vector<std::unique_ptr<SpinnerBehavior>> hogs;
+  TaskParams params;
+  for (int i = 0; i < 3; ++i) {
+    sleepers.push_back(std::make_unique<InteractiveBehavior>(UsToCycles(200), MsToCycles(2), 8));
+    params.behavior = sleepers.back().get();
+    machine.CreateTask(params);
+    hogs.push_back(std::make_unique<SpinnerBehavior>(MsToCycles(1), MsToCycles(10)));
+    params.behavior = hogs.back().get();
+    machine.CreateTask(params);
+  }
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  machine.RunFor(MsToCycles(1));
+  EXPECT_EQ(machine.all_tasks().size(), 0u);
+  EXPECT_EQ(machine.task_arena_stats().released, 6u);
+  EXPECT_EQ(machine.task_arena_stats().allocated, machine.task_arena_stats().released);
+}
+
 }  // namespace
 }  // namespace elsc

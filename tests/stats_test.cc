@@ -157,6 +157,33 @@ TEST(ProcReportTest, ReportContainsPaperCounters) {
   }
   EXPECT_NE(report.find("elsc"), std::string::npos);
   EXPECT_NE(report.find("2P"), std::string::npos);
+  // Trace disabled: the report must not pretend there is a trace to read.
+  EXPECT_EQ(report.find("trace_recorded:"), std::string::npos);
+}
+
+TEST(ProcReportTest, ReportSurfacesTraceDrops) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.scheduler = SchedulerKind::kLinux;
+  Machine machine(config);
+  // A 4-slot ring under a busy run is guaranteed to wrap, so the report must
+  // show a nonzero drop count and the suffix warning.
+  machine.trace().Enable(4);
+  SpinnerBehavior spinner(MsToCycles(2), MsToCycles(40));
+  TaskParams params;
+  params.behavior = &spinner;
+  for (int i = 0; i < 4; ++i) {
+    machine.CreateTask(params);
+  }
+  machine.Start();
+  machine.RunUntilAllExited(SecToCycles(5));
+
+  ASSERT_FALSE(machine.trace().lossless());
+  const std::string report = RenderProcSchedStats(machine);
+  EXPECT_NE(report.find("trace_recorded:"), std::string::npos);
+  EXPECT_NE(report.find("trace_dropped:"), std::string::npos);
+  EXPECT_NE(report.find("ring wrapped"), std::string::npos);
 }
 
 }  // namespace

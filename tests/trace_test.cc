@@ -41,8 +41,29 @@ TEST(TraceRecorderTest, RingDropsOldest) {
   EXPECT_EQ(trace.size(), 3u);
   EXPECT_EQ(trace.total_recorded(), 10u);
   EXPECT_EQ(trace.dropped(), 7u);
-  EXPECT_EQ(trace.events().front().pid, 7);
-  EXPECT_EQ(trace.events().back().pid, 9);
+  EXPECT_FALSE(trace.lossless());
+  EXPECT_EQ(trace.front().pid, 7);
+  EXPECT_EQ(trace.event(1).pid, 8);
+  EXPECT_EQ(trace.back().pid, 9);
+}
+
+TEST(TraceRecorderTest, RingWrapsInOrder) {
+  TraceRecorder trace;
+  trace.Enable(4);
+  for (int i = 0; i < 11; ++i) {
+    trace.Record(static_cast<Cycles>(i * 10), TraceEventType::kDispatch, 0, i);
+  }
+  // The retained window is the newest `capacity` records, oldest first.
+  ASSERT_EQ(trace.size(), 4u);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.event(i).pid, 7 + static_cast<int>(i));
+    EXPECT_EQ(trace.event(i).when, static_cast<Cycles>((7 + i) * 10));
+  }
+  // Re-enabling resets the ring and the counters.
+  trace.Enable(2);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_TRUE(trace.lossless());
 }
 
 TEST(TraceRecorderTest, ClearResets) {
@@ -85,11 +106,19 @@ TEST_P(TraceMachineTest, TimelineObeysSchedulingCausality) {
   machine.Start();
   ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
 
+  // The replay below assumes lossless capture: a dropped prefix would make
+  // e.g. a dispatch of an already-woken task look like a causality bug. The
+  // ring was sized for the whole run; assert that held.
+  ASSERT_TRUE(machine.trace().lossless())
+      << "trace ring too small for this run: dropped " << machine.trace().dropped();
+
   // Replay: per-pid state machine.
   enum class State { kRunnable, kOnCpu, kSleeping, kDead };
   std::map<int, State> state;
   Cycles last_time = 0;
-  for (const TraceEvent& event : machine.trace().events()) {
+  const TraceRecorder& trace = machine.trace();
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const TraceEvent& event = trace.event(i);
     ASSERT_GE(event.when, last_time) << "trace not time-ordered";
     last_time = event.when;
     switch (event.type) {
