@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
                          "migrations"});
   const std::vector<uint64_t> windows = {0, 1, 4, 16, 64};
   const std::vector<elsc::VolanoRun> runs =
-      elsc::RunMatrix(windows.size(), [&windows, rooms](size_t i) {
+      elsc::RunBenchMatrix("ablation_affinity_decay", windows.size(), [&windows, rooms](size_t i) {
         elsc::VolanoConfig volano;
         volano.rooms = rooms;
         elsc::MachineConfig machine =
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
     if (!run.result.completed) {
       std::fprintf(stderr, "window=%llu run did not complete!\n",
                    static_cast<unsigned long long>(window));
-      return 1;
+      return elsc::BenchExit(1);
     }
     const double newcpu_pct =
         100.0 * static_cast<double>(run.stats.sched.picks_new_processor) /
@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
       "throughput, recovering as the window widens. Dropping affinity after many\n"
       "intervening tasks would only pay off if same-CPU cache reuse also decayed,\n"
       "which this model (and the paper's +15 constant) does not capture.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
                          "new-cpu pick %"});
   const std::vector<int> extras = {1, 2, 5, 10, 20, 40};
   const std::vector<elsc::VolanoRun> runs =
-      elsc::RunMatrix(extras.size(), [&extras, rooms](size_t i) {
+      elsc::RunBenchMatrix("ablation_search_limit", extras.size(), [&extras, rooms](size_t i) {
         elsc::VolanoConfig volano;
         volano.rooms = rooms;
         elsc::MachineConfig machine =
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const elsc::VolanoRun& run = runs[i];
     if (!run.result.completed) {
       std::fprintf(stderr, "extra=%d run did not complete!\n", extra);
-      return 1;
+      return elsc::BenchExit(1);
     }
     const double new_cpu_pct =
         100.0 * static_cast<double>(run.stats.sched.picks_new_processor) /
@@ -55,5 +55,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: growing the limit raises tasks-examined and\n"
       "cycles/schedule while lowering the cross-CPU placement rate; the paper's\n"
       "default sits at the knee of the curve.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     return lists >= kMaxStatic ? 1 : (kMaxStatic + lists - 1) / lists;
   };
   const std::vector<elsc::VolanoRun> runs =
-      elsc::RunMatrix(list_counts.size(), [&list_counts, &divisor_for, rooms](size_t i) {
+      elsc::RunBenchMatrix("ablation_table_size", list_counts.size(),
+                           [&list_counts, &divisor_for, rooms](size_t i) {
         elsc::VolanoConfig volano;
         volano.rooms = rooms;
         elsc::MachineConfig machine =
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
     const elsc::VolanoRun& run = runs[i];
     if (!run.result.completed) {
       std::fprintf(stderr, "lists=%d run did not complete!\n", lists);
-      return 1;
+      return elsc::BenchExit(1);
     }
     table.AddRow({std::to_string(lists), std::to_string(divisor_for(lists)),
                   elsc::FmtF(run.result.throughput, 0),
@@ -58,5 +59,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: with one list the search degenerates (bounded only by the\n"
       "search limit, losing selection quality); past ~10-20 lists the benefit\n"
       "saturates — the paper's 20-list/divisor-4 choice is on the plateau.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -52,8 +52,8 @@ int main(int argc, char** argv) {
   }
 
   const double start = NowSec();
-  const std::vector<elsc::ChaosMixRun> runs = elsc::RunMatrix(
-      cells.size(),
+  const std::vector<elsc::ChaosMixRun> runs = elsc::RunBenchMatrix(
+      "chaos_smoke", cells.size(),
       [&](size_t i) {
         elsc::ChaosMixConfig mix;
         mix.seed = seed;
@@ -127,7 +127,7 @@ int main(int argc, char** argv) {
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
+    return elsc::BenchExit(1);
   }
   std::fprintf(out, "{\n  \"seed\": %llu,\n  \"elapsed_sec\": %.3f,\n  \"cells\": [\n",
                static_cast<unsigned long long>(seed), elapsed);
@@ -168,14 +168,28 @@ int main(int argc, char** argv) {
         runs[i].stats.failed ? "true" : "false", runs[i].stats.failure.c_str(),
         i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(out, "  ],\n  \"all_green\": %s\n}\n", all_green ? "true" : "false");
+  const elsc::SupervisionStats& sup = elsc::GlobalSupervisionStats();
+  std::fprintf(out,
+               "  ],\n"
+               "  \"supervision\": {\"cells\": %llu, \"completed\": %llu, "
+               "\"quarantined\": %llu, \"skipped\": %llu, \"resumed\": %llu, "
+               "\"retries\": %llu, \"timeouts\": %llu},\n"
+               "  \"all_green\": %s\n}\n",
+               static_cast<unsigned long long>(sup.cells),
+               static_cast<unsigned long long>(sup.completed),
+               static_cast<unsigned long long>(sup.quarantined),
+               static_cast<unsigned long long>(sup.skipped),
+               static_cast<unsigned long long>(sup.resumed),
+               static_cast<unsigned long long>(sup.retries),
+               static_cast<unsigned long long>(sup.timeouts),
+               all_green ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
 
   if (!all_green) {
     std::fprintf(stderr, "chaos smoke: RED — violations or watchdog firings above\n");
-    return 1;
+    return elsc::BenchExit(1);
   }
   std::printf("chaos smoke: all %zu cells green in %.2fs\n", cells.size(), elapsed);
-  return 0;
+  return elsc::BenchExit(0);
 }

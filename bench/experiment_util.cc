@@ -1,11 +1,89 @@
 #include "bench/experiment_util.h"
 
+#include <cerrno>  // program_invocation_name (glibc) for repro commands.
 #include <cstdio>
 #include <cstdlib>
 
 #include "src/base/string_util.h"
+#include "src/harness/journal.h"
+#include "src/stats/proc_report.h"
 
 namespace elsc {
+
+namespace {
+
+// The rerun command printed in quarantine repro lines.
+std::string BenchCommand() {
+#ifdef __GLIBC__
+  return program_invocation_name != nullptr ? program_invocation_name
+                                            : "<bench binary>";
+#else
+  return "<bench binary>";
+#endif
+}
+
+}  // namespace
+
+SupervisionStats& GlobalSupervisionStats() {
+  static SupervisionStats stats;
+  return stats;
+}
+
+void AccumulateSupervision(const SupervisionStats& stats) {
+  GlobalSupervisionStats().Accumulate(stats);
+}
+
+uint64_t RunJournalFingerprint(const std::string& what) {
+  return RunJournal::Fingerprint(what);
+}
+
+uint64_t VolanoMatrixId(const std::vector<VolanoCellSpec>& cells, int replicates) {
+  std::string identity = StrFormat("volano r%d", replicates);
+  for (const VolanoCellSpec& spec : cells) {
+    identity += StrFormat(" %llx:%llx",
+                          static_cast<unsigned long long>(VolanoCellKey(spec)),
+                          static_cast<unsigned long long>(spec.seed));
+  }
+  return RunJournal::Fingerprint(identity);
+}
+
+CellCodec<VolanoRun> VolanoRunCodec() {
+  CellCodec<VolanoRun> codec;
+  codec.encode = [](const VolanoRun& run) { return EncodeVolanoRun(run); };
+  codec.decode = [](const std::string& payload, VolanoRun* run) {
+    return DecodeVolanoRun(payload, run);
+  };
+  return codec;
+}
+
+SupervisorOptions MakeBenchSupervisorOptions(
+    uint64_t matrix_id, std::function<std::string(size_t)> describe_cell) {
+  SupervisorOptions options = SupervisorOptions::FromEnv();
+  options.matrix_id = matrix_id;
+  options.repro = [describe = std::move(describe_cell)](size_t i) {
+    const std::string cell = describe ? describe(i) : StrFormat("cell=%zu", i);
+    return StrFormat("ELSC_BENCH_JOBS=1 %s  # %s", BenchCommand().c_str(),
+                     cell.c_str());
+  };
+  return options;
+}
+
+int BenchExit(int code) {
+  const SupervisionStats& stats = GlobalSupervisionStats();
+  if (stats.cells > 0) {
+    std::printf("%s", RenderSupervisionReport(stats).c_str());
+  }
+  if (!stats.AllOk()) {
+    std::fprintf(stderr,
+                 "elsc-supervisor: FAILED — %llu quarantined, %llu skipped of "
+                 "%llu cells (see repro lines above)\n",
+                 static_cast<unsigned long long>(stats.quarantined),
+                 static_cast<unsigned long long>(stats.skipped),
+                 static_cast<unsigned long long>(stats.cells));
+    return code != 0 ? code : 1;
+  }
+  return code;
+}
 
 uint64_t VolanoCellKey(const VolanoCellSpec& spec) {
   return (static_cast<uint64_t>(spec.kernel) << 48) |
@@ -38,25 +116,47 @@ VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms,
   return RunVolano(machine, volano);
 }
 
-std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, int jobs) {
-  return RunMatrix(
-      cells.size(),
-      [&cells](size_t i) {
-        const VolanoCellSpec& spec = cells[i];
-        return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms, spec.seed);
+namespace {
+
+// Shared supervised runner for volano matrices: `replicates` consecutive
+// indices per spec (1 for plain RunVolanoCells).
+std::vector<VolanoRun> RunVolanoMatrix(const std::vector<VolanoCellSpec>& cells,
+                                       int replicates, int jobs) {
+  const size_t total = cells.size() * static_cast<size_t>(replicates);
+  auto describe = [&cells, replicates](size_t i) {
+    const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
+    const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
+    return StrFormat("volano kernel=%s sched=%s rooms=%d replicate=%d "
+                     "cell_key=0x%llx seed=0x%llx",
+                     KernelConfigLabel(spec.kernel), PaperLabel(spec.scheduler),
+                     spec.rooms, replicate,
+                     static_cast<unsigned long long>(VolanoCellKey(spec)),
+                     static_cast<unsigned long long>(ReplicateSeed(spec, replicate)));
+  };
+  SupervisorOptions options =
+      MakeBenchSupervisorOptions(VolanoMatrixId(cells, replicates), describe);
+  SupervisedRun<VolanoRun> run = RunSupervised(
+      options, total,
+      [&cells, replicates](size_t i) {
+        const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
+        const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
+        return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms,
+                             ReplicateSeed(spec, replicate));
       },
-      jobs);
+      VolanoRunCodec(), jobs);
+  AccumulateSupervision(run.stats);
+  return std::move(run.results);
+}
+
+}  // namespace
+
+std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, int jobs) {
+  return RunVolanoMatrix(cells, 1, jobs);
 }
 
 std::vector<VolanoCellSummary> RunVolanoCellSummaries(const std::vector<VolanoCellSpec>& cells) {
   const int replicates = BenchReplicates();
-  const size_t total = cells.size() * static_cast<size_t>(replicates);
-  std::vector<VolanoRun> runs = RunMatrix(total, [&cells, replicates](size_t i) {
-    const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
-    const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
-    return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms,
-                         ReplicateSeed(spec, replicate));
-  });
+  std::vector<VolanoRun> runs = RunVolanoMatrix(cells, replicates, 0);
   std::vector<VolanoCellSummary> summaries(cells.size());
   for (size_t c = 0; c < cells.size(); ++c) {
     VolanoCellSummary& summary = summaries[c];

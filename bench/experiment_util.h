@@ -17,10 +17,13 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/api/simulation.h"
+#include "src/base/string_util.h"
 #include "src/harness/run_matrix.h"
+#include "src/harness/supervisor.h"
 #include "src/stats/summary.h"
 #include "src/stats/table.h"
 
@@ -70,6 +73,12 @@ VolanoRun RunVolanoCell(KernelConfig kernel, SchedulerKind scheduler, int rooms,
 
 // Runs every cell through the parallel harness; results in spec order.
 // jobs = 0 uses BenchJobs().
+//
+// Cells run under the run supervisor (src/harness/supervisor.h): watchdog,
+// retry/quarantine, and — because VolanoRun has an exact round-trip codec —
+// journaled checkpoint/resume when ELSC_RUN_JOURNAL is set. A quarantined
+// cell yields a default VolanoRun (result.completed == false); outcomes feed
+// the process-wide supervision accumulator surfaced by BenchExit().
 std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, int jobs = 0);
 
 // A cell run BenchReplicates() times with derived seeds.
@@ -95,6 +104,53 @@ void PrintBenchHeader(const std::string& experiment, const std::string& descript
 // If the ELSC_BENCH_CSV_DIR environment variable is set, writes `table` to
 // <dir>/<name>.csv and prints the path; otherwise does nothing.
 void MaybeExportCsv(const std::string& name, const TextTable& table);
+
+// ---------------------------------------------------------------------------
+// Supervision plumbing shared by every bench main.
+// ---------------------------------------------------------------------------
+
+// Process-wide accumulator over every supervised matrix this binary ran;
+// BenchExit() renders it and decides the exit status.
+SupervisionStats& GlobalSupervisionStats();
+void AccumulateSupervision(const SupervisionStats& stats);
+
+// Stable identity of a volano replicate matrix (hash of cell keys, seeds,
+// and the replicate count) — binds the resume journal to the experiment.
+uint64_t VolanoMatrixId(const std::vector<VolanoCellSpec>& cells, int replicates);
+
+// Exact round-trip codec (EncodeVolanoRun/DecodeVolanoRun) enabling
+// journaled resume for volano matrices.
+CellCodec<VolanoRun> VolanoRunCodec();
+
+// Supervisor options for a bench matrix: environment knobs plus a repro line
+// naming the rerun command. `describe_cell` (optional) renders cell identity
+// (kernel/scheduler/rooms/replicate/seed) into the quarantine line.
+SupervisorOptions MakeBenchSupervisorOptions(
+    uint64_t matrix_id, std::function<std::string(size_t)> describe_cell);
+
+// FNV-1a 64 of `what` (exposed so RunBenchMatrix can live in the header).
+uint64_t RunJournalFingerprint(const std::string& what);
+
+// Supervised drop-in for RunMatrix in bench mains whose cell results have no
+// round-trip codec (kcompile, webserver, ablations...): watchdog + retry +
+// quarantine, but no journal. `what` names the matrix in quarantine lines.
+// Failed cells yield default-constructed results.
+template <typename Fn>
+auto RunBenchMatrix(const std::string& what, size_t cells, Fn&& run_cell,
+                    int jobs = 0) -> std::vector<std::decay_t<decltype(run_cell(size_t{0}))>> {
+  SupervisorOptions options = MakeBenchSupervisorOptions(
+      RunJournalFingerprint(what),
+      [what](size_t i) { return what + StrFormat(" cell=%zu", i); });
+  auto run = RunSupervised(options, cells, std::forward<Fn>(run_cell), {}, jobs);
+  AccumulateSupervision(run.stats);
+  return std::move(run.results);
+}
+
+// Standard bench epilogue: prints the supervision report when any supervised
+// matrix ran, then returns `code` — escalated to nonzero when any cell was
+// quarantined or skipped, so CI fails even though every other cell completed
+// and every table was printed.
+int BenchExit(int code);
 
 }  // namespace elsc
 

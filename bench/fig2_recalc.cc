@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const elsc::VolanoRun& el = runs[cell++];
     if (!reg.result.completed || !el.result.completed) {
       std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
-      return 1;
+      return elsc::BenchExit(1);
     }
     table.AddRow({KernelConfigLabel(kernel), elsc::FmtI(reg.stats.sched.recalc_entries),
                   elsc::FmtI(el.stats.sched.recalc_entries),
@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: reg enters the recalculate loop orders of magnitude more\n"
       "often than elsc on every configuration; elsc converts the solo-yield storm\n"
       "into cheap re-runs of the yielding task (yield_reruns column).\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

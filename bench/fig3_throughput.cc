@@ -84,5 +84,5 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): elsc series stay essentially flat with room\n"
       "count; reg series decline steadily (about -24%% from 5 to 20 rooms on the\n"
       "uniprocessor) and collapse hardest on the 4-processor configuration.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

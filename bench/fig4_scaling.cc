@@ -39,7 +39,7 @@ int main() {
       const elsc::VolanoCellSummary& twenty = summaries[cell++];
       if (!five.completed || !twenty.completed) {
         std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
-        return 1;
+        return elsc::BenchExit(1);
       }
       const double factor = twenty.throughput.mean() / five.throughput.mean();
       row.push_back(elsc::FmtMeanSd(five.throughput, 0));
@@ -57,5 +57,5 @@ int main() {
       "\nExpected shape (paper): elsc factors cluster near 1.0 on every\n"
       "configuration; reg factors fall well short (roughly 0.6-0.8, with the\n"
       "4-processor configuration the worst).\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     const elsc::VolanoRun& el = runs[cell++];
     if (!reg.result.completed || !el.result.completed) {
       std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
-      return 1;
+      return elsc::BenchExit(1);
     }
     auto lock_share = [](const elsc::SchedStats& s) {
       const double total = static_cast<double>(s.cycles_in_schedule + s.lock_wait_cycles);
@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
       "tasks, growing with CPUs) and burns 5,000-20,000+ cycles per entry; elsc\n"
       "examines a bounded handful and stays in the low thousands. On SMP, the\n"
       "global run-queue lock wait adds to reg's bill.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const elsc::VolanoRun& el = runs[cell++];
     if (!reg.result.completed || !el.result.completed) {
       std::fprintf(stderr, "%s run did not complete!\n", KernelConfigLabel(kernel));
-      return 1;
+      return elsc::BenchExit(1);
     }
     calls.AddRow({KernelConfigLabel(kernel),
                   elsc::FmtF(static_cast<double>(reg.stats.sched.schedule_calls) / 1000.0, 0),
@@ -67,5 +67,5 @@ int main(int argc, char** argv) {
       "(its two documented adverse statistics), and on SMP configurations it\n"
       "schedules tasks onto new processors far more often — the price of\n"
       "searching only the top static-priority class.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

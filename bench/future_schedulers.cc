@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       if (!run.result.completed) {
         std::fprintf(stderr, "%s/%s did not complete!\n", KernelConfigLabel(kernel),
                      SchedulerKindName(kind));
-        return 1;
+        return elsc::BenchExit(1);
       }
       const elsc::SchedStats& s = run.stats.sched;
       const double lock_pct =
@@ -60,5 +60,5 @@ int main(int argc, char** argv) {
       "dynamic bonuses; the per-CPU multi-queue design eliminates global-lock\n"
       "waiting entirely and preserves affinity by construction — the direction\n"
       "Linux ultimately took (the 2.5 O(1) scheduler).\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

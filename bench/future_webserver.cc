@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<elsc::WebserverRun> runs =
-      elsc::RunMatrix(cell_specs.size(), [&cell_specs, workers, rate](size_t i) {
+      elsc::RunBenchMatrix("future_webserver", cell_specs.size(),
+                           [&cell_specs, workers, rate](size_t i) {
         elsc::WebserverConfig workload;
         workload.workers = workers;
         workload.arrival_rate_per_sec = rate;
@@ -64,5 +65,5 @@ int main(int argc, char** argv) {
       "queue stays short, so ELSC's gains are modest — visible mainly in tail\n"
       "latency and cycles/schedule, not raw throughput. The scheduler is not the\n"
       "primary bottleneck for this workload shape.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

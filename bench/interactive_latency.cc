@@ -87,7 +87,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<LatencyResult> results =
-      elsc::RunMatrix(cells.size(), [&cells, kernel](size_t i) {
+      elsc::RunBenchMatrix("interactive_latency", cells.size(), [&cells, kernel](size_t i) {
         return MeasureLatency(kernel, cells[i].kind, cells[i].hogs);
       });
   size_t cell = 0;
@@ -105,5 +105,5 @@ int main(int argc, char** argv) {
       "its banked counter wins the preemption check. The heap's static-goodness\n"
       "ties break by insertion order instead, so its latency grows with the hog\n"
       "population — the selection-quality cost of dropping the dynamic bonuses.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     }
   }
   const std::vector<CellResult> results =
-      elsc::RunMatrix(cells.size(), [&cells, ring_tasks, hops](size_t i) {
+      elsc::RunBenchMatrix("lat_ctx", cells.size(), [&cells, ring_tasks, hops](size_t i) {
         elsc::MachineConfig mc = MakeMachineConfig(elsc::KernelConfig::kUp, cells[i].kind, 1);
         elsc::Machine machine(mc);
         elsc::TokenRingConfig rc;
@@ -78,5 +78,5 @@ int main(int argc, char** argv) {
       "\nReading: with K tokens, K-1 queued tasks pad everyone's wall latency\n"
       "equally; the scheduler-cost difference is the extra growth of the stock\n"
       "column relative to the bounded (elsc/heap) and per-CPU (multiqueue) ones.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

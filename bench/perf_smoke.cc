@@ -85,14 +85,20 @@ double EventQueueChurn(uint64_t total_events, elsc::EventQueueStats* out_stats) 
   return static_cast<double>(ops) / elapsed;
 }
 
+// Incomplete cells no longer abort the whole smoke: the supervisor already
+// quarantined (and printed a repro for) anything that crashed or timed out,
+// so record the damage and let BenchExit() turn it into a nonzero exit after
+// every remaining number has been measured and written.
+int g_incomplete_cells = 0;
+
 double TimeMatrix(const std::vector<elsc::VolanoCellSpec>& cells, int jobs) {
   const double start = NowSec();
   const std::vector<elsc::VolanoRun> runs = elsc::RunVolanoCells(cells, jobs);
   const double elapsed = NowSec() - start;
-  for (const elsc::VolanoRun& run : runs) {
-    if (!run.result.completed) {
-      std::fprintf(stderr, "matrix cell did not complete!\n");
-      std::exit(1);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].result.completed) {
+      std::fprintf(stderr, "matrix cell %zu did not complete!\n", i);
+      ++g_incomplete_cells;
     }
   }
   return elapsed;
@@ -139,8 +145,9 @@ int main(int argc, char** argv) {
   std::FILE* out = std::fopen(json_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path);
-    return 1;
+    return elsc::BenchExit(1);
   }
+  const elsc::SupervisionStats& sup = elsc::GlobalSupervisionStats();
   std::fprintf(out,
                "{\n"
                "  \"events_per_sec\": %.0f,\n"
@@ -152,15 +159,31 @@ int main(int argc, char** argv) {
                "  \"matrix_jobs\": %d,\n"
                "  \"matrix_serial_sec\": %.3f,\n"
                "  \"matrix_parallel_sec\": %.3f,\n"
-               "  \"matrix_speedup\": %.3f\n"
+               "  \"matrix_speedup\": %.3f,\n"
+               "  \"supervision\": {\n"
+               "    \"cells\": %llu,\n"
+               "    \"completed\": %llu,\n"
+               "    \"quarantined\": %llu,\n"
+               "    \"skipped\": %llu,\n"
+               "    \"resumed\": %llu,\n"
+               "    \"retries\": %llu,\n"
+               "    \"timeouts\": %llu\n"
+               "  }\n"
                "}\n",
                events_per_sec, static_cast<unsigned long long>(churn_events),
                static_cast<unsigned long long>(churn_stats.callback_heap_allocs),
                static_cast<unsigned long long>(churn_stats.slot_allocs),
                static_cast<unsigned long long>(churn_stats.max_heap_depth),
                cells.size(), jobs, serial_sec, parallel_sec,
-               serial_sec / parallel_sec);
+               serial_sec / parallel_sec,
+               static_cast<unsigned long long>(sup.cells),
+               static_cast<unsigned long long>(sup.completed),
+               static_cast<unsigned long long>(sup.quarantined),
+               static_cast<unsigned long long>(sup.skipped),
+               static_cast<unsigned long long>(sup.resumed),
+               static_cast<unsigned long long>(sup.retries),
+               static_cast<unsigned long long>(sup.timeouts));
   std::fclose(out);
   std::printf("wrote %s\n", json_path);
-  return 0;
+  return elsc::BenchExit(g_incomplete_cells > 0 ? 1 : 0);
 }

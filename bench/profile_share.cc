@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
   const std::vector<elsc::SchedulerKind> kinds = {elsc::SchedulerKind::kLinux,
                                                   elsc::SchedulerKind::kElsc};
   const std::vector<Share> shares =
-      elsc::RunMatrix(room_counts.size() * kinds.size(), [&](size_t i) {
+      elsc::RunBenchMatrix("profile_share", room_counts.size() * kinds.size(), [&](size_t i) {
         return MeasureShare(kernel, kinds[i % kinds.size()],
                             room_counts[i / kinds.size()]);
       });
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
     const Share el = shares[cell++];
     if (!reg.ok || !el.ok) {
       std::fprintf(stderr, "%d-room run did not complete!\n", rooms);
-      return 1;
+      return elsc::BenchExit(1);
     }
     table.AddRow({std::to_string(rooms), elsc::FmtF(reg.sched_pct, 1) + "%",
                   elsc::FmtF(el.sched_pct, 1) + "%"});
@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: the stock scheduler's share grows steadily with rooms\n"
       "(the paper's motivating observation); ELSC's stays small and flat.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

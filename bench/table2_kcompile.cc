@@ -45,7 +45,8 @@ int main(int argc, char** argv) {
   const size_t num_rows = sizeof(rows) / sizeof(rows[0]);
   // One flat matrix of rows x runs cells; seeds stay run+1 as before.
   const std::vector<elsc::KcompileRun> results =
-      elsc::RunMatrix(num_rows * static_cast<size_t>(runs), [&rows, runs](size_t i) {
+      elsc::RunBenchMatrix("table2_kcompile", num_rows * static_cast<size_t>(runs),
+                           [&rows, runs](size_t i) {
         const PaperRow& row = rows[i / static_cast<size_t>(runs)];
         const uint64_t run = i % static_cast<size_t>(runs);
         const elsc::MachineConfig machine =
@@ -61,7 +62,7 @@ int main(int argc, char** argv) {
           results[r * static_cast<size_t>(runs) + static_cast<size_t>(run)];
       if (!result.result.completed) {
         std::fprintf(stderr, "%s run %d did not complete!\n", row.label, run);
-        return 1;
+        return elsc::BenchExit(1);
       }
       elapsed.Add(result.result.elapsed_sec);
     }
@@ -72,5 +73,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nExpected shape: measured times match the paper's pattern — the two\n"
       "schedulers are within noise of each other, with a slight UP edge for ELSC.\n");
-  return 0;
+  return elsc::BenchExit(0);
 }

@@ -137,7 +137,8 @@ int main(int argc, char** argv) {
         {KernelConfig::kSmp2, SchedulerKind::kLinux},
     };
     const std::vector<elsc::KcompileRun> compiles =
-        elsc::RunMatrix(compile_cells.size(), [&compile_cells, &kc](size_t i) {
+        elsc::RunBenchMatrix("validate_paper kcompile", compile_cells.size(),
+                             [&compile_cells, &kc](size_t i) {
           return RunKcompile(
               MakeMachineConfig(compile_cells[i].first, compile_cells[i].second), kc);
         });
@@ -158,5 +159,5 @@ int main(int argc, char** argv) {
 
   std::printf("\n%s: %d failure(s)\n", g_failures == 0 ? "ALL CLAIMS HOLD" : "CLAIMS VIOLATED",
               g_failures);
-  return g_failures == 0 ? 0 : 1;
+  return elsc::BenchExit(g_failures == 0 ? 0 : 1);
 }

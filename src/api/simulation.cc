@@ -1,5 +1,7 @@
 #include "src/api/simulation.h"
 
+#include <cstdlib>
+#include <exception>
 #include <utility>
 
 #include "src/base/assert.h"
@@ -77,8 +79,11 @@ RunStats CollectStats(const Machine& machine) {
 
 // Shared run loop for every facade entry point: arms the chaos layer (a
 // no-op when `chaos` is defaulted), traps recoverable invariant violations
-// so a corrupted run degrades into RunStats::failed instead of aborting, and
-// folds the injector/auditor verdicts into the stats.
+// and uncaught workload exceptions so a corrupted run degrades into
+// RunStats::failed instead of aborting, and folds the injector/auditor
+// verdicts into the stats. A CellDeadlineExceeded from the supervisor's
+// watchdog is deliberately NOT an std::exception and punches through to the
+// supervisor's retry loop.
 template <typename Workload>
 RunStats RunWithChaos(Machine& machine, Workload& workload, Cycles deadline,
                       const ChaosOptions& chaos) {
@@ -90,12 +95,19 @@ RunStats RunWithChaos(Machine& machine, Workload& workload, Cycles deadline,
   RunStats stats;
   {
     ViolationTrap trap;
+    std::string exception_failure;
     try {
       machine.RunUntil([&workload] { return workload.Done(); }, deadline);
     } catch (const InvariantViolation&) {
       // Recorded in the trap; fall through and report the partial run.
+    } catch (const std::exception& e) {
+      exception_failure = StrFormat("uncaught exception: %s", e.what());
     }
     stats = CollectStats(machine);
+    if (!exception_failure.empty()) {
+      stats.failed = true;
+      stats.failure = std::move(exception_failure);
+    }
     if (trap.triggered()) {
       const ViolationInfo& v = trap.info();
       stats.failed = true;
@@ -181,6 +193,189 @@ std::string RunStatsDigest(const RunStats& stats) {
   out += StrFormat("failed:%d|", stats.failed ? 1 : 0);
   out += StrFormat("elapsed:%a", stats.elapsed_sec);
   return out;
+}
+
+namespace {
+
+// Cursor over a space-separated token stream; doubles round-trip via %a /
+// strtod (which parses hex-floats exactly).
+class TokenReader {
+ public:
+  explicit TokenReader(const std::string& payload) : p_(payload.c_str()) {}
+
+  bool U64(uint64_t* value) {
+    char* end = nullptr;
+    *value = std::strtoull(p_, &end, 10);
+    return Advance(end);
+  }
+
+  bool F64(double* value) {
+    char* end = nullptr;
+    *value = std::strtod(p_, &end);
+    return Advance(end);
+  }
+
+  bool Bool(bool* value) {
+    uint64_t v = 0;
+    if (!U64(&v) || v > 1) {
+      return false;
+    }
+    *value = v != 0;
+    return true;
+  }
+
+  // Everything after the tokens consumed so far (the trailing free-form
+  // failure string; "" when the stream is exhausted).
+  std::string Rest() const { return std::string(p_); }
+
+ private:
+  bool Advance(char* end) {
+    if (end == p_) {
+      return false;  // No digits consumed: malformed.
+    }
+    p_ = end;
+    while (*p_ == ' ') {
+      ++p_;
+    }
+    return true;
+  }
+
+  const char* p_;
+};
+
+void AppendU64(std::string* out, uint64_t value) {
+  *out += StrFormat("%llu ", static_cast<unsigned long long>(value));
+}
+
+void AppendF64(std::string* out, double value) {
+  *out += StrFormat("%a ", value);
+}
+
+}  // namespace
+
+std::string EncodeRunStats(const RunStats& stats) {
+  std::string out;
+  const SchedStats& s = stats.sched;
+  AppendU64(&out, s.schedule_calls);
+  AppendU64(&out, s.idle_schedules);
+  AppendU64(&out, s.cycles_in_schedule);
+  AppendU64(&out, s.lock_wait_cycles);
+  AppendU64(&out, s.tasks_examined);
+  AppendU64(&out, s.recalc_entries);
+  AppendU64(&out, s.recalc_tasks_touched);
+  AppendU64(&out, s.picks_new_processor);
+  AppendU64(&out, s.picks_prev);
+  AppendU64(&out, s.picks_no_affinity);
+  AppendU64(&out, s.yield_reruns);
+  AppendU64(&out, s.wakeups);
+  AppendU64(&out, s.preemption_ipis);
+  const MachineStats& m = stats.machine;
+  AppendU64(&out, m.ticks);
+  AppendU64(&out, m.context_switches);
+  AppendU64(&out, m.migrations);
+  AppendU64(&out, m.wakeups);
+  AppendU64(&out, m.tasks_created);
+  AppendU64(&out, m.tasks_exited);
+  AppendU64(&out, m.quantum_expiries);
+  AppendU64(&out, m.preempt_requests);
+  AppendU64(&out, m.ticks_dropped);
+  AppendU64(&out, m.cpu_stalls);
+  AppendU64(&out, m.lock_stall_cycles);
+  const EventQueueStats& e = stats.events;
+  AppendU64(&out, e.scheduled);
+  AppendU64(&out, e.fired);
+  AppendU64(&out, e.cancelled);
+  AppendU64(&out, e.callback_heap_allocs);
+  AppendU64(&out, e.slot_allocs);
+  AppendU64(&out, e.max_heap_depth);
+  const FaultStats& f = stats.faults;
+  AppendU64(&out, f.tick_drops);
+  AppendU64(&out, f.tick_jitters);
+  AppendU64(&out, f.storm_bursts);
+  AppendU64(&out, f.storm_tasks);
+  AppendU64(&out, f.spurious_wakes);
+  AppendU64(&out, f.yield_tasks);
+  AppendU64(&out, f.cpu_stalls);
+  AppendU64(&out, f.lock_stalls);
+  const AuditStats& a = stats.audit;
+  AppendU64(&out, a.audits);
+  AppendU64(&out, a.picks_audited);
+  AppendU64(&out, a.conservation_violations);
+  AppendU64(&out, a.counter_violations);
+  AppendU64(&out, a.structure_violations);
+  AppendU64(&out, a.table_violations);
+  AppendU64(&out, a.ordering_violations);
+  AppendU64(&out, a.starvation_reports);
+  AppendU64(&out, a.livelock_reports);
+  AppendF64(&out, stats.elapsed_sec);
+  AppendU64(&out, stats.failed ? 1 : 0);
+  out += stats.failure;  // Last: may contain spaces (but never newlines).
+  return out;
+}
+
+bool DecodeRunStats(const std::string& payload, RunStats* stats) {
+  RunStats out;
+  TokenReader r(payload);
+  SchedStats& s = out.sched;
+  MachineStats& m = out.machine;
+  EventQueueStats& e = out.events;
+  FaultStats& f = out.faults;
+  AuditStats& a = out.audit;
+  const bool ok =
+      r.U64(&s.schedule_calls) && r.U64(&s.idle_schedules) &&
+      r.U64(&s.cycles_in_schedule) && r.U64(&s.lock_wait_cycles) &&
+      r.U64(&s.tasks_examined) && r.U64(&s.recalc_entries) &&
+      r.U64(&s.recalc_tasks_touched) && r.U64(&s.picks_new_processor) &&
+      r.U64(&s.picks_prev) && r.U64(&s.picks_no_affinity) &&
+      r.U64(&s.yield_reruns) && r.U64(&s.wakeups) && r.U64(&s.preemption_ipis) &&
+      r.U64(&m.ticks) && r.U64(&m.context_switches) && r.U64(&m.migrations) &&
+      r.U64(&m.wakeups) && r.U64(&m.tasks_created) && r.U64(&m.tasks_exited) &&
+      r.U64(&m.quantum_expiries) && r.U64(&m.preempt_requests) &&
+      r.U64(&m.ticks_dropped) && r.U64(&m.cpu_stalls) &&
+      r.U64(&m.lock_stall_cycles) && r.U64(&e.scheduled) && r.U64(&e.fired) &&
+      r.U64(&e.cancelled) && r.U64(&e.callback_heap_allocs) &&
+      r.U64(&e.slot_allocs) && r.U64(&e.max_heap_depth) && r.U64(&f.tick_drops) &&
+      r.U64(&f.tick_jitters) && r.U64(&f.storm_bursts) && r.U64(&f.storm_tasks) &&
+      r.U64(&f.spurious_wakes) && r.U64(&f.yield_tasks) && r.U64(&f.cpu_stalls) &&
+      r.U64(&f.lock_stalls) && r.U64(&a.audits) && r.U64(&a.picks_audited) &&
+      r.U64(&a.conservation_violations) && r.U64(&a.counter_violations) &&
+      r.U64(&a.structure_violations) && r.U64(&a.table_violations) &&
+      r.U64(&a.ordering_violations) && r.U64(&a.starvation_reports) &&
+      r.U64(&a.livelock_reports) && r.F64(&out.elapsed_sec) && r.Bool(&out.failed);
+  if (!ok) {
+    return false;
+  }
+  out.failure = r.Rest();
+  *stats = std::move(out);
+  return true;
+}
+
+std::string EncodeVolanoRun(const VolanoRun& run) {
+  // VolanoResult first so the RunStats trailer (free-form failure string)
+  // stays at the end of the payload.
+  std::string out;
+  AppendU64(&out, run.result.completed ? 1 : 0);
+  AppendF64(&out, run.result.elapsed_sec);
+  AppendU64(&out, run.result.messages_sent);
+  AppendU64(&out, run.result.messages_delivered);
+  AppendF64(&out, run.result.throughput);
+  out += EncodeRunStats(run.stats);
+  return out;
+}
+
+bool DecodeVolanoRun(const std::string& payload, VolanoRun* run) {
+  VolanoRun out;
+  TokenReader r(payload);
+  if (!r.Bool(&out.result.completed) || !r.F64(&out.result.elapsed_sec) ||
+      !r.U64(&out.result.messages_sent) || !r.U64(&out.result.messages_delivered) ||
+      !r.F64(&out.result.throughput)) {
+    return false;
+  }
+  if (!DecodeRunStats(r.Rest(), &out.stats)) {
+    return false;
+  }
+  *run = std::move(out);
+  return true;
 }
 
 VolanoRun RunVolano(const MachineConfig& machine_config, const VolanoConfig& workload_config,

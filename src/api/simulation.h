@@ -68,10 +68,22 @@ struct RunStats {
 // across job counts.
 std::string RunStatsDigest(const RunStats& stats);
 
+// Exact round-trip encodings for the run-supervisor's journal (checkpoint/
+// resume, see src/harness/supervisor.h): every counter as a decimal token,
+// every double as a %a hex-float, and the free-form failure string last so
+// it may contain spaces. Decode returns false on malformed input (the
+// supervisor then re-runs the cell) and guarantees
+// Encode(Decode(Encode(x))) == Encode(x).
+std::string EncodeRunStats(const RunStats& stats);
+bool DecodeRunStats(const std::string& payload, RunStats* stats);
+
 struct VolanoRun {
   VolanoResult result;
   RunStats stats;
 };
+
+std::string EncodeVolanoRun(const VolanoRun& run);
+bool DecodeVolanoRun(const std::string& payload, VolanoRun* run);
 
 struct KcompileRun {
   KcompileResult result;

@@ -1,0 +1,74 @@
+// Failure taxonomy for supervised execution.
+//
+// The run supervisor (src/harness/supervisor.h) converts everything a matrix
+// cell can do wrong — throw, trip an ELSC_VERIFY invariant, exceed its
+// wall-clock deadline, exhaust memory — into a (kind, class) pair:
+//
+//   kind   — what happened mechanically (timeout, exception, violation, ...)
+//   class  — what to do about it:
+//            kTransient      retry with backoff (the failure depends on the
+//                            host machine's moment-to-moment state, not on
+//                            the cell's inputs: wall-clock deadlines,
+//                            resource exhaustion)
+//            kDeterministic  quarantine immediately (cells are pure functions
+//                            of their index/seed, so an exception or an
+//                            invariant violation will recur on every retry)
+//
+// This sits on top of ViolationTrap (src/base/assert.h): a trapped
+// ELSC_VERIFY becomes FailureKind::kViolation rather than a process abort.
+
+#ifndef SRC_BASE_FAILURE_H_
+#define SRC_BASE_FAILURE_H_
+
+namespace elsc {
+
+enum class FailureKind {
+  kNone = 0,
+  kTimeout,    // Cell watchdog deadline expired (CellDeadlineExceeded).
+  kException,  // Uncaught std::exception (or unknown throw) from the cell.
+  kViolation,  // ELSC_VERIFY invariant violation trapped during the cell.
+  kResource,   // Host resource exhaustion (std::bad_alloc and friends).
+};
+
+enum class FailureClass {
+  kNone = 0,
+  kTransient,      // Retry with bounded exponential backoff.
+  kDeterministic,  // Quarantine with a repro line; retrying cannot help.
+};
+
+inline const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:      return "none";
+    case FailureKind::kTimeout:   return "timeout";
+    case FailureKind::kException: return "exception";
+    case FailureKind::kViolation: return "violation";
+    case FailureKind::kResource:  return "resource";
+  }
+  return "?";
+}
+
+inline const char* FailureClassName(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kNone:          return "none";
+    case FailureClass::kTransient:     return "transient";
+    case FailureClass::kDeterministic: return "deterministic";
+  }
+  return "?";
+}
+
+// Policy: cells are pure functions of (cell index, seed), so only failures
+// caused by the *host* rather than the *inputs* are worth retrying.
+inline FailureClass Classify(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:      return FailureClass::kNone;
+    case FailureKind::kTimeout:   return FailureClass::kTransient;
+    case FailureKind::kResource:  return FailureClass::kTransient;
+    case FailureKind::kException: return FailureClass::kDeterministic;
+    case FailureKind::kViolation: return FailureClass::kDeterministic;
+  }
+  return FailureClass::kDeterministic;
+}
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_FAILURE_H_

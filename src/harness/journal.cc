@@ -1,0 +1,169 @@
+#include "src/harness/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+
+namespace elsc {
+
+namespace {
+
+std::string EscapePayload(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool UnescapePayload(const std::string& escaped, std::string* raw) {
+  raw->clear();
+  raw->reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      *raw += escaped[i];
+      continue;
+    }
+    if (++i == escaped.size()) {
+      return false;  // Trailing lone backslash: torn write.
+    }
+    switch (escaped[i]) {
+      case '\\': *raw += '\\'; break;
+      case 'n': *raw += '\n'; break;
+      case 'r': *raw += '\r'; break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t RunJournal::Fingerprint(const std::string& data) {
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+RunJournal::~RunJournal() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+bool RunJournal::Open(const std::string& path, uint64_t matrix_id, size_t cells) {
+  entries_.clear();
+  error_.clear();
+
+  char header[96];
+  std::snprintf(header, sizeof(header), "elscjournal v1 id=%016" PRIx64 " cells=%zu",
+                matrix_id, cells);
+
+  if (std::FILE* in = std::fopen(path.c_str(), "r")) {
+    std::string line;
+    bool saw_header = false;
+    char buf[4096];
+    bool line_complete = false;
+    auto process_line = [&]() -> bool {  // false = stop parsing (corruption).
+      if (!saw_header) {
+        if (line != header) {
+          error_ = "journal header mismatch: expected \"" + std::string(header) +
+                   "\", found \"" + line + "\"";
+          return false;
+        }
+        saw_header = true;
+        return true;
+      }
+      // cell <index> <attempts> <fnv64 hex> <escaped payload>
+      size_t index = 0;
+      int attempts = 0;
+      uint64_t sum = 0;
+      int consumed = -1;
+      if (std::sscanf(line.c_str(), "cell %zu %d %" SCNx64 " %n", &index,
+                      &attempts, &sum, &consumed) != 3 ||
+          consumed < 0) {
+        return false;  // Malformed (likely torn final line): stop, keep prior.
+      }
+      std::string payload;
+      if (!UnescapePayload(line.substr(static_cast<size_t>(consumed)), &payload) ||
+          Fingerprint(payload) != sum) {
+        return false;  // Torn or corrupt: stop here.
+      }
+      if (index < cells) {  // Ignore out-of-range records (id collision guard).
+        entries_[index] = JournalEntry{attempts, std::move(payload)};
+      }
+      return true;
+    };
+    bool stop = false;
+    while (!stop) {
+      const size_t got = std::fread(buf, 1, sizeof(buf), in);
+      if (got == 0) {
+        break;
+      }
+      size_t start = 0;
+      for (size_t i = 0; i < got && !stop; ++i) {
+        if (buf[i] == '\n') {
+          line.append(buf + start, i - start);
+          start = i + 1;
+          line_complete = true;
+          if (!process_line()) {
+            stop = true;
+          }
+          line.clear();
+          line_complete = false;
+        }
+      }
+      if (!stop) {
+        line.append(buf + start, got - start);
+      }
+    }
+    (void)line_complete;
+    // A final line with no trailing '\n' is by definition torn: Append always
+    // writes the newline, so it is ignored.
+    std::fclose(in);
+    if (!error_.empty()) {
+      return false;
+    }
+  }
+
+  std::FILE* out = std::fopen(path.c_str(), "a");
+  if (out == nullptr) {
+    error_ = "cannot open journal for append: " + path + " (" +
+             std::strerror(errno) + ")";
+    return false;
+  }
+  // Write the header only when starting a fresh journal.
+  long pos = std::ftell(out);
+  if (pos == 0) {
+    std::fprintf(out, "%s\n", header);
+    std::fflush(out);
+    ::fsync(fileno(out));
+  }
+  file_ = out;
+  return true;
+}
+
+void RunJournal::Append(size_t index, int attempts, const std::string& payload) {
+  if (file_ == nullptr) {
+    return;
+  }
+  const std::string escaped = EscapePayload(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(file_, "cell %zu %d %016" PRIx64 " %s\n", index, attempts,
+               Fingerprint(payload), escaped.c_str());
+  std::fflush(file_);
+  ::fsync(fileno(file_));
+}
+
+}  // namespace elsc

@@ -1,0 +1,77 @@
+// Append-only, fsync'd run journal for checkpoint/resume of matrix runs.
+//
+// Format (plain text, one record per line):
+//
+//   elscjournal v1 id=<matrix_id hex> cells=<n>
+//   cell <index> <attempts> <fnv64 hex> <escaped payload>
+//   ...
+//
+// The header binds the file to a specific matrix (id = a hash of the cell
+// specs, n = cell count), so a stale journal from a different experiment is
+// rejected instead of silently poisoning results. Payloads are the exact
+// round-trip encodings of cell results (see CellCodec in supervisor.h) with
+// newline/backslash escaped, and each line carries an FNV-1a 64 checksum of
+// the unescaped payload.
+//
+// Crash tolerance: every Append is fflush'd and fsync'd before returning, so
+// a record is durable once the supervisor counts the cell as complete. A
+// process killed mid-Append leaves at most one torn final line; loading stops
+// at the first malformed or checksum-failing line and keeps everything before
+// it. If an index appears more than once (a cell re-run after a fix), the
+// last record wins.
+
+#ifndef SRC_HARNESS_JOURNAL_H_
+#define SRC_HARNESS_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace elsc {
+
+struct JournalEntry {
+  int attempts = 0;
+  std::string payload;
+};
+
+class RunJournal {
+ public:
+  RunJournal() = default;
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  // Opens (creating if absent) the journal at `path` for a matrix identified
+  // by `matrix_id` with `cells` cells. Previously completed cells are loaded
+  // into entries(). Returns false — with error() set and nothing opened — if
+  // the file exists but its header names a different matrix, or on I/O
+  // failure; the caller should then run un-journaled rather than clobber
+  // someone else's checkpoint.
+  bool Open(const std::string& path, uint64_t matrix_id, size_t cells);
+
+  // Durably records cell `index` as complete. Thread-safe.
+  void Append(size_t index, int attempts, const std::string& payload);
+
+  bool open() const { return file_ != nullptr; }
+  const std::string& error() const { return error_; }
+  const std::unordered_map<size_t, JournalEntry>& entries() const {
+    return entries_;
+  }
+
+  // FNV-1a 64 over `data` (the payload checksum used in journal lines).
+  static uint64_t Fingerprint(const std::string& data);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+  std::string error_;
+  std::unordered_map<size_t, JournalEntry> entries_;
+};
+
+}  // namespace elsc
+
+#endif  // SRC_HARNESS_JOURNAL_H_

@@ -35,6 +35,11 @@ void ThreadPool::Submit(std::function<void()> job) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -49,9 +54,17 @@ void ThreadPool::WorkerLoop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) {
+        first_error_ = error;
+      }
       --in_flight_;
       if (in_flight_ == 0) {
         idle_cv_.notify_all();

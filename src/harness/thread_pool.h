@@ -5,12 +5,18 @@
 // The pool is deliberately minimal: simulation cells are coarse (tens of
 // milliseconds to minutes each), so queue contention is irrelevant and
 // simplicity wins over lock-free cleverness.
+//
+// An exception escaping a job does not unwind into the worker thread (which
+// would std::terminate the process): the first one per fan-out round is
+// captured and rethrown from the next Wait(), mirroring how the job would
+// have failed had it run inline on the submitting thread.
 
 #ifndef SRC_HARNESS_THREAD_POOL_H_
 #define SRC_HARNESS_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,7 +37,8 @@ class ThreadPool {
 
   void Submit(std::function<void()> job);
 
-  // Blocks until every submitted job has finished.
+  // Blocks until every submitted job has finished. If any job of the round
+  // threw, rethrows the first captured exception (later ones are discarded).
   void Wait();
 
   int threads() const { return static_cast<int>(workers_.size()); }
@@ -45,6 +52,7 @@ class ThreadPool {
   std::condition_variable work_cv_;   // Signals workers: job available / shutdown.
   std::condition_variable idle_cv_;   // Signals Wait(): everything drained.
   size_t in_flight_ = 0;              // Queued + currently-running jobs.
+  std::exception_ptr first_error_;    // First job exception since the last Wait().
   bool shutdown_ = false;
 };
 

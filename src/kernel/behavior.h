@@ -32,6 +32,11 @@ struct Segment {
   SegmentAfter after = SegmentAfter::kExit;
   WaitQueue* wait_on = nullptr;  // Required iff after == kBlock.
   Cycles sleep_for = 0;          // Used iff after == kSleep.
+  // Optional deadline for kBlock (the SO_RCVTIMEO/SO_SNDTIMEO analog): if
+  // nonzero and no wake-up arrives within this many cycles, the task is woken
+  // with Task::block_timed_out set so the behavior can observe the timeout
+  // (see ConsumeReadTimeout in src/net/socket_ops.h). 0 = block forever.
+  Cycles block_timeout = 0;
   // Optional re-check evaluated at the moment the task would go to sleep
   // (the kernel's add_wait_queue / re-test-condition / schedule() idiom):
   // if it returns false, the condition the task was about to wait for has
@@ -44,21 +49,30 @@ struct Segment {
   InlineFunction<bool> still_blocked;
 
   static Segment Block(Cycles cycles, WaitQueue* wq, InlineFunction<bool> still_blocked = {}) {
-    Segment seg{cycles, SegmentAfter::kBlock, wq, 0, {}};
+    Segment seg{cycles, SegmentAfter::kBlock, wq, 0, 0, {}};
+    seg.still_blocked = std::move(still_blocked);
+    return seg;
+  }
+  // Block with a deadline: wake with Task::block_timed_out set if no regular
+  // wake-up arrives within `timeout` cycles (0 = block forever, same as
+  // Block()).
+  static Segment BlockFor(Cycles cycles, WaitQueue* wq, Cycles timeout,
+                          InlineFunction<bool> still_blocked = {}) {
+    Segment seg{cycles, SegmentAfter::kBlock, wq, 0, timeout, {}};
     seg.still_blocked = std::move(still_blocked);
     return seg;
   }
   static Segment Sleep(Cycles cycles, Cycles duration) {
-    return Segment{cycles, SegmentAfter::kSleep, nullptr, duration, {}};
+    return Segment{cycles, SegmentAfter::kSleep, nullptr, duration, 0, {}};
   }
   static Segment Yield(Cycles cycles) {
-    return Segment{cycles, SegmentAfter::kYield, nullptr, 0, {}};
+    return Segment{cycles, SegmentAfter::kYield, nullptr, 0, 0, {}};
   }
   static Segment Exit(Cycles cycles) {
-    return Segment{cycles, SegmentAfter::kExit, nullptr, 0, {}};
+    return Segment{cycles, SegmentAfter::kExit, nullptr, 0, 0, {}};
   }
   static Segment RunAgain(Cycles cycles) {
-    return Segment{cycles, SegmentAfter::kRunAgain, nullptr, 0, {}};
+    return Segment{cycles, SegmentAfter::kRunAgain, nullptr, 0, 0, {}};
   }
 };
 

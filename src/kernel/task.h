@@ -102,6 +102,16 @@ struct Task {
   int pending_after = 0;
   WaitQueue* pending_wait = nullptr;
   Cycles pending_sleep = 0;
+  // Deadline for the pending kBlock (0 = none); see Segment::BlockFor.
+  Cycles pending_block_timeout = 0;
+  // Incremented on every transition into kInterruptible; block-timeout timer
+  // events capture it so a stale deadline cannot wake a later, unrelated
+  // sleep of the same task.
+  uint64_t sleep_generation = 0;
+  // Set when a timed block's deadline fired before a regular wake-up (the
+  // ETIMEDOUT analog); cleared when the next block is entered or when the
+  // behavior consumes it (ConsumeReadTimeout / ConsumeWriteTimeout).
+  bool block_timed_out = false;
   // Dispatch bookkeeping for event invalidation and accounting.
   Cycles last_dispatch_time = 0;
   Cycles became_runnable_at = 0;

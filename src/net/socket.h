@@ -35,8 +35,10 @@ struct Message {
 struct SocketStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
-  uint64_t write_blocks = 0;  // TryWrite failures (queue full).
-  uint64_t read_blocks = 0;   // TryRead failures (queue empty).
+  uint64_t write_blocks = 0;   // TryWrite failures (queue full).
+  uint64_t read_blocks = 0;    // TryRead failures (queue empty).
+  uint64_t read_timeouts = 0;  // Timed blocks on read_wait that expired.
+  uint64_t write_timeouts = 0; // Timed blocks on write_wait that expired.
   uint64_t max_depth = 0;
 };
 
@@ -69,12 +71,29 @@ class SimSocket {
   WaitQueue& write_wait() { return write_wait_; }
   const SocketStats& stats() const { return stats_; }
 
+  // Blocking-op deadlines, the SO_RCVTIMEO/SO_SNDTIMEO analog: when nonzero,
+  // BlockUntilReadable/BlockUntilWritable (socket_ops.h) bound their sleeps
+  // and the woken task observes Task::block_timed_out — the simulated
+  // equivalent of a read()/write() returning EAGAIN after the timeout.
+  // 0 (the default) blocks forever, preserving historical behavior.
+  void set_rcv_timeout(Cycles timeout) { rcv_timeout_ = timeout; }
+  void set_snd_timeout(Cycles timeout) { snd_timeout_ = timeout; }
+  Cycles rcv_timeout() const { return rcv_timeout_; }
+  Cycles snd_timeout() const { return snd_timeout_; }
+
+  // Called by Consume{Read,Write}Timeout when a behavior observes an expired
+  // deadline on this socket.
+  void CountReadTimeout() { ++stats_.read_timeouts; }
+  void CountWriteTimeout() { ++stats_.write_timeouts; }
+
  private:
   std::string name_;
   size_t capacity_;
   std::deque<Message> queue_;
   WaitQueue read_wait_;
   WaitQueue write_wait_;
+  Cycles rcv_timeout_ = 0;
+  Cycles snd_timeout_ = 0;
   SocketStats stats_;
 };
 

@@ -1,23 +1,73 @@
 // Blocking-segment helpers for SimSocket: each pairs the right wait queue
 // with the matching re-check predicate so sleeps cannot lose wake-ups.
+//
+// Hardening semantics (the simulated analogs of real-socket robustness):
+//
+//  - EINTR: a blocked task can be woken spuriously (fault injection, broadcast
+//    wake-ups, a stale timer). The behavior's retry idiom — TryRead/TryWrite
+//    again after every wake, block again on failure — is exactly the
+//    `while (read(...) == -1 && errno == EINTR) retry;` loop, and the
+//    `still_blocked` predicate re-checks the condition at the moment the task
+//    would go to sleep so a wake-up between the failed try and the block is
+//    never lost.
+//
+//  - SO_RCVTIMEO / SO_SNDTIMEO: when the socket carries a nonzero
+//    rcv_timeout()/snd_timeout(), the block is bounded (Segment::BlockFor)
+//    and the task wakes with Task::block_timed_out set once the deadline
+//    passes without a regular wake-up. Behaviors call ConsumeReadTimeout /
+//    ConsumeWriteTimeout after a wake to distinguish "woken because ready"
+//    from "woken because timed out" (the ETIMEDOUT/EAGAIN analog) and decide
+//    to retry, give up, or fail the connection instead of hanging CI forever.
+//
+//  - Connect timeout: the simulated loopback has no three-way handshake; the
+//    accept-queue write IS connection establishment, so a bounded
+//    BlockUntilWritable on the accept socket is the connect-timeout analog.
 
 #ifndef SRC_NET_SOCKET_OPS_H_
 #define SRC_NET_SOCKET_OPS_H_
 
 #include "src/kernel/behavior.h"
+#include "src/kernel/task.h"
 #include "src/net/socket.h"
 
 namespace elsc {
 
-// Returns a segment that blocks the task until `socket` becomes readable.
+// Returns a segment that blocks the task until `socket` becomes readable —
+// or, when the socket has a receive timeout, until the deadline expires.
 // The socket must outlive the blocked task's sleep.
 inline Segment BlockUntilReadable(Cycles cycles, SimSocket& socket) {
-  return Segment::Block(cycles, &socket.read_wait(), [&socket] { return !socket.CanRead(); });
+  return Segment::BlockFor(cycles, &socket.read_wait(), socket.rcv_timeout(),
+                           [&socket] { return !socket.CanRead(); });
 }
 
-// Returns a segment that blocks the task until `socket` becomes writable.
+// Returns a segment that blocks the task until `socket` becomes writable —
+// or, when the socket has a send timeout, until the deadline expires.
 inline Segment BlockUntilWritable(Cycles cycles, SimSocket& socket) {
-  return Segment::Block(cycles, &socket.write_wait(), [&socket] { return !socket.CanWrite(); });
+  return Segment::BlockFor(cycles, &socket.write_wait(), socket.snd_timeout(),
+                           [&socket] { return !socket.CanWrite(); });
+}
+
+// After a wake from BlockUntilReadable: true iff the wake was the deadline
+// rather than data. Clears the task's flag and counts the timeout on the
+// socket, so each expired block is observed exactly once.
+inline bool ConsumeReadTimeout(Task& task, SimSocket& socket) {
+  if (!task.block_timed_out) {
+    return false;
+  }
+  task.block_timed_out = false;
+  socket.CountReadTimeout();
+  return true;
+}
+
+// After a wake from BlockUntilWritable: true iff the wake was the deadline
+// rather than queue space.
+inline bool ConsumeWriteTimeout(Task& task, SimSocket& socket) {
+  if (!task.block_timed_out) {
+    return false;
+  }
+  task.block_timed_out = false;
+  socket.CountWriteTimeout();
+  return true;
 }
 
 }  // namespace elsc

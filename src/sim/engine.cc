@@ -2,12 +2,15 @@
 
 #include <limits>
 
+#include "src/base/watchdog.h"
+
 namespace elsc {
 
 uint64_t Engine::RunUntil(Cycles deadline) {
   stop_requested_ = false;
   uint64_t n = 0;
   while (!stop_requested_ && Step(deadline)) {
+    CellWatchdog::Poll();
     ++n;
   }
   // If we stopped because the next event is beyond a *finite* deadline,
@@ -27,6 +30,7 @@ uint64_t Engine::RunUntilCondition(const std::function<bool()>& predicate, Cycle
   stop_requested_ = false;
   uint64_t n = 0;
   while (!stop_requested_ && !predicate() && Step(deadline)) {
+    CellWatchdog::Poll();
     ++n;
   }
   return n;

@@ -291,6 +291,7 @@ void Machine::InstallSegment(int cpu_id, Cycles overhead) {
     task->pending_after = static_cast<int>(seg.after);
     task->pending_wait = seg.wait_on;
     task->pending_sleep = seg.sleep_for;
+    task->pending_block_timeout = seg.block_timeout;
     task->pending_block_check = std::move(seg.still_blocked);
     task->segment_active = true;
   }
@@ -357,14 +358,36 @@ void Machine::OnSegmentEnd(int cpu_id, uint64_t generation) {
       }
       task->pending_block_check = nullptr;
       task->state = TaskState::kInterruptible;
+      task->block_timed_out = false;
+      const uint64_t sleep_generation = ++task->sleep_generation;
       ++task->stats.voluntary_switches;
       task->pending_wait->Enqueue(task);
+      if (task->pending_block_timeout > 0) {
+        // Timed block (SO_RCVTIMEO/SO_SNDTIMEO analog): a deadline event
+        // wakes the task with block_timed_out set unless a regular wake-up
+        // got there first. The generation check makes a stale deadline inert
+        // once the task has moved on to a later block or sleep; the
+        // pending-wake count keeps the arena from recycling the slot.
+        Task* blocked = task;
+        ++blocked->pending_timer_wakes;
+        engine_.ScheduleAfter(
+            task->pending_block_timeout, [this, blocked, sleep_generation] {
+              --blocked->pending_timer_wakes;
+              if (blocked->state == TaskState::kInterruptible &&
+                  blocked->sleep_generation == sleep_generation) {
+                blocked->block_timed_out = true;
+                WakeUpProcess(blocked);
+              }
+              MaybeRecycleTask(blocked);
+            });
+      }
       trace_.Record(Now(), TraceEventType::kBlock, cpu_id, task->pid);
       RequestSchedule(cpu_id);
       break;
     }
     case SegmentAfter::kSleep: {
       task->state = TaskState::kInterruptible;
+      ++task->sleep_generation;  // Invalidates any stale block deadline.
       ++task->stats.voluntary_switches;
       // Timer-driven wake; WakeUpProcess() tolerates the task having been
       // woken earlier (or having exited) by then. The pending-wake count

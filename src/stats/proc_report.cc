@@ -71,4 +71,20 @@ std::string RenderProcSchedStats(const Machine& machine) {
   return out;
 }
 
+std::string RenderSupervisionReport(const SupervisionStats& stats) {
+  std::string out;
+  out += "--- supervision ---\n";
+  out += StrFormat("cells:                %llu\n", (unsigned long long)stats.cells);
+  out += StrFormat("completed:            %llu\n", (unsigned long long)stats.completed);
+  out += StrFormat("quarantined:          %llu\n", (unsigned long long)stats.quarantined);
+  out += StrFormat("skipped:              %llu\n", (unsigned long long)stats.skipped);
+  out += StrFormat("resumed_from_journal: %llu\n", (unsigned long long)stats.resumed);
+  out += StrFormat("retries:              %llu\n", (unsigned long long)stats.retries);
+  out += StrFormat("timeouts:             %llu\n", (unsigned long long)stats.timeouts);
+  out += StrFormat("violations:           %llu\n", (unsigned long long)stats.violations);
+  out += StrFormat("exceptions:           %llu\n", (unsigned long long)stats.exceptions);
+  out += StrFormat("interrupted:          %d\n", stats.interrupted ? 1 : 0);
+  return out;
+}
+
 }  // namespace elsc

@@ -15,10 +15,12 @@ class TokenRingBehavior : public TaskBehavior {
   TokenRingBehavior(TokenRingWorkload* workload, int index) : workload_(workload), index_(index) {}
 
   Segment NextSegment(Machine& machine, Task& task) override {
-    (void)task;
     const TokenRingConfig& cfg = workload_->config();
     switch (phase_) {
       case Phase::kRead: {
+        // EINTR retry loop: count an expired read deadline, then re-try the
+        // read and block again — a late token still completes the run.
+        ConsumeReadTimeout(task, workload_->pipe(index_));
         auto token = workload_->pipe(index_).TryRead(machine);
         if (!token.has_value()) {
           return BlockUntilReadable(cfg.syscall_cycles, workload_->pipe(index_));
@@ -66,6 +68,7 @@ void TokenRingWorkload::Setup() {
   for (int i = 0; i < config_.tasks; ++i) {
     pipes_.push_back(std::make_unique<SimSocket>(StrFormat("ring.pipe%d", i),
                                                  static_cast<size_t>(config_.tokens) + 2));
+    pipes_.back()->set_rcv_timeout(config_.read_timeout);
   }
   for (int i = 0; i < config_.tasks; ++i) {
     behaviors_.push_back(std::make_unique<TokenRingBehavior>(this, i));

@@ -26,6 +26,10 @@ struct TokenRingConfig {
   uint64_t total_hops = 100000;  // Experiment length, summed over tokens.
   Cycles hop_work = UsToCycles(10);   // Work per token visit.
   Cycles syscall_cycles = UsToCycles(3);
+  // Optional pipe-read deadline (SO_RCVTIMEO analog): a ring task whose
+  // token never arrives wakes after this many cycles instead of wedging the
+  // run forever. 0 (default) blocks forever — the historical behavior.
+  Cycles read_timeout = 0;
 };
 
 struct TokenRingResult {

@@ -2,6 +2,7 @@
 
 #include "src/base/assert.h"
 #include "src/base/string_util.h"
+#include "src/net/socket_ops.h"
 #include "src/workloads/micro_behaviors.h"
 
 namespace elsc {
@@ -12,11 +13,13 @@ class WebserverWorker : public TaskBehavior {
   WebserverWorker(WebserverWorkload* workload, Rng rng) : workload_(workload), rng_(rng) {}
 
   Segment NextSegment(Machine& machine, Task& task) override {
-    (void)task;
     const WebserverConfig& cfg = workload_->config();
     SimSocket& accept = *workload_->accept_queue_;
     switch (phase_) {
       case Phase::kAccept: {
+        // EINTR idiom: whatever woke us (data, shutdown broadcast, a timed
+        // accept expiring, a spurious wake), re-try the read and re-decide.
+        ConsumeReadTimeout(task, accept);
         auto req = accept.TryRead(machine);
         if (!req.has_value()) {
           if (workload_->window_closed_) {
@@ -24,8 +27,9 @@ class WebserverWorker : public TaskBehavior {
           }
           WebserverWorkload* w = workload_;
           SimSocket* sock = &accept;
-          return Segment::Block(cfg.syscall_cycles, &accept.read_wait(),
-                                [w, sock] { return !sock->CanRead() && !w->window_closed_; });
+          return Segment::BlockFor(
+              cfg.syscall_cycles, &accept.read_wait(), accept.rcv_timeout(),
+              [w, sock] { return !sock->CanRead() && !w->window_closed_; });
         }
         request_ = *req;
         phase_ = Phase::kParse;
@@ -70,6 +74,7 @@ WebserverWorkload::~WebserverWorkload() = default;
 
 void WebserverWorkload::Setup() {
   accept_queue_ = std::make_unique<SimSocket>("httpd.accept", config_.accept_queue_capacity);
+  accept_queue_->set_rcv_timeout(config_.accept_timeout);
   for (int i = 0; i < config_.workers; ++i) {
     auto worker = std::make_unique<WebserverWorker>(this, rng_.Fork());
     TaskParams params;

@@ -35,6 +35,11 @@ struct WebserverConfig {
   Cycles syscall_cycles = UsToCycles(5);
   double work_jitter = 0.4;
   size_t accept_queue_capacity = 1024;
+  // Optional accept-queue read deadline (SO_RCVTIMEO analog): workers whose
+  // accept blocks exceed it wake, re-check for shutdown, and block again
+  // instead of sleeping forever. 0 (default) blocks forever — the historical
+  // behavior, preserved so golden digests don't move.
+  Cycles accept_timeout = 0;
 };
 
 struct WebserverResult {

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <stdexcept>
 #include <mutex>
 #include <set>
 #include <string>
@@ -51,6 +52,40 @@ TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
     }
   }
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstWorkerException) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  pool.Submit([] { throw std::runtime_error("worker blew up"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&completed] { completed.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The failure must surface at Wait() — not vanish, not terminate().
+  EXPECT_THROW(
+      {
+        try {
+          pool.Wait();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "worker blew up");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // Other jobs still ran; the pool is reusable after the rethrow.
+  EXPECT_EQ(completed.load(), 20);
+  pool.Submit([&completed] { completed.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();  // No stale exception resurfaces.
+  EXPECT_EQ(completed.load(), 21);
+}
+
+TEST(ThreadPoolTest, OnlyFirstOfManyExceptionsIsKept) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // Subsequent waits are clean.
 }
 
 TEST(ParallelForTest, CoversEachIndexExactlyOnce) {

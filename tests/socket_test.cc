@@ -160,6 +160,155 @@ TEST_P(SocketMachineTest, ProducerConsumerRoundTripSmp) {
   EXPECT_EQ(consumer.received(), 1000);
 }
 
+// SO_RCVTIMEO analog: a reader on an empty socket with a receive timeout
+// wakes with block_timed_out set, observes it via ConsumeReadTimeout, and
+// retries the read — so a late writer still completes the exchange (the
+// EINTR-style retry loop) while the socket counts every expired deadline.
+class TimedReaderBehavior : public TaskBehavior {
+ public:
+  explicit TimedReaderBehavior(SimSocket* sock) : sock_(sock) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    if (ConsumeReadTimeout(task, *sock_)) {
+      ++timeouts_seen_;
+    }
+    if (sock_->TryRead(machine).has_value()) {
+      got_message_ = true;
+      return Segment::Exit(UsToCycles(1));
+    }
+    return BlockUntilReadable(UsToCycles(2), *sock_);
+  }
+  int timeouts_seen() const { return timeouts_seen_; }
+  bool got_message() const { return got_message_; }
+
+ private:
+  SimSocket* sock_;
+  int timeouts_seen_ = 0;
+  bool got_message_ = false;
+};
+
+// Writes a single message after an initial sleep (so the CPU stays free for
+// the reader's timeout wake-ups in the meantime), then exits.
+class LateWriterBehavior : public TaskBehavior {
+ public:
+  LateWriterBehavior(SimSocket* sock, Cycles delay) : sock_(sock), delay_(delay) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    if (!delayed_) {
+      delayed_ = true;
+      return Segment::Sleep(UsToCycles(1), delay_);
+    }
+    Message m;
+    m.id = 99;
+    EXPECT_TRUE(sock_->TryWrite(machine, m));
+    return Segment::Exit(UsToCycles(1));
+  }
+
+ private:
+  SimSocket* sock_;
+  Cycles delay_;
+  bool delayed_ = false;
+};
+
+TEST(SocketTimeoutTest, ReadTimeoutWakesBlockedReaderWhoRetries) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.check_invariants = true;
+  Machine machine(config);
+  SimSocket sock("timed", 2);
+  sock.set_rcv_timeout(MsToCycles(5));
+  TimedReaderBehavior reader(&sock);
+  LateWriterBehavior writer(&sock, MsToCycles(40));
+  TaskParams params;
+  params.behavior = &reader;
+  params.name = "reader";
+  machine.CreateTask(params);
+  params.behavior = &writer;
+  params.name = "writer";
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  // ~40ms of emptiness at a 5ms receive deadline: several timeouts, then the
+  // late message still lands.
+  EXPECT_TRUE(reader.got_message());
+  EXPECT_GE(reader.timeouts_seen(), 3);
+  EXPECT_EQ(sock.stats().read_timeouts,
+            static_cast<uint64_t>(reader.timeouts_seen()));
+  EXPECT_EQ(sock.stats().reads, 1u);
+}
+
+TEST(SocketTimeoutTest, ReadWithoutTimeoutNeverSetsTheFlag) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.check_invariants = true;
+  Machine machine(config);
+  SimSocket sock("untimed", 2);  // rcv_timeout stays 0: blocks indefinitely.
+  TimedReaderBehavior reader(&sock);
+  LateWriterBehavior writer(&sock, MsToCycles(40));
+  TaskParams params;
+  params.behavior = &reader;
+  machine.CreateTask(params);
+  params.behavior = &writer;
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  EXPECT_TRUE(reader.got_message());
+  EXPECT_EQ(reader.timeouts_seen(), 0);
+  EXPECT_EQ(sock.stats().read_timeouts, 0u);
+}
+
+// SO_SNDTIMEO analog: a writer facing a full queue with a send timeout gives
+// up after a bounded number of expired deadlines instead of hanging forever.
+class GiveUpWriterBehavior : public TaskBehavior {
+ public:
+  explicit GiveUpWriterBehavior(SimSocket* sock) : sock_(sock) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    if (ConsumeWriteTimeout(task, *sock_)) {
+      ++timeouts_seen_;
+      if (timeouts_seen_ >= 3) {
+        gave_up_ = true;  // The ETIMEDOUT error path.
+        return Segment::Exit(UsToCycles(1));
+      }
+    }
+    Message m;
+    if (sock_->TryWrite(machine, m)) {
+      return Segment::Exit(UsToCycles(1));
+    }
+    return BlockUntilWritable(UsToCycles(2), *sock_);
+  }
+  int timeouts_seen() const { return timeouts_seen_; }
+  bool gave_up() const { return gave_up_; }
+
+ private:
+  SimSocket* sock_;
+  int timeouts_seen_ = 0;
+  bool gave_up_ = false;
+};
+
+TEST(SocketTimeoutTest, WriteTimeoutLetsFullQueueWriterGiveUp) {
+  MachineConfig config;
+  config.num_cpus = 1;
+  config.smp = false;
+  config.check_invariants = true;
+  Machine machine(config);
+  NullWaker waker;
+  SimSocket sock("full", 1);
+  sock.set_snd_timeout(MsToCycles(5));
+  Message m;
+  ASSERT_TRUE(sock.TryWrite(waker, m));  // Fill the queue; nobody drains it.
+  GiveUpWriterBehavior writer(&sock);
+  TaskParams params;
+  params.behavior = &writer;
+  params.name = "writer";
+  machine.CreateTask(params);
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  EXPECT_TRUE(writer.gave_up());
+  EXPECT_EQ(writer.timeouts_seen(), 3);
+  EXPECT_EQ(sock.stats().write_timeouts, 3u);
+}
+
 TEST_P(SocketMachineTest, ManyProducersOneConsumer) {
   MachineConfig config;
   config.num_cpus = 2;

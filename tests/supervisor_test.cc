@@ -1,0 +1,521 @@
+// Tests for the run supervisor: crash containment, retry/quarantine policy,
+// the cell watchdog, the fsync'd resume journal, and the exact round-trip
+// result codecs that journaled resume depends on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/simulation.h"
+#include "src/base/assert.h"
+#include "src/base/watchdog.h"
+#include "src/harness/journal.h"
+#include "src/harness/supervisor.h"
+
+namespace elsc {
+namespace {
+
+// A unique-per-test scratch path in the build directory, removed on scope
+// exit so reruns never see a stale journal.
+class ScratchFile {
+ public:
+  explicit ScratchFile(const std::string& stem) : base_("./" + stem) {
+    Remove();
+  }
+  ~ScratchFile() { Remove(); }
+  const std::string& base() const { return base_; }
+  // RunSupervisedEncoded appends ".<matrix_id hex>" to the journal base.
+  std::string ForMatrix(uint64_t matrix_id) const {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), ".%016llx",
+                  static_cast<unsigned long long>(matrix_id));
+    return base_ + suffix;
+  }
+
+ private:
+  void Remove() {
+    // Journals for ids used in these tests; unknown suffixes stay (none made).
+    for (uint64_t id : {uint64_t{0x1234}, uint64_t{0xabcd}, uint64_t{0x7777}}) {
+      std::remove(ForMatrix(id).c_str());
+    }
+    std::remove(base_.c_str());
+  }
+  std::string base_;
+};
+
+SupervisorOptions FastRetryOptions() {
+  SupervisorOptions options;
+  options.backoff_base_sec = 0.0;  // No sleeping in unit tests.
+  return options;
+}
+
+// Simple exact codec for a double-valued cell result (hex-float encoding).
+CellCodec<double> DoubleCodec() {
+  CellCodec<double> codec;
+  codec.encode = [](const double& v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return std::string(buf);
+  };
+  codec.decode = [](const std::string& payload, double* v) {
+    char* end = nullptr;
+    *v = std::strtod(payload.c_str(), &end);
+    return end != payload.c_str();
+  };
+  return codec;
+}
+
+// --- Crash containment -----------------------------------------------------
+
+TEST(SupervisorTest, QuarantinesThrowingCellAndCompletesTheRest) {
+  SupervisorOptions options = FastRetryOptions();
+  auto run = RunSupervised(
+      options, 8,
+      [](size_t i) -> int {
+        if (i == 3) {
+          throw std::runtime_error("cell 3 is broken");
+        }
+        return static_cast<int>(i) * 10;
+      },
+      {}, 2);
+  EXPECT_FALSE(run.AllOk());
+  EXPECT_EQ(run.stats.cells, 8u);
+  EXPECT_EQ(run.stats.completed, 7u);
+  EXPECT_EQ(run.stats.quarantined, 1u);
+  EXPECT_EQ(run.stats.skipped, 0u);
+  EXPECT_EQ(run.stats.exceptions, 1u);
+  EXPECT_EQ(run.outcomes[3].status, CellStatus::kQuarantined);
+  EXPECT_EQ(run.outcomes[3].kind, FailureKind::kException);
+  // Deterministic failures are not retried.
+  EXPECT_EQ(run.outcomes[3].attempts, 1);
+  EXPECT_EQ(run.outcomes[3].error, "cell 3 is broken");
+  EXPECT_EQ(run.results[3], 0);  // Default-constructed placeholder.
+  for (size_t i = 0; i < 8; ++i) {
+    if (i != 3) {
+      EXPECT_EQ(run.outcomes[i].status, CellStatus::kOk);
+      EXPECT_EQ(run.results[i], static_cast<int>(i) * 10);
+    }
+  }
+}
+
+TEST(SupervisorTest, QuarantinesInvariantViolationWithLocation) {
+  SupervisorOptions options = FastRetryOptions();
+  auto run = RunSupervised(
+      options, 4,
+      [](size_t i) -> int {
+        ELSC_VERIFY_MSG(i != 1, "cell 1 violates");
+        return 1;
+      },
+      {}, 1);
+  EXPECT_FALSE(run.AllOk());
+  EXPECT_EQ(run.stats.quarantined, 1u);
+  EXPECT_EQ(run.stats.violations, 1u);
+  EXPECT_EQ(run.outcomes[1].kind, FailureKind::kViolation);
+  EXPECT_EQ(run.outcomes[1].attempts, 1);
+  EXPECT_NE(run.outcomes[1].error.find("supervisor_test.cc"), std::string::npos);
+  EXPECT_NE(run.outcomes[1].error.find("cell 1 violates"), std::string::npos);
+}
+
+TEST(SupervisorTest, QuarantineWritesReproArtifact) {
+  ScratchFile scratch("supervisor_test_quarantine");
+  SupervisorOptions options = FastRetryOptions();
+  options.quarantine_path = scratch.base();
+  options.repro = [](size_t i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "rerun --cell=%zu", i);
+    return std::string(buf);
+  };
+  auto run = RunSupervised(
+      options, 3,
+      [](size_t i) -> int {
+        if (i == 2) {
+          throw std::runtime_error("boom");
+        }
+        return 0;
+      },
+      {}, 1);
+  EXPECT_EQ(run.stats.quarantined, 1u);
+  std::FILE* f = std::fopen(scratch.base().c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[1024] = {0};
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  std::fclose(f);
+  const std::string text(line);
+  EXPECT_NE(text.find("QUARANTINE cell=2"), std::string::npos);
+  EXPECT_NE(text.find("kind=exception"), std::string::npos);
+  EXPECT_NE(text.find("class=deterministic"), std::string::npos);
+  EXPECT_NE(text.find("rerun --cell=2"), std::string::npos);
+}
+
+// --- Retry policy ----------------------------------------------------------
+
+TEST(SupervisorTest, RetriesTransientTimeoutThenSucceeds) {
+  SupervisorOptions options = FastRetryOptions();
+  options.max_retries = 2;
+  std::atomic<int> calls{0};
+  auto run = RunSupervised(
+      options, 3,
+      [&calls](size_t i) -> int {
+        if (i == 1 && calls.fetch_add(1) == 0) {
+          throw CellDeadlineExceeded{0.5};  // First attempt only.
+        }
+        return static_cast<int>(i) + 100;
+      },
+      {}, 1);
+  EXPECT_TRUE(run.AllOk());
+  EXPECT_EQ(run.stats.completed, 3u);
+  EXPECT_EQ(run.stats.retries, 1u);
+  EXPECT_EQ(run.stats.timeouts, 1u);
+  EXPECT_EQ(run.outcomes[1].attempts, 2);
+  EXPECT_EQ(run.outcomes[1].status, CellStatus::kOk);
+  EXPECT_EQ(run.results[1], 101);
+}
+
+TEST(SupervisorTest, ExhaustedRetriesQuarantineAsTimeout) {
+  SupervisorOptions options = FastRetryOptions();
+  options.max_retries = 2;
+  auto run = RunSupervised(
+      options, 2,
+      [](size_t i) -> int {
+        if (i == 0) {
+          throw CellDeadlineExceeded{0.25};  // Every attempt.
+        }
+        return 7;
+      },
+      {}, 1);
+  EXPECT_FALSE(run.AllOk());
+  EXPECT_EQ(run.outcomes[0].status, CellStatus::kQuarantined);
+  EXPECT_EQ(run.outcomes[0].kind, FailureKind::kTimeout);
+  EXPECT_EQ(run.outcomes[0].attempts, 3);  // 1 + max_retries.
+  EXPECT_EQ(run.stats.timeouts, 3u);
+  EXPECT_EQ(run.stats.retries, 2u);
+  EXPECT_EQ(run.results[1], 7);
+}
+
+TEST(SupervisorTest, WatchdogInterruptsWedgedCell) {
+  SupervisorOptions options = FastRetryOptions();
+  options.cell_timeout_sec = 0.02;
+  options.max_retries = 1;
+  auto run = RunSupervised(
+      options, 2,
+      [](size_t i) -> int {
+        if (i == 1) {
+          // A wedged event loop: spins forever, but polls the watchdog the
+          // way Engine::RunUntil does.
+          for (;;) {
+            CellWatchdog::Poll();
+          }
+        }
+        return 11;
+      },
+      {}, 1);
+  EXPECT_FALSE(run.AllOk());
+  EXPECT_EQ(run.outcomes[1].status, CellStatus::kQuarantined);
+  EXPECT_EQ(run.outcomes[1].kind, FailureKind::kTimeout);
+  EXPECT_EQ(run.outcomes[1].attempts, 2);  // Watchdog fired on the retry too.
+  EXPECT_EQ(run.results[0], 11);
+}
+
+TEST(SupervisorTest, InjectSpecCrashesTargetCell) {
+  SupervisorOptions options = FastRetryOptions();
+  options.inject_spec = "crash@2";
+  auto run = RunSupervised(
+      options, 4, [](size_t) -> int { return 5; }, {}, 1);
+  EXPECT_FALSE(run.AllOk());
+  EXPECT_EQ(run.outcomes[2].status, CellStatus::kQuarantined);
+  EXPECT_EQ(run.outcomes[2].kind, FailureKind::kException);
+  EXPECT_NE(run.outcomes[2].error.find("ELSC_SUPERVISE_INJECT"),
+            std::string::npos);
+  EXPECT_EQ(run.stats.completed, 3u);
+}
+
+TEST(SupervisorTest, InjectOnceIsTransientAndRecovers) {
+  SupervisorOptions options = FastRetryOptions();
+  options.inject_spec = "timeout@0:once";
+  auto run = RunSupervised(
+      options, 2, [](size_t i) -> int { return static_cast<int>(i); }, {}, 1);
+  EXPECT_TRUE(run.AllOk());
+  EXPECT_EQ(run.outcomes[0].attempts, 2);
+  EXPECT_EQ(run.stats.retries, 1u);
+  EXPECT_EQ(run.results[0], 0);
+}
+
+// --- Journaled checkpoint/resume -------------------------------------------
+
+TEST(SupervisorTest, JournalResumesInterruptedRunBitIdentically) {
+  for (const int jobs : {1, 2, 4}) {
+    ScratchFile scratch("supervisor_test_journal");
+    const uint64_t matrix_id = 0x1234;
+    const size_t cells = 8;
+    auto cell_value = [](size_t i) {
+      return std::sqrt(static_cast<double>(i) + 0.137);
+    };
+
+    // Reference: clean un-journaled run.
+    SupervisorOptions plain = FastRetryOptions();
+    auto reference =
+        RunSupervised(plain, cells, cell_value, DoubleCodec(), jobs);
+    ASSERT_TRUE(reference.AllOk());
+
+    // First run: interrupt after 3 journal appends (a simulated kill).
+    SupervisorOptions options = FastRetryOptions();
+    options.journal_path = scratch.base();
+    options.matrix_id = matrix_id;
+    options.interrupt_after_journaled = 3;
+    auto killed = RunSupervised(options, cells, cell_value, DoubleCodec(), jobs);
+    EXPECT_TRUE(killed.stats.interrupted);
+    EXPECT_GE(killed.stats.completed, 3u);
+    EXPECT_GT(killed.stats.skipped, 0u) << "jobs=" << jobs;
+
+    // Second run: same environment, no interrupt. Journaled cells are
+    // decoded, the rest recomputed; results must be bit-identical.
+    SupervisorOptions resume = FastRetryOptions();
+    resume.journal_path = scratch.base();
+    resume.matrix_id = matrix_id;
+    auto resumed = RunSupervised(resume, cells, cell_value, DoubleCodec(), jobs);
+    EXPECT_TRUE(resumed.AllOk());
+    EXPECT_GE(resumed.stats.resumed, 3u) << "jobs=" << jobs;
+    ASSERT_EQ(resumed.results.size(), reference.results.size());
+    for (size_t i = 0; i < cells; ++i) {
+      // Exact comparison: the hex-float codec must round-trip every bit.
+      EXPECT_EQ(resumed.results[i], reference.results[i])
+          << "jobs=" << jobs << " cell=" << i;
+    }
+  }
+}
+
+TEST(SupervisorTest, JournalWithWrongMatrixIdIsRejectedNotClobbered) {
+  ScratchFile scratch("supervisor_test_journal_mismatch");
+  auto cell_value = [](size_t i) { return static_cast<double>(i); };
+
+  SupervisorOptions first = FastRetryOptions();
+  first.journal_path = scratch.base();
+  first.matrix_id = 0xabcd;
+  auto run1 = RunSupervised(first, 4, cell_value, DoubleCodec(), 1);
+  EXPECT_TRUE(run1.AllOk());
+
+  // A different matrix id maps to a different journal file, so nothing
+  // collides even with the same base path.
+  SupervisorOptions second = FastRetryOptions();
+  second.journal_path = scratch.base();
+  second.matrix_id = 0x7777;
+  auto run2 = RunSupervised(second, 4, cell_value, DoubleCodec(), 1);
+  EXPECT_TRUE(run2.AllOk());
+  EXPECT_EQ(run2.stats.resumed, 0u);
+
+  // Forcing the *same file* onto a different matrix is refused by Open().
+  RunJournal journal;
+  EXPECT_FALSE(journal.Open(scratch.ForMatrix(0xabcd), 0x9999, 4));
+  EXPECT_FALSE(journal.open());
+  EXPECT_FALSE(journal.error().empty());
+
+  // And the original journal still resumes its own matrix.
+  SupervisorOptions again = FastRetryOptions();
+  again.journal_path = scratch.base();
+  again.matrix_id = 0xabcd;
+  auto run3 = RunSupervised(again, 4, cell_value, DoubleCodec(), 1);
+  EXPECT_TRUE(run3.AllOk());
+  EXPECT_EQ(run3.stats.resumed, 4u);
+}
+
+TEST(JournalTest, TornFinalLineIsIgnoredEarlierRecordsSurvive) {
+  ScratchFile scratch("journal_test_torn");
+  const std::string path = scratch.base();
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.Open(path, 42, 4));
+    journal.Append(0, 1, "payload zero");
+    journal.Append(1, 2, "payload one");
+  }
+  // Simulate a kill mid-Append: append a record with no trailing newline.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "cell 2 1 0123456789abcdef torn-paylo");
+    std::fclose(f);
+  }
+  RunJournal reloaded;
+  ASSERT_TRUE(reloaded.Open(path, 42, 4));
+  EXPECT_EQ(reloaded.entries().size(), 2u);
+  EXPECT_EQ(reloaded.entries().at(0).payload, "payload zero");
+  EXPECT_EQ(reloaded.entries().at(1).payload, "payload one");
+  EXPECT_EQ(reloaded.entries().at(1).attempts, 2);
+}
+
+TEST(JournalTest, ChecksumMismatchStopsLoadingAtTheBadLine) {
+  ScratchFile scratch("journal_test_checksum");
+  const std::string path = scratch.base();
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.Open(path, 7, 3));
+    journal.Append(0, 1, "good");
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    // Valid shape, wrong checksum for the payload.
+    std::fprintf(f, "cell 1 1 00000000deadbeef corrupted\n");
+    std::fclose(f);
+  }
+  RunJournal reloaded;
+  ASSERT_TRUE(reloaded.Open(path, 7, 3));
+  EXPECT_EQ(reloaded.entries().size(), 1u);
+  EXPECT_TRUE(reloaded.entries().count(0));
+}
+
+TEST(JournalTest, PayloadEscapingRoundTripsNewlinesAndBackslashes) {
+  ScratchFile scratch("journal_test_escape");
+  const std::string path = scratch.base();
+  const std::string payload = "line one\nline two\\with backslash\rand cr";
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.Open(path, 9, 2));
+    journal.Append(1, 1, payload);
+  }
+  RunJournal reloaded;
+  ASSERT_TRUE(reloaded.Open(path, 9, 2));
+  ASSERT_TRUE(reloaded.entries().count(1));
+  EXPECT_EQ(reloaded.entries().at(1).payload, payload);
+}
+
+TEST(JournalTest, LastRecordForAnIndexWins) {
+  ScratchFile scratch("journal_test_lastwins");
+  const std::string path = scratch.base();
+  {
+    RunJournal journal;
+    ASSERT_TRUE(journal.Open(path, 11, 2));
+    journal.Append(0, 1, "first");
+    journal.Append(0, 2, "second");
+  }
+  RunJournal reloaded;
+  ASSERT_TRUE(reloaded.Open(path, 11, 2));
+  EXPECT_EQ(reloaded.entries().at(0).payload, "second");
+  EXPECT_EQ(reloaded.entries().at(0).attempts, 2);
+}
+
+// --- Result codecs ---------------------------------------------------------
+
+TEST(CodecTest, RunStatsRoundTripsExactly) {
+  RunStats stats;
+  stats.sched.schedule_calls = 123456789;
+  stats.sched.tasks_examined = 42;
+  stats.machine.context_switches = 987654321;
+  stats.machine.migrations = 17;
+  stats.events.scheduled = 1u << 30;
+  stats.faults.spurious_wakes = 3;
+  stats.audit.audits = 999;
+  stats.elapsed_sec = 1.2345678901234567;  // Needs all 53 mantissa bits.
+  stats.failed = true;
+  stats.failure = "watchdog: starvation on cpu 2";
+
+  const std::string payload = EncodeRunStats(stats);
+  RunStats decoded;
+  ASSERT_TRUE(DecodeRunStats(payload, &decoded));
+  EXPECT_EQ(decoded.sched.schedule_calls, stats.sched.schedule_calls);
+  EXPECT_EQ(decoded.sched.tasks_examined, stats.sched.tasks_examined);
+  EXPECT_EQ(decoded.machine.context_switches, stats.machine.context_switches);
+  EXPECT_EQ(decoded.machine.migrations, stats.machine.migrations);
+  EXPECT_EQ(decoded.events.scheduled, stats.events.scheduled);
+  EXPECT_EQ(decoded.faults.spurious_wakes, stats.faults.spurious_wakes);
+  EXPECT_EQ(decoded.audit.audits, stats.audit.audits);
+  EXPECT_EQ(decoded.elapsed_sec, stats.elapsed_sec);  // Bit-exact via %a.
+  EXPECT_EQ(decoded.failed, stats.failed);
+  EXPECT_EQ(decoded.failure, stats.failure);
+}
+
+TEST(CodecTest, VolanoRunRoundTripsExactly) {
+  VolanoRun run;
+  run.result.completed = true;
+  run.result.elapsed_sec = 0.1 + 0.2;  // A value with an inexact decimal form.
+  run.result.messages_sent = 123;
+  run.result.messages_delivered = 2460;
+  run.result.throughput = 2460.0 / (0.1 + 0.2);
+  run.stats.sched.schedule_calls = 777;
+  run.stats.elapsed_sec = run.result.elapsed_sec;
+
+  const std::string payload = EncodeVolanoRun(run);
+  VolanoRun decoded;
+  ASSERT_TRUE(DecodeVolanoRun(payload, &decoded));
+  EXPECT_EQ(decoded.result.completed, run.result.completed);
+  EXPECT_EQ(decoded.result.elapsed_sec, run.result.elapsed_sec);
+  EXPECT_EQ(decoded.result.messages_sent, run.result.messages_sent);
+  EXPECT_EQ(decoded.result.messages_delivered, run.result.messages_delivered);
+  EXPECT_EQ(decoded.result.throughput, run.result.throughput);
+  EXPECT_EQ(decoded.stats.sched.schedule_calls, run.stats.sched.schedule_calls);
+  EXPECT_EQ(decoded.stats.elapsed_sec, run.stats.elapsed_sec);
+}
+
+TEST(CodecTest, DecodeRejectsTruncatedPayload) {
+  VolanoRun run;
+  run.result.throughput = 870.5;
+  const std::string payload = EncodeVolanoRun(run);
+  VolanoRun decoded;
+  EXPECT_FALSE(DecodeVolanoRun(payload.substr(0, payload.size() / 2), &decoded));
+  EXPECT_FALSE(DecodeVolanoRun("", &decoded));
+  EXPECT_FALSE(DecodeVolanoRun("not a payload at all", &decoded));
+}
+
+// --- End-to-end: a real simulation matrix resumes bit-identically ----------
+
+TEST(SupervisorTest, VolanoMatrixKillAndResumeIsBitIdentical) {
+  // Tiny cells so the whole matrix stays fast: 2 kernels x 2 schedulers.
+  const std::vector<std::pair<KernelConfig, SchedulerKind>> specs = {
+      {KernelConfig::kUp, SchedulerKind::kLinux},
+      {KernelConfig::kUp, SchedulerKind::kElsc},
+      {KernelConfig::kSmp2, SchedulerKind::kLinux},
+      {KernelConfig::kSmp2, SchedulerKind::kElsc},
+  };
+  auto run_cell = [&specs](size_t i) {
+    VolanoConfig volano;
+    volano.rooms = 1;
+    volano.users_per_room = 8;
+    volano.messages_per_user = 10;
+    return RunVolano(MakeMachineConfig(specs[i].first, specs[i].second, 1),
+                     volano);
+  };
+  CellCodec<VolanoRun> codec;
+  codec.encode = [](const VolanoRun& run) { return EncodeVolanoRun(run); };
+  codec.decode = [](const std::string& payload, VolanoRun* run) {
+    return DecodeVolanoRun(payload, run);
+  };
+
+  SupervisorOptions plain = FastRetryOptions();
+  auto reference = RunSupervised(plain, specs.size(), run_cell, codec, 1);
+  ASSERT_TRUE(reference.AllOk());
+
+  for (const int jobs : {1, 2, 4}) {
+    ScratchFile scratch("supervisor_test_volano_journal");
+    SupervisorOptions options = FastRetryOptions();
+    options.journal_path = scratch.base();
+    options.matrix_id = 0x1234;
+    options.interrupt_after_journaled = 2;
+    auto killed = RunSupervised(options, specs.size(), run_cell, codec, jobs);
+    EXPECT_TRUE(killed.stats.interrupted);
+
+    SupervisorOptions resume = FastRetryOptions();
+    resume.journal_path = scratch.base();
+    resume.matrix_id = 0x1234;
+    auto resumed = RunSupervised(resume, specs.size(), run_cell, codec, jobs);
+    ASSERT_TRUE(resumed.AllOk());
+    EXPECT_GE(resumed.stats.resumed, 2u) << "jobs=" << jobs;
+    for (size_t i = 0; i < specs.size(); ++i) {
+      // The encoded form captures every stat bit-exactly, so comparing
+      // encodings proves the resumed matrix is indistinguishable from the
+      // reference run.
+      EXPECT_EQ(EncodeVolanoRun(resumed.results[i]),
+                EncodeVolanoRun(reference.results[i]))
+          << "jobs=" << jobs << " cell=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace elsc
