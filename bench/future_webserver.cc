@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
       std::to_string(workers) + " prefork workers, Poisson arrivals at " +
           std::to_string(static_cast<int>(rate)) + "/s for 20 simulated seconds");
 
-  elsc::TextTable table({"config", "sched", "req/s", "p50 us", "p95 us", "p99 us", "dropped",
-                         "cycles/sched"});
+  elsc::TextTable table({"config", "sched", "req/s", "p50 us", "p95 us", "p99 us", "p99.9 us",
+                         "dropped", "cycles/sched"});
   const std::vector<elsc::KernelConfig> kernels = {elsc::KernelConfig::kSmp1,
                                                    elsc::KernelConfig::kSmp4};
   struct Cell {
@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
                   elsc::FmtI(run.result.latency_p50_us),
                   elsc::FmtI(run.result.latency_p95_us),
                   elsc::FmtI(run.result.latency_p99_us),
+                  elsc::FmtI(run.result.latency_p999_us),
                   elsc::FmtI(run.result.requests_dropped),
                   elsc::FmtF(run.stats.sched.CyclesPerSchedule(), 0)});
   }

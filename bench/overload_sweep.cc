@@ -1,0 +1,153 @@
+// Overload sweep: open-loop load-factor sweep (0.5x -> 2x saturation) of the
+// webserver workload, per scheduler backend, with the overload-resilience
+// layer on (bounded backlog, deadline shedding, retrying clients with
+// deterministic jittered backoff). Emits offered-load vs goodput curves with
+// the drop/retry breakdown and latency tail to BENCH_overload.json — which
+// contains only simulated data, so it is bit-identical at any ELSC_BENCH_JOBS.
+//
+//   usage: overload_sweep [seed]
+//
+// Knobs (environment):
+//   ELSC_OVERLOAD_LOADS         comma-separated load factors
+//                               (default "0.5,0.75,1.0,1.25,1.5,2.0")
+//   ELSC_OVERLOAD_DURATION_SEC  simulated measurement window (default 4)
+//   ELSC_OVERLOAD_KERNEL        UP | 1P | 2P | 4P (default 4P)
+//   ELSC_OVERLOAD_CHAOS         1 -> run every cell under the connection-
+//                               lifecycle chaos plan (resets, half-open
+//                               peers, slow peers, reconnect storms)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/experiment_util.h"
+#include "src/api/overload.h"
+
+namespace {
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<double> LoadFactors() {
+  const char* env = std::getenv("ELSC_OVERLOAD_LOADS");
+  const std::string spec = env != nullptr ? env : "0.5,0.75,1.0,1.25,1.5,2.0";
+  std::vector<double> loads;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const double value = std::atof(spec.substr(pos, comma - pos).c_str());
+    if (value > 0.0) {
+      loads.push_back(value);
+    }
+    pos = comma + 1;
+  }
+  if (loads.empty()) {
+    loads = {1.0};
+  }
+  return loads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 42;
+  const char* kernel_env = std::getenv("ELSC_OVERLOAD_KERNEL");
+  const elsc::KernelConfig kernel =
+      elsc::KernelConfigFromLabel(kernel_env != nullptr ? kernel_env : "4P");
+  const char* duration_env = std::getenv("ELSC_OVERLOAD_DURATION_SEC");
+  const int duration_sec =
+      duration_env != nullptr ? std::max(1, std::atoi(duration_env)) : 4;
+  const char* chaos_env = std::getenv("ELSC_OVERLOAD_CHAOS");
+  const bool chaos_on = chaos_env != nullptr && chaos_env[0] == '1';
+
+  elsc::PrintBenchHeader(
+      "Overload sweep",
+      elsc::StrFormat("open-loop webserver load sweep on %s, resilience layer on%s; "
+                      "JSON to BENCH_overload.json",
+                      elsc::KernelConfigLabel(kernel),
+                      chaos_on ? ", connection chaos injected" : ""));
+
+  const std::vector<elsc::SchedulerKind> schedulers = {
+      elsc::SchedulerKind::kLinux, elsc::SchedulerKind::kElsc,
+      elsc::SchedulerKind::kHeap, elsc::SchedulerKind::kMultiQueue};
+  const std::vector<double> loads = LoadFactors();
+
+  std::vector<elsc::OverloadCellSpec> cells;
+  for (const elsc::SchedulerKind kind : schedulers) {
+    for (const double load : loads) {
+      elsc::OverloadCellSpec spec;
+      spec.kernel = kernel;
+      spec.scheduler = kind;
+      spec.load_factor = load;
+      spec.seed = seed;
+      cells.push_back(spec);
+    }
+  }
+
+  const elsc::WebserverConfig base =
+      elsc::OverloadBaseConfig(elsc::SecToCycles(duration_sec));
+
+  const double start = NowSec();
+  const std::vector<elsc::OverloadCell> runs = elsc::RunBenchMatrix(
+      "overload_sweep", cells.size(),
+      [&](size_t i) {
+        elsc::ChaosOptions chaos;
+        if (chaos_on) {
+          chaos.faults = elsc::ConnChaosPlan(seed);
+        }
+        return elsc::RunOverloadCell(cells[i], base, chaos);
+      },
+      elsc::BenchJobs());
+  const double elapsed = NowSec() - start;
+
+  std::printf("%-12s %5s %9s %9s %8s %7s %6s %7s %7s %7s %7s %8s\n", "sched",
+              "load", "offered", "goodput", "backlog", "shed", "reset",
+              "retries", "p50us", "p99us", "p999us", "verdict");
+  bool all_ok = true;
+  for (const elsc::OverloadCell& cell : runs) {
+    const elsc::WebserverResult& r = cell.run.result;
+    const bool ok = !cell.run.stats.failed;
+    all_ok = all_ok && ok;
+    std::printf("%-12s %5.2f %9.1f %9.1f %8llu %7llu %6llu %7llu %7llu %7llu %7llu %8s\n",
+                elsc::SchedulerKindName(cell.spec.scheduler), cell.spec.load_factor,
+                cell.offered_rate, r.throughput,
+                static_cast<unsigned long long>(r.dropped_backlog),
+                static_cast<unsigned long long>(r.dropped_shed),
+                static_cast<unsigned long long>(r.dropped_reset),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.latency_p50_us),
+                static_cast<unsigned long long>(r.latency_p99_us),
+                static_cast<unsigned long long>(r.latency_p999_us),
+                ok ? "ok" : "FAIL");
+    if (!ok && !cell.run.stats.failure.empty()) {
+      std::printf("     diagnosis: %s\n", cell.run.stats.failure.c_str());
+    }
+  }
+
+  const char* json_path = "BENCH_overload.json";
+  std::FILE* out = std::fopen(json_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path);
+    return elsc::BenchExit(1);
+  }
+  const std::string json = elsc::RenderOverloadJson(runs, seed, chaos_on);
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s (%zu cells in %.2fs wall)\n", json_path, runs.size(), elapsed);
+
+  if (!all_ok) {
+    std::fprintf(stderr, "overload sweep: RED — failed cells above\n");
+    return elsc::BenchExit(1);
+  }
+  return elsc::BenchExit(0);
+}

@@ -24,10 +24,23 @@ baseline="bench/baselines/BENCH_perf_smoke.json"
 
 echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
-cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops
+cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep
 
 echo "=== perf_smoke (${churn_events} churn events, ${rooms} rooms) ==="
 (cd build && ./bench/perf_smoke "${churn_events}" "${rooms}")
+
+echo "=== overload_sweep smoke (short sweep; JSON must be job-count invariant) ==="
+# A short sweep at three load factors, run twice at different job counts: the
+# emitted JSON contains only simulated data, so the two files must be
+# byte-identical (the determinism contract the supervised harness preserves).
+(cd build &&
+  ELSC_OVERLOAD_DURATION_SEC=1 ELSC_OVERLOAD_LOADS=0.5,1.0,2.0 \
+    ELSC_BENCH_JOBS=1 ./bench/overload_sweep >/dev/null &&
+  mv BENCH_overload.json BENCH_overload.jobs1.json &&
+  ELSC_OVERLOAD_DURATION_SEC=1 ELSC_OVERLOAD_LOADS=0.5,1.0,2.0 \
+    ELSC_BENCH_JOBS=4 ./bench/overload_sweep &&
+  cmp BENCH_overload.jobs1.json BENCH_overload.json &&
+  echo "overload JSON identical at jobs 1 vs 4")
 
 echo "=== micro_sched_ops (table search + task alloc + schedule/add-del) ==="
 ./build/bench/micro_sched_ops --benchmark_min_time=0.05 2>/dev/null |

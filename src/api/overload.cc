@@ -1,0 +1,95 @@
+#include "src/api/overload.h"
+
+#include "src/base/string_util.h"
+
+namespace elsc {
+
+Cycles WebserverRequestCpuCycles(const WebserverConfig& config) {
+  const double disk_submits = config.disk_probability;  // One syscall per miss.
+  const double cycles = static_cast<double>(config.syscall_cycles)  // accept
+                        + static_cast<double>(config.parse_cycles)
+                        + disk_submits * static_cast<double>(config.syscall_cycles)
+                        + static_cast<double>(config.respond_cycles);
+  return static_cast<Cycles>(cycles);
+}
+
+double WebserverSaturationRate(const WebserverConfig& config, int cpus) {
+  const double per_request = static_cast<double>(WebserverRequestCpuCycles(config));
+  return static_cast<double>(cpus) * static_cast<double>(kCyclesPerSec) / per_request;
+}
+
+WebserverConfig OverloadBaseConfig(Cycles duration) {
+  WebserverConfig cfg;
+  cfg.duration = duration;
+  // A pool deep enough that disk waits never bound throughput (CPU is the
+  // bottleneck the sweep studies), over a deliberately bounded backlog so
+  // overload surfaces as accounted drops instead of unbounded queueing.
+  cfg.workers = 64;
+  cfg.accept_queue_capacity = 128;
+  // Resilience layer on: timed accepts, deadline shedding, retrying clients.
+  cfg.accept_timeout = MsToCycles(10);
+  // Just under the full-backlog drain time (capacity / service rate), so
+  // shedding engages only once the backlog is deep — past saturation.
+  cfg.shed_deadline = MsToCycles(15);
+  cfg.retry_arrivals = true;
+  return cfg;
+}
+
+OverloadCell RunOverloadCell(const OverloadCellSpec& spec, const WebserverConfig& base,
+                             const ChaosOptions& chaos) {
+  OverloadCell cell;
+  cell.spec = spec;
+  const MachineConfig mc = MakeMachineConfig(spec.kernel, spec.scheduler, spec.seed);
+  cell.saturation_rate = WebserverSaturationRate(base, mc.num_cpus);
+  WebserverConfig cfg = base;
+  cfg.arrival_rate_per_sec = cell.saturation_rate * spec.load_factor;
+  cell.offered_rate = cfg.arrival_rate_per_sec;
+  cell.run = RunWebserver(mc, cfg, SecToCycles(3600), chaos);
+  return cell;
+}
+
+std::string RenderOverloadJson(const std::vector<OverloadCell>& cells, uint64_t seed,
+                               bool chaos) {
+  std::string out;
+  out += StrFormat("{\n  \"seed\": %llu,\n  \"chaos\": %s,\n  \"cells\": [\n",
+                   static_cast<unsigned long long>(seed), chaos ? "true" : "false");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const OverloadCell& cell = cells[i];
+    const WebserverResult& r = cell.run.result;
+    const FaultStats& f = cell.run.stats.faults;
+    out += StrFormat(
+        "    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"load_factor\": %.4f,\n"
+        "     \"saturation_rate\": %.4f, \"offered_rate\": %.4f, \"goodput\": %.4f,\n"
+        "     \"arrived\": %llu, \"completed\": %llu, \"dropped\": %llu,\n"
+        "     \"drops\": {\"backlog\": %llu, \"shed\": %llu, \"reset\": %llu},\n"
+        "     \"retries\": %llu, \"abandons\": %llu,\n"
+        "     \"latency_us\": {\"mean\": %.4f, \"p50\": %llu, \"p95\": %llu, "
+        "\"p99\": %llu, \"p999\": %llu},\n"
+        "     \"injected\": {\"conn_resets\": %llu, \"conn_half_opens\": %llu, "
+        "\"slow_peer_windows\": %llu, \"reconnect_storms\": %llu},\n"
+        "     \"elapsed_sim_sec\": %.6f, \"failed\": %s}%s\n",
+        KernelConfigLabel(cell.spec.kernel), SchedulerKindName(cell.spec.scheduler),
+        cell.spec.load_factor, cell.saturation_rate, cell.offered_rate, r.throughput,
+        static_cast<unsigned long long>(r.requests_arrived),
+        static_cast<unsigned long long>(r.requests_completed),
+        static_cast<unsigned long long>(r.requests_dropped),
+        static_cast<unsigned long long>(r.dropped_backlog),
+        static_cast<unsigned long long>(r.dropped_shed),
+        static_cast<unsigned long long>(r.dropped_reset),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.abandons), r.latency_mean_us,
+        static_cast<unsigned long long>(r.latency_p50_us),
+        static_cast<unsigned long long>(r.latency_p95_us),
+        static_cast<unsigned long long>(r.latency_p99_us),
+        static_cast<unsigned long long>(r.latency_p999_us),
+        static_cast<unsigned long long>(f.conn_resets),
+        static_cast<unsigned long long>(f.conn_half_opens),
+        static_cast<unsigned long long>(f.slow_peer_windows),
+        static_cast<unsigned long long>(f.reconnect_storms), r.elapsed_sec,
+        cell.run.stats.failed ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace elsc

@@ -1,0 +1,72 @@
+// Overload sweep: open-loop load-factor sweeps of the webserver workload.
+//
+// The paper evaluates schedulers at a fixed load; the interesting robustness
+// question is what happens past saturation. Each sweep cell offers a Poisson
+// arrival stream at `load_factor` x the machine's derived saturation rate
+// (0.5x -> 2x), with the resilience layer on: bounded accept backlog,
+// deadline shedding, and retrying clients with deterministic jittered
+// backoff. The cell reports offered load vs goodput plus the drop/retry
+// breakdown and latency tail (p50/p99/p99.9).
+//
+// The cell runner and the JSON renderer live here (not in bench/) so the
+// determinism test can drive the same cells through RunMatrix at several job
+// counts and byte-compare the rendered JSON: everything in the JSON is
+// simulated data, bit-identical regardless of host parallelism.
+
+#ifndef SRC_API_OVERLOAD_H_
+#define SRC_API_OVERLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/simulation.h"
+
+namespace elsc {
+
+// One sweep cell: a scheduler backend on a kernel configuration, offered
+// load_factor x the saturation rate.
+struct OverloadCellSpec {
+  KernelConfig kernel = KernelConfig::kSmp4;
+  SchedulerKind scheduler = SchedulerKind::kLinux;
+  double load_factor = 1.0;
+  uint64_t seed = 1;
+};
+
+// Mean CPU demand of one request in cycles: accept + parse + the expected
+// disk-submit syscall + respond. Disk *wait* is sleep, not CPU, so it bounds
+// worker-pool occupancy but not throughput; jitter is mean-preserving.
+Cycles WebserverRequestCpuCycles(const WebserverConfig& config);
+
+// The offered load (requests/sec) that nominally saturates `cpus` CPUs:
+// cpus / per-request CPU demand. Scheduling overhead makes the achievable
+// goodput a little lower — which is exactly what the sweep measures.
+double WebserverSaturationRate(const WebserverConfig& config, int cpus);
+
+// Baseline webserver configuration for sweep cells: the resilience layer on
+// (bounded backlog, deadline shedding, retrying clients, timed accepts) over
+// the standard request cost model.
+WebserverConfig OverloadBaseConfig(Cycles duration);
+
+struct OverloadCell {
+  OverloadCellSpec spec;
+  double saturation_rate = 0.0;  // Requests/sec at load factor 1.0.
+  double offered_rate = 0.0;     // saturation_rate x spec.load_factor.
+  WebserverRun run;
+};
+
+// Runs one sweep cell to completion: derives the offered rate from `base`
+// and the cell's kernel, then runs the webserver under it (optionally with
+// chaos — connection-lifecycle injectors need `chaos.faults` enabled).
+OverloadCell RunOverloadCell(const OverloadCellSpec& spec, const WebserverConfig& base,
+                             const ChaosOptions& chaos = {});
+
+// Renders the sweep as one canonical JSON string containing only simulated
+// (deterministic) data: no wall-clock timings, no supervision counters. Two
+// runs of the same cells are byte-identical at any ELSC_BENCH_JOBS value.
+std::string RenderOverloadJson(const std::vector<OverloadCell>& cells, uint64_t seed,
+                               bool chaos);
+
+}  // namespace elsc
+
+#endif  // SRC_API_OVERLOAD_H_

@@ -89,6 +89,15 @@ RunStats RunWithChaos(Machine& machine, Workload& workload, Cycles deadline,
                       const ChaosOptions& chaos) {
   FaultInjector injector(machine, chaos.faults);
   SchedulerAuditor auditor(machine, chaos.audit);
+  // Workloads that expose connection-lifecycle targets (their network-facing
+  // sockets) hand them to the injector so a plan's conn-chaos fields can
+  // act. Detected structurally: workloads without the hook (kcompile,
+  // chaos_mix) are simply never victimized.
+  if constexpr (requires { workload.LifecycleTargets(); }) {
+    if (chaos.faults.ConnChaosEnabled()) {
+      injector.AttachLifecycleTargets(workload.LifecycleTargets());
+    }
+  }
   injector.Arm();
   auditor.Arm();
   machine.Start();
@@ -167,6 +176,11 @@ std::string RunStatsDigest(const RunStats& stats) {
                    static_cast<unsigned long long>(e.callback_heap_allocs),
                    static_cast<unsigned long long>(e.slot_allocs),
                    static_cast<unsigned long long>(e.max_heap_depth));
+  // NOTE: the conn-chaos counters (conn_resets, conn_half_opens,
+  // slow_peer_windows, reconnect_storms) are intentionally absent here. The
+  // digest format is pinned by the golden-stats suite, and every
+  // pre-lifecycle scenario must keep a bit-identical digest; the new
+  // counters travel through EncodeRunStats and the proc report instead.
   const FaultStats& f = stats.faults;
   out += StrFormat("faults:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|",
                    static_cast<unsigned long long>(f.tick_drops),
@@ -297,6 +311,10 @@ std::string EncodeRunStats(const RunStats& stats) {
   AppendU64(&out, f.yield_tasks);
   AppendU64(&out, f.cpu_stalls);
   AppendU64(&out, f.lock_stalls);
+  AppendU64(&out, f.conn_resets);
+  AppendU64(&out, f.conn_half_opens);
+  AppendU64(&out, f.slow_peer_windows);
+  AppendU64(&out, f.reconnect_storms);
   const AuditStats& a = stats.audit;
   AppendU64(&out, a.audits);
   AppendU64(&out, a.picks_audited);
@@ -337,7 +355,9 @@ bool DecodeRunStats(const std::string& payload, RunStats* stats) {
       r.U64(&e.slot_allocs) && r.U64(&e.max_heap_depth) && r.U64(&f.tick_drops) &&
       r.U64(&f.tick_jitters) && r.U64(&f.storm_bursts) && r.U64(&f.storm_tasks) &&
       r.U64(&f.spurious_wakes) && r.U64(&f.yield_tasks) && r.U64(&f.cpu_stalls) &&
-      r.U64(&f.lock_stalls) && r.U64(&a.audits) && r.U64(&a.picks_audited) &&
+      r.U64(&f.lock_stalls) && r.U64(&f.conn_resets) &&
+      r.U64(&f.conn_half_opens) && r.U64(&f.slow_peer_windows) &&
+      r.U64(&f.reconnect_storms) && r.U64(&a.audits) && r.U64(&a.picks_audited) &&
       r.U64(&a.conservation_violations) && r.U64(&a.counter_violations) &&
       r.U64(&a.structure_violations) && r.U64(&a.table_violations) &&
       r.U64(&a.ordering_violations) && r.U64(&a.starvation_reports) &&
@@ -359,6 +379,11 @@ std::string EncodeVolanoRun(const VolanoRun& run) {
   AppendU64(&out, run.result.messages_sent);
   AppendU64(&out, run.result.messages_delivered);
   AppendF64(&out, run.result.throughput);
+  AppendU64(&out, run.result.resets_seen);
+  AppendU64(&out, run.result.retries);
+  AppendU64(&out, run.result.reconnects);
+  AppendU64(&out, run.result.abandons);
+  AppendU64(&out, run.result.messages_lost);
   out += EncodeRunStats(run.stats);
   return out;
 }
@@ -368,7 +393,9 @@ bool DecodeVolanoRun(const std::string& payload, VolanoRun* run) {
   TokenReader r(payload);
   if (!r.Bool(&out.result.completed) || !r.F64(&out.result.elapsed_sec) ||
       !r.U64(&out.result.messages_sent) || !r.U64(&out.result.messages_delivered) ||
-      !r.F64(&out.result.throughput)) {
+      !r.F64(&out.result.throughput) || !r.U64(&out.result.resets_seen) ||
+      !r.U64(&out.result.retries) || !r.U64(&out.result.reconnects) ||
+      !r.U64(&out.result.abandons) || !r.U64(&out.result.messages_lost)) {
     return false;
   }
   if (!DecodeRunStats(r.Rest(), &out.stats)) {

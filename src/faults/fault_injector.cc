@@ -46,8 +46,30 @@ class StormForker : public TaskBehavior {
 FaultInjector::FaultInjector(Machine& machine, const FaultPlan& plan)
     : machine_(machine), plan_(plan), rng_(plan.seed) {}
 
+void FaultInjector::AttachLifecycleTargets(std::vector<SimSocket*> targets) {
+  lifecycle_targets_ = std::move(targets);
+}
+
 void FaultInjector::Arm() {
   Engine& engine = machine_.engine();
+  // Connection-lifecycle chaos arms only when a workload attached victims:
+  // the gate keeps pre-lifecycle workloads' event streams untouched by any
+  // plan, and keeps Arm() from drawing extra rng_ values that would shift
+  // the victim choices of the injectors below.
+  if (!lifecycle_targets_.empty()) {
+    if (plan_.conn_reset_period > 0 && plan_.conn_resets_per_burst > 0) {
+      engine.ScheduleAfter(plan_.conn_reset_period, [this] { ConnResetBurst(); });
+    }
+    if (plan_.half_open_period > 0) {
+      engine.ScheduleAfter(plan_.half_open_period, [this] { ConnHalfOpen(); });
+    }
+    if (plan_.slow_peer_period > 0 && plan_.slow_peer_duration > 0) {
+      engine.ScheduleAfter(plan_.slow_peer_period, [this] { ConnSlowPeer(); });
+    }
+    if (plan_.reconnect_storm_period > 0 && plan_.reconnect_storm_size > 0) {
+      engine.ScheduleAfter(plan_.reconnect_storm_period, [this] { ReconnectStorm(); });
+    }
+  }
   if (plan_.timer_period > 0) {
     engine.ScheduleAfter(plan_.timer_period, [this] { TimerChaos(); });
   }
@@ -134,6 +156,55 @@ void FaultInjector::LockStall() {
   machine_.AddLockHolderStall(plan_.lock_stall_cycles);
   ++stats_.lock_stalls;
   machine_.engine().ScheduleAfter(plan_.lock_stall_period, [this] { LockStall(); });
+}
+
+void FaultInjector::ConnResetBurst() {
+  for (int i = 0; i < plan_.conn_resets_per_burst; ++i) {
+    SimSocket* victim = lifecycle_targets_[rng_.NextBelow(lifecycle_targets_.size())];
+    if (victim->state() == SocketState::kOpen ||
+        victim->state() == SocketState::kHalfOpen) {
+      victim->ResetByPeer(machine_);
+      ++stats_.conn_resets;
+    }
+  }
+  machine_.engine().ScheduleAfter(plan_.conn_reset_period, [this] { ConnResetBurst(); });
+}
+
+void FaultInjector::ConnHalfOpen() {
+  SimSocket* victim = lifecycle_targets_[rng_.NextBelow(lifecycle_targets_.size())];
+  if (victim->open()) {
+    victim->HalfOpenPeer(machine_);
+    ++stats_.conn_half_opens;
+  }
+  machine_.engine().ScheduleAfter(plan_.half_open_period, [this] { ConnHalfOpen(); });
+}
+
+void FaultInjector::ConnSlowPeer() {
+  SimSocket* victim = lifecycle_targets_[rng_.NextBelow(lifecycle_targets_.size())];
+  if (!victim->throttled()) {
+    victim->SetThrottled(machine_, true);
+    ++stats_.slow_peer_windows;
+    machine_.engine().ScheduleAfter(plan_.slow_peer_duration, [this, victim] {
+      victim->SetThrottled(machine_, false);
+    });
+  }
+  machine_.engine().ScheduleAfter(plan_.slow_peer_period, [this] { ConnSlowPeer(); });
+}
+
+void FaultInjector::ReconnectStorm() {
+  // Every victim resets at the same instant, so every resilient client's
+  // first retry lands in the same backoff window — the thundering herd the
+  // jittered backoff exists to break up.
+  for (int i = 0; i < plan_.reconnect_storm_size; ++i) {
+    SimSocket* victim = lifecycle_targets_[rng_.NextBelow(lifecycle_targets_.size())];
+    if (victim->state() == SocketState::kOpen ||
+        victim->state() == SocketState::kHalfOpen) {
+      victim->ResetByPeer(machine_);
+      ++stats_.conn_resets;
+    }
+  }
+  ++stats_.reconnect_storms;
+  machine_.engine().ScheduleAfter(plan_.reconnect_storm_period, [this] { ReconnectStorm(); });
 }
 
 }  // namespace elsc

@@ -11,6 +11,7 @@
 #include "src/base/rng.h"
 #include "src/faults/fault_plan.h"
 #include "src/kernel/behavior.h"
+#include "src/net/socket.h"
 #include "src/smp/machine.h"
 
 namespace elsc {
@@ -22,6 +23,14 @@ class FaultInjector {
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Registers the sockets the plan's connection-lifecycle injectors may
+  // victimize (typically a workload's client-facing wires). Call before
+  // Arm(); the sockets must outlive the machine's run. With no targets
+  // attached, the conn-chaos plan fields are inert — which is what keeps
+  // every pre-lifecycle workload's event stream (and golden digest)
+  // bit-identical under any plan.
+  void AttachLifecycleTargets(std::vector<SimSocket*> targets);
 
   // Schedules the plan's recurring fault events and creates the yield-hammer
   // population. No-op for a disabled plan; call at most once.
@@ -36,6 +45,10 @@ class FaultInjector {
   void SpuriousWakeBurst();
   void CpuStall();
   void LockStall();
+  void ConnResetBurst();
+  void ConnHalfOpen();
+  void ConnSlowPeer();
+  void ReconnectStorm();
 
   Machine& machine_;
   FaultPlan plan_;
@@ -43,6 +56,7 @@ class FaultInjector {
   FaultStats stats_;
   int storms_launched_ = 0;
   int stalls_launched_ = 0;
+  std::vector<SimSocket*> lifecycle_targets_;
   // Behaviors backing injected tasks (storm forkers/children, yield
   // hammers); the Machine holds raw pointers into these, so they live here
   // for the machine's whole run.

@@ -64,10 +64,38 @@ struct FaultPlan {
   Cycles lock_stall_period = 0;  // 0 = off
   Cycles lock_stall_cycles = 0;
 
+  // -- Connection-lifecycle chaos. These act on the sockets a workload hands
+  //    to FaultInjector::AttachLifecycleTargets(); with no targets attached
+  //    they are inert even when enabled, so workloads that predate the
+  //    lifecycle layer are unaffected by any plan.
+  //
+  //    Random resets: every `conn_reset_period`, ResetByPeer() on
+  //    `conn_resets_per_burst` uniformly-chosen targets (ECONNRESET storms).
+  Cycles conn_reset_period = 0;  // 0 = off
+  int conn_resets_per_burst = 0;
+  //    Half-open peers: every `half_open_period`, one uniformly-chosen open
+  //    target's peer reader dies silently (writer keeps sending).
+  Cycles half_open_period = 0;  // 0 = off
+  //    Slow peers: every `slow_peer_period`, one target is throttled to an
+  //    effective capacity of 1 for `slow_peer_duration`, then released.
+  Cycles slow_peer_period = 0;  // 0 = off
+  Cycles slow_peer_duration = 0;
+  //    Reconnect storms: every `reconnect_storm_period`, ResetByPeer() on
+  //    `reconnect_storm_size` targets at the same instant, so every victim's
+  //    client re-establishes simultaneously — the thundering-herd reconnect.
+  Cycles reconnect_storm_period = 0;  // 0 = off
+  int reconnect_storm_size = 0;
+
+  bool ConnChaosEnabled() const {
+    return conn_reset_period > 0 || half_open_period > 0 ||
+           slow_peer_period > 0 || reconnect_storm_period > 0;
+  }
+
   bool Enabled() const {
     return timer_period > 0 || fork_storm_period > 0 ||
            spurious_wake_period > 0 || yield_hammer_tasks > 0 ||
-           cpu_stall_period > 0 || lock_stall_period > 0;
+           cpu_stall_period > 0 || lock_stall_period > 0 ||
+           ConnChaosEnabled();
   }
 };
 
@@ -82,7 +110,32 @@ struct FaultStats {
   uint64_t yield_tasks = 0;     // Yield-hammer tasks created.
   uint64_t cpu_stalls = 0;      // Stall windows entered.
   uint64_t lock_stalls = 0;     // Lock-holder spikes injected.
+  // Connection-lifecycle chaos (zero unless a workload attached targets).
+  // These counters are carried by the supervisor codec but deliberately NOT
+  // by RunStatsDigest — its format is pinned by the golden-stats suite, and
+  // every pre-lifecycle scenario must keep a bit-identical digest.
+  uint64_t conn_resets = 0;        // ResetByPeer() transitions injected.
+  uint64_t conn_half_opens = 0;    // Peer readers killed.
+  uint64_t slow_peer_windows = 0;  // Throttle windows opened.
+  uint64_t reconnect_storms = 0;   // Mass-reset storms launched.
 };
+
+// Connection-lifecycle chaos at moderate intensity: reset storms, half-open
+// peers, slow peers, and periodic mass reconnects. Kept separate from
+// FullChaosPlan — the golden chaos cells replay FullChaosPlan's exact event
+// stream, so that preset must never grow new injectors.
+inline FaultPlan ConnChaosPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.conn_reset_period = MsToCycles(40);
+  plan.conn_resets_per_burst = 2;
+  plan.half_open_period = MsToCycles(300);
+  plan.slow_peer_period = MsToCycles(150);
+  plan.slow_peer_duration = MsToCycles(60);
+  plan.reconnect_storm_period = MsToCycles(500);
+  plan.reconnect_storm_size = 8;
+  return plan;
+}
 
 // Every injector on at moderate intensity — the chaos-smoke preset.
 inline FaultPlan FullChaosPlan(uint64_t seed) {

@@ -10,6 +10,26 @@
 // Behaviors use the non-blocking TryRead/TryWrite plus the standard re-check
 // idiom: on failure, return a kBlock segment on the corresponding wait queue
 // and retry when woken.
+//
+// Connection lifecycle (the overload-resilience layer): a socket is born
+// kOpen and can transition to
+//
+//   kHalfOpen  — the peer's reading side died silently (HalfOpenPeer()).
+//                Reads drain the queue, then observe EOF; writes still land
+//                until the queue fills and then block forever — exactly the
+//                TCP half-open pathology a send timeout exists to catch.
+//   kClosed    — orderly shutdown (Close()). Reads drain, then observe EOF;
+//                writes fail immediately (the EPIPE analog).
+//   kReset     — connection reset by peer (ResetByPeer()). Queued messages
+//                are destroyed, reads and writes both fail immediately (the
+//                ECONNRESET analog).
+//
+// Every transition wakes ALL sleepers on both wait queues so blocked readers
+// and writers re-run their non-blocking op and observe the error through the
+// TryReadMsg/TryWriteMsg outcome — the same re-check idiom that already
+// guards against lost wake-ups. Reopen() returns a socket to kOpen (the
+// reconnect analog used by churn-capable clients). All states are counted
+// per cause in SocketStats so drops are attributable.
 
 #ifndef SRC_NET_SOCKET_H_
 #define SRC_NET_SOCKET_H_
@@ -32,6 +52,27 @@ struct Message {
   uint64_t payload = 0;
 };
 
+// Connection lifecycle state; see the file comment for transition semantics.
+enum class SocketState {
+  kOpen,
+  kHalfOpen,  // Peer reader died: reads EOF after drain, writes never drain.
+  kClosed,    // Orderly shutdown: reads EOF after drain, writes fail (EPIPE).
+  kReset,     // Reset by peer: queue destroyed, reads/writes fail (ECONNRESET).
+};
+
+// Outcome of a non-blocking socket operation. kWouldBlock is the only
+// retry-after-sleep outcome; the rest are terminal connection errors a
+// resilient client maps to its retry/abandon policy.
+enum class SockStatus {
+  kOk,
+  kWouldBlock,  // EAGAIN: empty (read) or full (write) — block and retry.
+  kEof,         // Read side: orderly end of stream after drain.
+  kClosed,      // Write side: socket closed (EPIPE analog).
+  kReset,       // Either side: connection reset (ECONNRESET analog).
+};
+
+const char* SockStatusName(SockStatus status);
+
 struct SocketStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
@@ -40,6 +81,20 @@ struct SocketStats {
   uint64_t read_timeouts = 0;  // Timed blocks on read_wait that expired.
   uint64_t write_timeouts = 0; // Timed blocks on write_wait that expired.
   uint64_t max_depth = 0;
+  // Lifecycle transitions (at most one close/half-open per life, but a
+  // reopened socket can accumulate several of each).
+  uint64_t closes = 0;       // Close() transitions.
+  uint64_t peer_resets = 0;  // ResetByPeer() transitions.
+  uint64_t half_opens = 0;   // HalfOpenPeer() transitions.
+  uint64_t reopens = 0;      // Reopen() transitions (reconnects).
+  // Per-cause operation failures (the EOF/EPIPE/ECONNRESET observations).
+  uint64_t read_eofs = 0;      // Reads that observed end-of-stream.
+  uint64_t read_resets = 0;    // Reads that failed with connection-reset.
+  uint64_t write_closed = 0;   // Writes that failed on a closed socket.
+  uint64_t write_resets = 0;   // Writes that failed with connection-reset.
+  // Messages destroyed by ResetByPeer()/Reopen() queue teardown — queued
+  // data that was accepted but never delivered (drop-by-reset accounting).
+  uint64_t discarded = 0;
 };
 
 class SimSocket {
@@ -57,15 +112,68 @@ class SimSocket {
   size_t capacity() const { return capacity_; }
   size_t depth() const { return queue_.size(); }
   bool CanRead() const { return !queue_.empty(); }
-  bool CanWrite() const { return queue_.size() < capacity_; }
+  bool CanWrite() const { return queue_.size() < EffectiveCapacity(); }
 
-  // Appends a message; wakes one blocked reader. Returns false (and counts a
-  // block) when the queue is full.
-  bool TryWrite(Waker& waker, const Message& msg);
+  SocketState state() const { return state_; }
+  bool open() const { return state_ == SocketState::kOpen; }
+  bool reset() const { return state_ == SocketState::kReset; }
+  bool throttled() const { return throttled_; }
 
-  // Pops the oldest message; wakes one blocked writer. Returns nullopt (and
-  // counts a block) when the queue is empty.
-  std::optional<Message> TryRead(Waker& waker);
+  // True when a read would not block: data is queued, or the stream carries
+  // an observable condition (EOF/reset). Blocked readers sleep on
+  // !ReadReady(), so every lifecycle transition satisfies their predicate.
+  bool ReadReady() const { return CanRead() || state_ != SocketState::kOpen; }
+  // True when a write would not block: there is room, or the write would
+  // fail fast (closed/reset). A half-open socket's full queue still blocks —
+  // the writer cannot tell the peer's reader died (that is the pathology).
+  bool WriteReady() const {
+    return CanWrite() || state_ == SocketState::kClosed || state_ == SocketState::kReset;
+  }
+
+  // Appends a message; wakes one blocked reader. kWouldBlock when the queue
+  // is full, kClosed/kReset when the connection is down.
+  SockStatus TryWriteMsg(Waker& waker, const Message& msg);
+
+  // Pops the oldest message into *out; wakes one blocked writer. kWouldBlock
+  // when empty and open, kEof once a closed/half-open stream has drained,
+  // kReset on a reset connection.
+  SockStatus TryReadMsg(Waker& waker, Message* out);
+
+  // Back-compat wrappers used by code that never exercises the lifecycle:
+  // behave exactly as the historical boolean/optional API on an open socket
+  // (and map every non-kOk outcome to the failure value).
+  bool TryWrite(Waker& waker, const Message& msg) {
+    return TryWriteMsg(waker, msg) == SockStatus::kOk;
+  }
+  std::optional<Message> TryRead(Waker& waker) {
+    Message msg;
+    if (TryReadMsg(waker, &msg) != SockStatus::kOk) {
+      return std::nullopt;
+    }
+    return msg;
+  }
+
+  // ---- Lifecycle transitions (each wakes all sleepers; all idempotent) ----
+  // Orderly shutdown: queued messages remain drainable, then readers see
+  // kEof; writers fail with kClosed. Close() wins over every state except
+  // itself (closing a reset socket converts it to a quiet EOF stream).
+  void Close(Waker& waker);
+  // Connection reset by peer: destroys queued messages (counted in
+  // stats().discarded), readers and writers fail immediately with kReset.
+  // No-op on an already-reset socket.
+  void ResetByPeer(Waker& waker);
+  // The peer's reader dies silently: readers of this socket observe EOF
+  // after drain, writers keep landing messages into a queue nobody drains.
+  // Only meaningful from kOpen.
+  void HalfOpenPeer(Waker& waker);
+  // Reconnect analog: back to kOpen with an empty queue (stale messages are
+  // counted as discarded). Wakes all sleepers so parked peers resume.
+  void Reopen(Waker& waker);
+
+  // Slow-peer throttle (fault injection): while throttled, the effective
+  // capacity is 1, so writers experience a receiver that drains one message
+  // at a time. Disabling wakes blocked writers.
+  void SetThrottled(Waker& waker, bool throttled);
 
   WaitQueue& read_wait() { return read_wait_; }
   WaitQueue& write_wait() { return write_wait_; }
@@ -87,6 +195,14 @@ class SimSocket {
   void CountWriteTimeout() { ++stats_.write_timeouts; }
 
  private:
+  size_t EffectiveCapacity() const {
+    return throttled_ && capacity_ > 1 ? 1 : capacity_;
+  }
+  void WakeAllSleepers(Waker& waker) {
+    read_wait_.WakeAll(waker);
+    write_wait_.WakeAll(waker);
+  }
+
   std::string name_;
   size_t capacity_;
   std::deque<Message> queue_;
@@ -94,6 +210,8 @@ class SimSocket {
   WaitQueue write_wait_;
   Cycles rcv_timeout_ = 0;
   Cycles snd_timeout_ = 0;
+  SocketState state_ = SocketState::kOpen;
+  bool throttled_ = false;
   SocketStats stats_;
 };
 

@@ -22,6 +22,13 @@
 //  - Connect timeout: the simulated loopback has no three-way handshake; the
 //    accept-queue write IS connection establishment, so a bounded
 //    BlockUntilWritable on the accept socket is the connect-timeout analog.
+//
+//  - EOF / EPIPE / ECONNRESET: lifecycle transitions (Close, ResetByPeer,
+//    HalfOpenPeer) wake all sleepers, and the block predicates below use
+//    ReadReady()/WriteReady() so a task never goes back to sleep on a dead
+//    connection. The woken behavior re-runs TryReadMsg/TryWriteMsg and the
+//    returned SockStatus carries the per-cause error — the same observe-on-
+//    retry path a real program takes when a blocked syscall fails.
 
 #ifndef SRC_NET_SOCKET_OPS_H_
 #define SRC_NET_SOCKET_OPS_H_
@@ -32,19 +39,21 @@
 
 namespace elsc {
 
-// Returns a segment that blocks the task until `socket` becomes readable —
-// or, when the socket has a receive timeout, until the deadline expires.
-// The socket must outlive the blocked task's sleep.
+// Returns a segment that blocks the task until a read on `socket` would not
+// block — data arrived, the stream ended (EOF/reset), or, when the socket has
+// a receive timeout, the deadline expired. The socket must outlive the
+// blocked task's sleep.
 inline Segment BlockUntilReadable(Cycles cycles, SimSocket& socket) {
   return Segment::BlockFor(cycles, &socket.read_wait(), socket.rcv_timeout(),
-                           [&socket] { return !socket.CanRead(); });
+                           [&socket] { return !socket.ReadReady(); });
 }
 
-// Returns a segment that blocks the task until `socket` becomes writable —
-// or, when the socket has a send timeout, until the deadline expires.
+// Returns a segment that blocks the task until a write on `socket` would not
+// block — space opened up, the connection died (closed/reset: the write will
+// fail fast rather than hang), or the send timeout expired.
 inline Segment BlockUntilWritable(Cycles cycles, SimSocket& socket) {
   return Segment::BlockFor(cycles, &socket.write_wait(), socket.snd_timeout(),
-                           [&socket] { return !socket.CanWrite(); });
+                           [&socket] { return !socket.WriteReady(); });
 }
 
 // After a wake from BlockUntilReadable: true iff the wake was the deadline

@@ -26,9 +26,33 @@ class Histogram {
   uint64_t total() const { return total_; }
   double mean() const { return total_ == 0 ? 0.0 : static_cast<double>(sum_) / total_; }
 
+  // Adds every sample of `other` into this histogram (bucket counts, total,
+  // and sum). Because buckets are fixed, Merge is exact: merging shards and
+  // then taking percentiles equals percentiles of the union — which is what
+  // lets sweep cells aggregate per-worker histograms deterministically.
+  void Merge(const Histogram& other) {
+    for (int i = 0; i < kBucketCount; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+    sum_ += other.sum_;
+  }
+
   // Value at quantile q in [0, 1]; returns the representative (upper bound)
   // of the bucket containing the q-th sample.
+  //
+  // Bias: the result is the bucket's UPPER edge, so percentiles over-report
+  // by up to one sub-bucket width (~12% relative, worst case ~25% just past
+  // a power of two). Values 0..7 land in exact buckets, so small-sample
+  // percentiles of small values are exact; from 8 upward a single sample of
+  // v reports the edge above v (e.g. one sample of 100 reports 111).
+  // stats_test.cc asserts this envelope so consumers aren't surprised.
   uint64_t Percentile(double q) const;
+
+  // Tail accessors used by the overload sweep's goodput/latency curves.
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P99() const { return Percentile(0.99); }
+  uint64_t P999() const { return Percentile(0.999); }
 
   void Reset() {
     counts_.fill(0);

@@ -71,6 +71,35 @@ std::string RenderProcSchedStats(const Machine& machine) {
   return out;
 }
 
+std::string RenderSocketStats(const std::string& name, const SocketStats& s) {
+  std::string out;
+  out += StrFormat("socket:               %s\n", name.c_str());
+  out += StrFormat("writes:               %llu\n", (unsigned long long)s.writes);
+  out += StrFormat("reads:                %llu\n", (unsigned long long)s.reads);
+  out += StrFormat("write_blocks:         %llu\n", (unsigned long long)s.write_blocks);
+  out += StrFormat("read_blocks:          %llu\n", (unsigned long long)s.read_blocks);
+  out += StrFormat("read_timeouts:        %llu\n", (unsigned long long)s.read_timeouts);
+  out += StrFormat("write_timeouts:       %llu\n", (unsigned long long)s.write_timeouts);
+  out += StrFormat("max_depth:            %llu\n", (unsigned long long)s.max_depth);
+  // Lifecycle block: only rendered once any lifecycle event happened, so a
+  // classic closed-loop run's report is byte-for-byte what it always was.
+  const uint64_t lifecycle = s.closes + s.peer_resets + s.half_opens + s.reopens +
+                             s.read_eofs + s.read_resets + s.write_closed +
+                             s.write_resets + s.discarded;
+  if (lifecycle > 0) {
+    out += StrFormat("closes:               %llu\n", (unsigned long long)s.closes);
+    out += StrFormat("peer_resets:          %llu\n", (unsigned long long)s.peer_resets);
+    out += StrFormat("half_opens:           %llu\n", (unsigned long long)s.half_opens);
+    out += StrFormat("reopens:              %llu\n", (unsigned long long)s.reopens);
+    out += StrFormat("read_eofs:            %llu\n", (unsigned long long)s.read_eofs);
+    out += StrFormat("read_resets:          %llu\n", (unsigned long long)s.read_resets);
+    out += StrFormat("write_closed:         %llu\n", (unsigned long long)s.write_closed);
+    out += StrFormat("write_resets:         %llu\n", (unsigned long long)s.write_resets);
+    out += StrFormat("discarded:            %llu\n", (unsigned long long)s.discarded);
+  }
+  return out;
+}
+
 std::string RenderSupervisionReport(const SupervisionStats& stats) {
   std::string out;
   out += "--- supervision ---\n";

@@ -75,13 +75,20 @@ class VolanoThreadBase : public TaskBehavior {
 
 // Composes and sends this user's messages; closed loop — the next message is
 // composed only after the user's previous message came back in a broadcast.
+//
+// Churn mode adds the resilient-client protocol: the pacing ack carries a
+// receive deadline, so a round trip killed by a wire reset (or simply lost)
+// wakes the writer with a timeout; the writer then reconnects both wires,
+// backs off with per-user deterministic jitter, and retransmits the same
+// message. A message only counts as committed when its own echo returns;
+// after backoff.max_retries consecutive failures the client abandons the
+// connection. The classic (!churn) paths are untouched.
 class VolanoClientWriter : public VolanoThreadBase {
  public:
   VolanoClientWriter(VolanoWorkload* workload, Rng rng, int user)
       : VolanoThreadBase(workload, rng), user_(user) {}
 
   Segment NextSegment(Machine& machine, Task& task) override {
-    (void)task;
     if (Segment gate; AwaitStartBarrier(&gate)) {
       return gate;
     }
@@ -97,20 +104,28 @@ class VolanoClientWriter : public VolanoThreadBase {
         return Segment::RunAgain(Jitter(cfg().compose_cycles));
       }
       case Phase::kWrite: {
-        Message msg;
-        msg.id = workload_->next_message_id_++;
-        msg.sender = user_;
-        msg.room = conn.room;
-        msg.sent_at = machine.Now();
-        if (!conn.c2s->TryWrite(machine, msg)) {
+        if (!cfg().churn || !msg_in_flight_) {
+          msg_ = Message{};
+          msg_.id = workload_->next_message_id_++;
+          msg_.sender = user_;
+          msg_.room = conn.room;
+          msg_.sent_at = machine.Now();
+          msg_in_flight_ = true;
+        }
+        const SockStatus st = conn.c2s->TryWriteMsg(machine, msg_);
+        if (st == SockStatus::kWouldBlock) {
           // Wire full: spin-yield, then block until the server reader
           // drains it, then retry.
           return SpinOrBlock(BlockUntilWritable(cfg().syscall_cycles, *conn.c2s));
         }
+        if (st != SockStatus::kOk) {
+          // Reset/closed mid-send (churn only — wires never die otherwise).
+          return HandleRoundFailure(machine);
+        }
         ResetSpin();
         ++sent_;
         ++workload_->messages_sent_;
-        if (sent_ == cfg().messages_per_user) {
+        if (!cfg().churn && sent_ == cfg().messages_per_user) {
           return Segment::Exit(cfg().syscall_cycles);
         }
         phase_ = Phase::kAwaitTurn;
@@ -118,7 +133,35 @@ class VolanoClientWriter : public VolanoThreadBase {
       }
       case Phase::kAwaitTurn: {
         auto& ack = *conn.ack;
-        if (!ack.TryRead(machine).has_value()) {
+        Message token;
+        const SockStatus st = ack.TryReadMsg(machine, &token);
+        // Clear a pending ack deadline whether or not the token made it —
+        // a stale timeout flag must not fail the NEXT round spuriously.
+        const bool timed_out = cfg().churn && ConsumeReadTimeout(task, ack);
+        if (st == SockStatus::kOk) {
+          if (cfg().churn && token.id != msg_.id) {
+            // Echo of an earlier retransmission; this round is still open.
+            return Segment::RunAgain(cfg().syscall_cycles);
+          }
+          ack_spins_ = 0;
+          attempts_ = 0;
+          msg_in_flight_ = false;
+          if (cfg().churn) {
+            ++committed_;
+            if (committed_ == cfg().messages_per_user) {
+              workload_->OnWriterDone(user_, /*abandoned=*/false);
+              return Segment::Exit(cfg().syscall_cycles);
+            }
+          }
+          phase_ = Phase::kCompose;
+          return Segment::RunAgain(cfg().syscall_cycles);
+        }
+        if (st == SockStatus::kWouldBlock) {
+          if (timed_out) {
+            // The round trip blew its deadline: presume the message (or its
+            // echo) died with a reset and run the retry protocol.
+            return HandleRoundFailure(machine);
+          }
           // Thread.yield() spin on the round trip, then park.
           if (ack_spins_ < cfg().ack_spin_yields) {
             ++ack_spins_;
@@ -127,9 +170,8 @@ class VolanoClientWriter : public VolanoThreadBase {
           ack_spins_ = 0;
           return BlockUntilReadable(cfg().syscall_cycles, ack);
         }
-        ack_spins_ = 0;
-        phase_ = Phase::kCompose;
-        return Segment::RunAgain(cfg().syscall_cycles);
+        // Ack stream torn down under us: treat like a failed round.
+        return HandleRoundFailure(machine);
       }
     }
     __builtin_unreachable();
@@ -137,10 +179,37 @@ class VolanoClientWriter : public VolanoThreadBase {
 
  private:
   enum class Phase { kCompose, kWrite, kAwaitTurn };
+
+  // The resilient-client core: reconnect both wires, back off with
+  // deterministic per-user jitter, retransmit — or abandon once the retry
+  // budget is spent.
+  Segment HandleRoundFailure(Machine& machine) {
+    auto& conn = workload_->connection(user_);
+    ++attempts_;
+    if (cfg().backoff.ShouldAbandon(attempts_)) {
+      ++workload_->abandons_;
+      workload_->OnWriterDone(user_, /*abandoned=*/true);
+      return Segment::Exit(cfg().syscall_cycles);
+    }
+    ++workload_->retries_;
+    ++workload_->reconnects_;
+    conn.c2s->Reopen(machine);
+    conn.s2c->Reopen(machine);
+    ack_spins_ = 0;
+    phase_ = Phase::kWrite;  // Retransmit the in-flight message on wake.
+    return Segment::Sleep(
+        cfg().syscall_cycles,
+        cfg().backoff.Delay(BackoffMix64(static_cast<uint64_t>(user_)), attempts_));
+  }
+
   int user_;
   Phase phase_ = Phase::kCompose;
   int sent_ = 0;
+  int committed_ = 0;  // Rounds whose echo returned (churn progress).
+  int attempts_ = 0;   // Consecutive failed rounds (reset by any success).
   int ack_spins_ = 0;
+  bool msg_in_flight_ = false;
+  Message msg_;
 };
 
 // Drains the server→client wire, processing each broadcast delivery; when
@@ -161,22 +230,53 @@ class VolanoClientReader : public VolanoThreadBase {
     }
     auto& conn = workload_->connection(user_);
     const int expected = cfg().users_per_room * cfg().messages_per_user;
-    if (received_ == expected) {
+    if (!cfg().churn && received_ == expected) {
       return Segment::Exit(cfg().syscall_cycles);
     }
-    auto msg = conn.s2c->TryRead(machine);
-    if (!msg.has_value()) {
+    Message msg;
+    const SockStatus st = conn.s2c->TryReadMsg(machine, &msg);
+    if (st == SockStatus::kWouldBlock) {
       return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.s2c));
+    }
+    if (st == SockStatus::kEof) {
+      if (!cfg().churn || conn.s2c->state() == SocketState::kClosed) {
+        // Connection torn down for good (abandon or chat shutdown).
+        return Segment::Exit(cfg().syscall_cycles);
+      }
+      // Injected half-open: the server side is alive and still writing
+      // (writes land on a half-open socket), so this EOF is not final.
+      // Park until data lands or the state resolves (Reopen/Close/reset
+      // all wake the read queue).
+      SimSocket* sock = conn.s2c.get();
+      return Segment::Block(cfg().syscall_cycles, &sock->read_wait(), [sock] {
+        return !sock->CanRead() && sock->state() == SocketState::kHalfOpen;
+      });
+    }
+    if (st == SockStatus::kReset) {
+      // The wire died; the client writer owns reconnection. Park until the
+      // socket leaves the reset state (Reopen or Close both wake us).
+      SimSocket* sock = conn.s2c.get();
+      return Segment::Block(cfg().syscall_cycles, &sock->read_wait(),
+                            [sock] { return sock->reset(); });
     }
     ResetSpin();
     ++received_;
     ++workload_->messages_delivered_;
-    if (msg->sender == user_) {
+    if (msg.sender == user_) {
       // Our own message completed the round trip: let the writer proceed.
+      // The token carries the message id so a churn-mode writer can tell a
+      // live echo from the echo of an earlier retransmission.
       Message token;
+      token.id = msg.id;
       token.sender = user_;
-      const bool ok = conn.ack->TryWrite(machine, token);
-      ELSC_CHECK_MSG(ok, "volano ack queue overflow (pacing invariant broken)");
+      const SockStatus ack_st = conn.ack->TryWriteMsg(machine, token);
+      if (!cfg().churn) {
+        ELSC_CHECK_MSG(ack_st == SockStatus::kOk,
+                       "volano ack queue overflow (pacing invariant broken)");
+      }
+      // Churn: a full/closed ack queue just means a redundant echo from a
+      // retransmit storm — dropping the token is safe, the writer's
+      // deadline covers the rare loss of a live one.
     }
     RollYields();
     return Segment::RunAgain(Jitter(cfg().client_process_cycles));
@@ -207,15 +307,36 @@ class VolanoServerReader : public VolanoThreadBase {
     auto& room = workload_->room_state(conn.room);
     switch (phase_) {
       case Phase::kRead: {
-        if (handled_ == cfg().messages_per_user) {
+        if (!cfg().churn && handled_ == cfg().messages_per_user) {
           return Segment::Exit(cfg().syscall_cycles);
         }
-        auto msg = conn.c2s->TryRead(machine);
-        if (!msg.has_value()) {
+        Message msg;
+        const SockStatus st = conn.c2s->TryReadMsg(machine, &msg);
+        if (st == SockStatus::kWouldBlock) {
           return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.c2s));
         }
+        if (st == SockStatus::kEof) {
+          if (!cfg().churn || conn.c2s->state() == SocketState::kClosed) {
+            // The client finished (or abandoned) and closed its wire.
+            return Segment::Exit(cfg().syscall_cycles);
+          }
+          // Injected half-open: the client is alive and its writes still
+          // land, so keep serving — exiting here would leave the user
+          // permanently deaf and wedge its writer on a full wire.
+          SimSocket* sock = conn.c2s.get();
+          return Segment::Block(cfg().syscall_cycles, &sock->read_wait(), [sock] {
+            return !sock->CanRead() && sock->state() == SocketState::kHalfOpen;
+          });
+        }
+        if (st == SockStatus::kReset) {
+          // Injected reset: the client will reconnect (Reopen wakes us);
+          // a Close instead means it abandoned, and we exit via kEof above.
+          SimSocket* sock = conn.c2s.get();
+          return Segment::Block(cfg().syscall_cycles, &sock->read_wait(),
+                                [sock] { return sock->reset(); });
+        }
         ResetSpin();
-        pending_ = *msg;
+        pending_ = msg;
         next_member_ = 0;
         phase_ = Phase::kAcquireLock;
         RollYields();
@@ -245,11 +366,17 @@ class VolanoServerReader : public VolanoThreadBase {
         while (next_member_ < cfg().users_per_room) {
           const int target = workload_->UserIndex(conn.room, next_member_);
           SimSocket& outq = *workload_->connection(target).outq;
-          if (!outq.TryWrite(machine, pending_)) {
+          const SockStatus st = outq.TryWriteMsg(machine, pending_);
+          if (st == SockStatus::kWouldBlock) {
             // Member's output queue full: the broadcast stalls *while
             // holding the room monitor* — the paper era's storm scenario —
             // and resumes exactly where it stopped.
             return BlockUntilWritable(cfg().syscall_cycles, outq);
+          }
+          if (st != SockStatus::kOk) {
+            // Member's connection is gone (abandon/shutdown teardown): the
+            // broadcast skips them instead of stalling the whole room.
+            ++workload_->messages_lost_;
           }
           ++next_member_;
         }
@@ -296,27 +423,47 @@ class VolanoServerWriter : public VolanoThreadBase {
     const int expected = cfg().users_per_room * cfg().messages_per_user;
     switch (phase_) {
       case Phase::kRead: {
-        if (forwarded_ == expected) {
+        if (!cfg().churn && forwarded_ == expected) {
           return Segment::Exit(cfg().syscall_cycles);
         }
-        auto msg = conn.outq->TryRead(machine);
-        if (!msg.has_value()) {
+        Message msg;
+        const SockStatus st = conn.outq->TryReadMsg(machine, &msg);
+        if (st == SockStatus::kWouldBlock) {
           return SpinOrBlock(BlockUntilReadable(cfg().syscall_cycles, *conn.outq));
         }
+        if (st != SockStatus::kOk) {
+          // Output queue torn down (abandon/shutdown): nothing left to pump.
+          return Segment::Exit(cfg().syscall_cycles);
+        }
         ResetSpin();
-        pending_ = *msg;
+        pending_ = msg;
         phase_ = Phase::kForward;
         RollYields();
         return Segment::RunAgain(Jitter(cfg().server_write_cycles));
       }
       case Phase::kForward: {
-        if (!conn.s2c->TryWrite(machine, pending_)) {
+        const SockStatus st = conn.s2c->TryWriteMsg(machine, pending_);
+        if (st == SockStatus::kWouldBlock) {
           return SpinOrBlock(BlockUntilWritable(cfg().syscall_cycles, *conn.s2c));
         }
-        ResetSpin();
-        ++forwarded_;
+        if (st == SockStatus::kOk) {
+          ResetSpin();
+          ++forwarded_;
+          phase_ = Phase::kRead;
+          return Segment::RunAgain(cfg().syscall_cycles);
+        }
+        // The wire died under this delivery.
+        ++workload_->messages_lost_;
+        if (st == SockStatus::kClosed) {
+          // Torn down for good (abandon or shutdown): stop serving.
+          return Segment::Exit(cfg().syscall_cycles);
+        }
+        // Reset: the client will reconnect; drop the delivery and go back
+        // to pumping once the wire leaves the reset state.
         phase_ = Phase::kRead;
-        return Segment::RunAgain(cfg().syscall_cycles);
+        SimSocket* sock = conn.s2c.get();
+        return Segment::Block(cfg().syscall_cycles, &sock->write_wait(),
+                              [sock] { return sock->reset(); });
       }
     }
     __builtin_unreachable();
@@ -467,6 +614,11 @@ void VolanoWorkload::Setup() {
       conn->s2c = std::make_unique<SimSocket>(base + ".s2c", config_.socket_capacity);
       conn->outq = std::make_unique<SimSocket>(base + ".outq", config_.outqueue_capacity);
       conn->ack = std::make_unique<SimSocket>(base + ".ack", 4);
+      if (config_.churn) {
+        // The resilient client's round-trip deadline: a lost echo wakes the
+        // writer with a timeout instead of parking it forever.
+        conn->ack->set_rcv_timeout(config_.ack_timeout);
+      }
       connections_.push_back(std::move(conn));
     }
   }
@@ -531,7 +683,49 @@ void VolanoWorkload::SpawnClientThreads(int user) {
   behaviors_.push_back(std::move(client_reader));
 }
 
+std::vector<SimSocket*> VolanoWorkload::LifecycleTargets() {
+  std::vector<SimSocket*> targets;
+  targets.reserve(connections_.size() * 2);
+  for (auto& conn : connections_) {
+    targets.push_back(conn->c2s.get());
+    targets.push_back(conn->s2c.get());
+  }
+  return targets;
+}
+
+void VolanoWorkload::OnWriterDone(int user, bool abandoned) {
+  auto& conn = connection(user);
+  // Orderly client-side close: the server reader drains and sees EOF.
+  conn.c2s->Close(machine_);
+  if (abandoned) {
+    // Tear the whole connection down, output queue included — the room must
+    // not keep broadcasting into a queue nobody will ever drain again.
+    conn.s2c->Close(machine_);
+    conn.outq->Close(machine_);
+  }
+  ++done_writers_;
+  const auto total = static_cast<uint64_t>(config_.rooms) * config_.users_per_room;
+  if (done_writers_ == total) {
+    ShutdownChat();
+  }
+}
+
+void VolanoWorkload::ShutdownChat() {
+  // Every client finished: close the remaining per-connection streams so
+  // readers and pumps drain to EOF and exit (Close is idempotent for the
+  // connections an abandon already tore down).
+  for (auto& conn : connections_) {
+    conn->s2c->Close(machine_);
+    conn->outq->Close(machine_);
+    conn->ack->Close(machine_);
+  }
+}
+
 bool VolanoWorkload::Done() const {
+  if (config_.churn) {
+    const auto total = static_cast<uint64_t>(config_.rooms) * config_.users_per_room;
+    return done_writers_ == total && machine_.live_tasks() == 0;
+  }
   return messages_delivered_ == config_.expected_deliveries() && machine_.live_tasks() == 0;
 }
 
@@ -543,6 +737,19 @@ VolanoResult VolanoWorkload::Result() const {
   result.messages_delivered = messages_delivered_;
   result.throughput =
       result.elapsed_sec > 0 ? static_cast<double>(messages_delivered_) / result.elapsed_sec : 0.0;
+  result.retries = retries_;
+  result.reconnects = reconnects_;
+  result.abandons = abandons_;
+  uint64_t resets = 0;
+  uint64_t discarded = 0;
+  for (const auto& conn : connections_) {
+    resets += conn->c2s->stats().peer_resets + conn->s2c->stats().peer_resets;
+    discarded += conn->c2s->stats().discarded + conn->s2c->stats().discarded;
+  }
+  result.resets_seen = resets;
+  // Lost = in-flight messages destroyed by resets/reopens plus deliveries
+  // skipped or dropped against dead connections.
+  result.messages_lost = messages_lost_ + discarded;
   return result;
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/net/backoff.h"
 #include "src/net/socket.h"
 #include "src/smp/machine.h"
 
@@ -92,6 +93,24 @@ struct VolanoConfig {
   size_t socket_capacity = 2;   // c2s / s2c wire sockets (small 2001 buffers).
   size_t outqueue_capacity = 4;  // Server-side per-connection output queue.
 
+  // -- Churn mode (overload resilience) --
+  //
+  // When true, clients tolerate connection churn: wire resets and lost
+  // round-trips are retried with bounded exponential backoff + deterministic
+  // jitter (reconnecting both wires), and a client that exhausts its retries
+  // abandons the connection. Termination switches from exact message counts
+  // (which loss would deadlock) to connection teardown: each finished client
+  // closes its wires, threads drain to EOF and exit. Default off — the
+  // closed-loop protocol and its golden digests are bit-identical.
+  bool churn = false;
+  // Round-trip deadline on the client's pacing ack (SO_RCVTIMEO analog):
+  // a broadcast that fails to echo within this window is presumed lost and
+  // the client reconnects + retransmits. Only applied when churn is on.
+  Cycles ack_timeout = MsToCycles(40);
+  // Reconnect/retransmit backoff (jitter keyed per user, so a mass reset's
+  // victims spread their reconnects instead of stampeding).
+  BackoffPolicy backoff;
+
   int threads_per_connection() const { return 4; }
   int total_threads() const { return rooms * users_per_room * threads_per_connection(); }
   uint64_t expected_deliveries() const {
@@ -106,6 +125,12 @@ struct VolanoResult {
   uint64_t messages_sent = 0;
   uint64_t messages_delivered = 0;
   double throughput = 0.0;  // Deliveries per simulated second.
+  // Churn-mode resilience counters (all zero in the classic closed loop).
+  uint64_t resets_seen = 0;      // Wire ResetByPeer() transitions suffered.
+  uint64_t retries = 0;          // Failed round-trips retried by clients.
+  uint64_t reconnects = 0;       // Wire re-establishments (Reopen pairs).
+  uint64_t abandons = 0;         // Clients that gave up after max retries.
+  uint64_t messages_lost = 0;    // Deliveries destroyed by resets/teardown.
 };
 
 class VolanoWorkload {
@@ -131,6 +156,12 @@ class VolanoWorkload {
   // Ramp-phase state, exposed for the thread behaviors.
   bool chat_started() const { return chat_started_; }
   WaitQueue* start_barrier() { return start_barrier_.get(); }
+
+  // Sockets the connection-lifecycle fault injectors may victimize: the c2s
+  // and s2c wires of every connection (the queues behind them — outq, ack —
+  // are server/client internals, not network). See
+  // FaultInjector::AttachLifecycleTargets.
+  std::vector<SimSocket*> LifecycleTargets();
 
  private:
   friend class VolanoClientWriter;
@@ -165,6 +196,12 @@ class VolanoWorkload {
   void SpawnServerThreads(int user);
   void SpawnClientThreads(int user);
 
+  // Churn-mode teardown: a finished writer closes its c2s (plus the whole
+  // connection when it abandoned); once every writer is done the chat shuts
+  // down and the remaining threads drain to EOF.
+  void OnWriterDone(int user, bool abandoned);
+  void ShutdownChat();
+
   Machine& machine_;
   VolanoConfig config_;
   Rng rng_;
@@ -179,6 +216,12 @@ class VolanoWorkload {
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
   uint64_t next_message_id_ = 1;
+  // Churn-mode progress and resilience counters.
+  uint64_t done_writers_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
+  uint64_t abandons_ = 0;
+  uint64_t messages_lost_ = 0;
 };
 
 }  // namespace elsc

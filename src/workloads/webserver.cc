@@ -18,10 +18,22 @@ class WebserverWorker : public TaskBehavior {
     switch (phase_) {
       case Phase::kAccept: {
         // EINTR idiom: whatever woke us (data, shutdown broadcast, a timed
-        // accept expiring, a spurious wake), re-try the read and re-decide.
+        // accept expiring, a lifecycle transition, a spurious wake), re-try
+        // the read and re-decide.
         ConsumeReadTimeout(task, accept);
-        auto req = accept.TryRead(machine);
-        if (!req.has_value()) {
+        Message req;
+        const SockStatus st = accept.TryReadMsg(machine, &req);
+        if (st == SockStatus::kReset || st == SockStatus::kEof) {
+          // The listener died under us (injected reset or close). A real
+          // server re-listens; the first worker to notice reopens and
+          // everyone retries the accept.
+          if (workload_->window_closed_) {
+            return Segment::Exit(cfg.syscall_cycles);
+          }
+          workload_->ReopenAcceptQueue();
+          return Segment::RunAgain(cfg.syscall_cycles);
+        }
+        if (st == SockStatus::kWouldBlock) {
           if (workload_->window_closed_) {
             return Segment::Exit(cfg.syscall_cycles);
           }
@@ -29,9 +41,16 @@ class WebserverWorker : public TaskBehavior {
           SimSocket* sock = &accept;
           return Segment::BlockFor(
               cfg.syscall_cycles, &accept.read_wait(), accept.rcv_timeout(),
-              [w, sock] { return !sock->CanRead() && !w->window_closed_; });
+              [w, sock] { return !sock->ReadReady() && !w->window_closed_; });
         }
-        request_ = *req;
+        if (cfg.shed_deadline > 0 && machine.Now() - req.sent_at > cfg.shed_deadline) {
+          // Admission control: this request already waited past its
+          // deadline; completing it would be wasted work. Shed and accept
+          // the next one.
+          workload_->OnRequestShed();
+          return Segment::RunAgain(cfg.syscall_cycles);
+        }
+        request_ = req;
         phase_ = Phase::kParse;
         return Segment::RunAgain(cfg.syscall_cycles);
       }
@@ -107,11 +126,46 @@ void WebserverWorkload::ScheduleNextArrival() {
     Message request;
     request.id = arrived_;
     request.sent_at = machine_.Now();
-    if (!accept_queue_->TryWrite(machine_, request)) {
-      ++dropped_;
-    }
+    SubmitRequest(request, 0);
     ScheduleNextArrival();
   });
+}
+
+void WebserverWorkload::SubmitRequest(const Message& request, int attempt) {
+  if (attempt > 0 && window_closed_) {
+    // The measurement window closed while this retry timer was pending; the
+    // workers may already have drained out, so enqueueing now could strand
+    // the request forever. The client gives up instead.
+    ++abandons_;
+    ++dropped_backlog_;
+    return;
+  }
+  const SockStatus st = accept_queue_->TryWriteMsg(machine_, request);
+  if (st == SockStatus::kOk) {
+    return;
+  }
+  const bool conn_dead = st != SockStatus::kWouldBlock;
+  if (config_.retry_arrivals && !window_closed_) {
+    const int next_attempt = attempt + 1;
+    if (!config_.backoff.ShouldAbandon(next_attempt)) {
+      ++retries_;
+      ++pending_retries_;
+      // Jitter key = request id: unique per request, so retry timers spread
+      // out deterministically without consuming any shared RNG stream.
+      const Cycles delay = config_.backoff.Delay(request.id, next_attempt);
+      machine_.engine().ScheduleAfter(delay, [this, request, next_attempt] {
+        --pending_retries_;
+        SubmitRequest(request, next_attempt);
+      });
+      return;
+    }
+    ++abandons_;
+  }
+  if (conn_dead) {
+    ++dropped_conn_;
+  } else {
+    ++dropped_backlog_;
+  }
 }
 
 void WebserverWorkload::OnRequestComplete(Cycles latency) {
@@ -119,13 +173,32 @@ void WebserverWorkload::OnRequestComplete(Cycles latency) {
   latency_us_.Add(static_cast<uint64_t>(CyclesToUs(latency)));
 }
 
-bool WebserverWorkload::Done() const { return window_closed_ && machine_.live_tasks() == 0; }
+void WebserverWorkload::OnRequestShed() { ++dropped_shed_; }
+
+void WebserverWorkload::ReopenAcceptQueue() {
+  // Reopen() counts any torn-down queue remnants into stats().discarded,
+  // which Result() folds into dropped_reset — so requests destroyed by the
+  // teardown stay accounted for.
+  accept_queue_->Reopen(machine_);
+}
+
+bool WebserverWorkload::Done() const {
+  return window_closed_ && machine_.live_tasks() == 0 && pending_retries_ == 0;
+}
 
 WebserverResult WebserverWorkload::Result() const {
   WebserverResult result;
   result.requests_arrived = arrived_;
   result.requests_completed = completed_;
-  result.requests_dropped = dropped_;
+  result.dropped_backlog = dropped_backlog_;
+  result.dropped_shed = dropped_shed_;
+  // Reset drops: writes refused by a dead listener, plus queued requests
+  // destroyed when the listener was torn down.
+  result.dropped_reset = dropped_conn_ + accept_queue_->stats().discarded;
+  result.requests_dropped =
+      result.dropped_backlog + result.dropped_shed + result.dropped_reset;
+  result.retries = retries_;
+  result.abandons = abandons_;
   result.elapsed_sec = CyclesToSec(machine_.Now());
   result.throughput =
       result.elapsed_sec > 0 ? static_cast<double>(completed_) / result.elapsed_sec : 0.0;
@@ -133,7 +206,32 @@ WebserverResult WebserverWorkload::Result() const {
   result.latency_p50_us = latency_us_.Percentile(0.50);
   result.latency_p95_us = latency_us_.Percentile(0.95);
   result.latency_p99_us = latency_us_.Percentile(0.99);
+  result.latency_p999_us = latency_us_.Percentile(0.999);
   return result;
+}
+
+std::string RenderWebserverReport(const WebserverResult& r) {
+  std::string out;
+  out += StrFormat("requests_arrived:     %llu\n", (unsigned long long)r.requests_arrived);
+  out += StrFormat("requests_completed:   %llu\n", (unsigned long long)r.requests_completed);
+  out += StrFormat("requests_dropped:     %llu\n", (unsigned long long)r.requests_dropped);
+  if (r.requests_dropped > 0) {
+    out += StrFormat("dropped_backlog:      %llu\n", (unsigned long long)r.dropped_backlog);
+    out += StrFormat("dropped_shed:         %llu\n", (unsigned long long)r.dropped_shed);
+    out += StrFormat("dropped_reset:        %llu\n", (unsigned long long)r.dropped_reset);
+  }
+  if (r.retries > 0 || r.abandons > 0) {
+    out += StrFormat("retries:              %llu\n", (unsigned long long)r.retries);
+    out += StrFormat("abandons:             %llu\n", (unsigned long long)r.abandons);
+  }
+  out += StrFormat("elapsed_sec:          %.3f\n", r.elapsed_sec);
+  out += StrFormat("throughput_rps:       %.1f\n", r.throughput);
+  out += StrFormat("latency_mean_us:      %.1f\n", r.latency_mean_us);
+  out += StrFormat("latency_p50_us:       %llu\n", (unsigned long long)r.latency_p50_us);
+  out += StrFormat("latency_p95_us:       %llu\n", (unsigned long long)r.latency_p95_us);
+  out += StrFormat("latency_p99_us:       %llu\n", (unsigned long long)r.latency_p99_us);
+  out += StrFormat("latency_p999_us:      %llu\n", (unsigned long long)r.latency_p999_us);
+  return out;
 }
 
 }  // namespace elsc

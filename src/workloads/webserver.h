@@ -15,9 +15,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/net/backoff.h"
 #include "src/net/socket.h"
 #include "src/smp/machine.h"
 #include "src/stats/histogram.h"
@@ -40,19 +42,50 @@ struct WebserverConfig {
   // instead of sleeping forever. 0 (default) blocks forever — the historical
   // behavior, preserved so golden digests don't move.
   Cycles accept_timeout = 0;
+
+  // -- Overload-resilience knobs (all default off = historical behavior) --
+
+  // Admission control: when nonzero, a worker sheds any accepted request
+  // whose queueing delay (accept time − arrival time) already exceeds this
+  // deadline — the request would miss its SLO anyway, so spending CPU on it
+  // only steals capacity from requests that can still make it. Shed requests
+  // count as dropped (cause: deadline).
+  Cycles shed_deadline = 0;
+
+  // Resilient clients: when true, an arrival that cannot enter the accept
+  // queue (backlog full, or the listener was reset) retries with bounded
+  // exponential backoff + deterministic jitter instead of being dropped on
+  // the spot; after backoff.max_retries failed attempts the client abandons
+  // (counted, and folded into the per-cause drop totals).
+  bool retry_arrivals = false;
+  BackoffPolicy backoff;
 };
 
 struct WebserverResult {
   uint64_t requests_arrived = 0;
   uint64_t requests_completed = 0;
-  uint64_t requests_dropped = 0;  // Accept queue overflow.
+  // Total drops; always dropped_backlog + dropped_shed + dropped_reset, so
+  // requests_completed == requests_arrived − requests_dropped still holds.
+  uint64_t requests_dropped = 0;
+  uint64_t dropped_backlog = 0;  // Accept-queue overflow (incl. abandons).
+  uint64_t dropped_shed = 0;     // Admission control: deadline already blown.
+  uint64_t dropped_reset = 0;    // Connection reset (failed write or queue teardown).
+  uint64_t retries = 0;          // Backoff retry attempts by arrivals.
+  uint64_t abandons = 0;         // Arrivals that gave up after max retries.
   double elapsed_sec = 0.0;
-  double throughput = 0.0;        // Completed requests per second.
+  double throughput = 0.0;        // Completed (goodput) requests per second.
   double latency_mean_us = 0.0;
   uint64_t latency_p50_us = 0;
   uint64_t latency_p95_us = 0;
   uint64_t latency_p99_us = 0;
+  uint64_t latency_p999_us = 0;
 };
+
+// Proc-style `key: value` report of a webserver run: goodput, the per-cause
+// drop breakdown, retry/abandon counters, and the latency tail through
+// p99.9. Resilience lines (drop causes, retries) appear only when nonzero,
+// so classic runs render exactly as before the overload layer existed.
+std::string RenderWebserverReport(const WebserverResult& result);
 
 class WebserverWorkload {
  public:
@@ -73,11 +106,30 @@ class WebserverWorkload {
 
   const WebserverConfig& config() const { return config_; }
 
+  // Latency samples in µs; exposed so the overload sweep can Merge() shards
+  // and take tail percentiles itself.
+  const Histogram& latency_histogram() const { return latency_us_; }
+
+  // Sockets the connection-lifecycle fault injectors may victimize (the
+  // accept queue — the server's listener). See
+  // FaultInjector::AttachLifecycleTargets.
+  std::vector<SimSocket*> LifecycleTargets() { return {accept_queue_.get()}; }
+
+  const SocketStats& accept_queue_stats() const { return accept_queue_->stats(); }
+
  private:
   friend class WebserverWorker;
 
   void ScheduleNextArrival();
+  // Attempts to enqueue `request`; on failure either drops by cause or, with
+  // retry_arrivals, schedules a jittered backoff retry. `attempt` is 0 for
+  // the initial submission.
+  void SubmitRequest(const Message& request, int attempt);
   void OnRequestComplete(Cycles latency);
+  void OnRequestShed();
+  // Called by a worker that observed the accept queue dead (reset or EOF)
+  // mid-window: the server re-listens.
+  void ReopenAcceptQueue();
 
   Machine& machine_;
   WebserverConfig config_;
@@ -87,7 +139,12 @@ class WebserverWorkload {
   Histogram latency_us_;
   uint64_t arrived_ = 0;
   uint64_t completed_ = 0;
-  uint64_t dropped_ = 0;
+  uint64_t dropped_backlog_ = 0;
+  uint64_t dropped_shed_ = 0;
+  uint64_t dropped_conn_ = 0;  // Writes refused by a closed/reset listener.
+  uint64_t retries_ = 0;
+  uint64_t abandons_ = 0;
+  uint64_t pending_retries_ = 0;  // Backoff timers in flight (blocks Done()).
   bool window_closed_ = false;
   Cycles window_end_ = 0;
 };

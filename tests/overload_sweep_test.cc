@@ -1,0 +1,81 @@
+// Overload sweep determinism and sanity: the rendered sweep JSON is
+// byte-identical whatever the harness job count (it contains only simulated
+// data), and the goodput curve actually saturates — offered load beyond 1.0x
+// shows up as accounted drops, not extra goodput.
+
+#include "src/api/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/harness/run_matrix.h"
+
+namespace elsc {
+namespace {
+
+std::vector<OverloadCellSpec> SmallSweep() {
+  std::vector<OverloadCellSpec> specs;
+  for (const SchedulerKind kind : {SchedulerKind::kLinux, SchedulerKind::kElsc}) {
+    for (const double load : {0.8, 1.6}) {
+      OverloadCellSpec spec;
+      spec.kernel = KernelConfig::kSmp2;
+      spec.scheduler = kind;
+      spec.load_factor = load;
+      spec.seed = 3;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+std::string RenderSweep(int jobs) {
+  const std::vector<OverloadCellSpec> specs = SmallSweep();
+  const WebserverConfig base = OverloadBaseConfig(MsToCycles(500));
+  const std::vector<OverloadCell> cells = RunMatrix(
+      specs.size(), [&](size_t i) { return RunOverloadCell(specs[i], base); }, jobs);
+  return RenderOverloadJson(cells, 3, false);
+}
+
+TEST(OverloadSweepTest, JsonBitIdenticalAcrossJobCounts) {
+  const std::string serial = RenderSweep(1);
+  EXPECT_NE(serial.find("\"goodput\""), std::string::npos);
+  EXPECT_EQ(serial, RenderSweep(2));
+  EXPECT_EQ(serial, RenderSweep(4));
+}
+
+TEST(OverloadSweepTest, GoodputSaturatesAndDropsAreAccounted) {
+  const WebserverConfig base = OverloadBaseConfig(MsToCycles(500));
+  OverloadCellSpec spec;
+  spec.kernel = KernelConfig::kSmp2;
+  spec.scheduler = SchedulerKind::kElsc;
+  spec.seed = 3;
+
+  spec.load_factor = 0.5;
+  const OverloadCell under = RunOverloadCell(spec, base);
+  spec.load_factor = 2.0;
+  const OverloadCell over = RunOverloadCell(spec, base);
+
+  // Under saturation nearly everything completes; past it the goodput stays
+  // near capacity while the excess shows up as drops/sheds, every arrival
+  // accounted exactly once.
+  const WebserverResult& u = under.run.result;
+  const WebserverResult& o = over.run.result;
+  EXPECT_EQ(u.requests_completed, u.requests_arrived - u.requests_dropped);
+  EXPECT_EQ(o.requests_completed, o.requests_arrived - o.requests_dropped);
+  EXPECT_LT(u.requests_dropped, u.requests_arrived / 100 + 1);
+  EXPECT_GT(o.requests_dropped, o.requests_arrived / 10);
+  EXPECT_LT(o.throughput, over.offered_rate * 0.75);
+  EXPECT_GT(o.throughput, under.run.result.throughput * 0.8);
+}
+
+TEST(OverloadSweepTest, SaturationRateScalesWithCpus) {
+  const WebserverConfig base = OverloadBaseConfig(MsToCycles(500));
+  EXPECT_DOUBLE_EQ(WebserverSaturationRate(base, 4),
+                   2.0 * WebserverSaturationRate(base, 2));
+  EXPECT_GT(WebserverSaturationRate(base, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace elsc

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "src/net/backoff.h"
 #include "src/net/socket_ops.h"
 #include "src/smp/machine.h"
 
@@ -307,6 +311,279 @@ TEST(SocketTimeoutTest, WriteTimeoutLetsFullQueueWriterGiveUp) {
   EXPECT_TRUE(writer.gave_up());
   EXPECT_EQ(writer.timeouts_seen(), 3);
   EXPECT_EQ(sock.stats().write_timeouts, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle: Close / ResetByPeer / HalfOpenPeer / Reopen.
+// ---------------------------------------------------------------------------
+
+TEST(SocketLifecycleTest, EofOnlyAfterQueueDrains) {
+  // FIN semantics: Close() stops new writes immediately, but queued data is
+  // still delivered; readers see kEof only once the queue is empty.
+  SimSocket sock("fin", 4);
+  NullWaker waker;
+  Message m;
+  m.id = 1;
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  m.id = 2;
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  sock.Close(waker);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kClosed);
+  Message got;
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kOk);
+  EXPECT_EQ(got.id, 1u);
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kOk);
+  EXPECT_EQ(got.id, 2u);
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kEof);
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kEof);
+  EXPECT_EQ(sock.stats().reads, 2u);
+  EXPECT_EQ(sock.stats().read_eofs, 2u);
+  EXPECT_EQ(sock.stats().write_closed, 1u);
+}
+
+TEST(SocketLifecycleTest, DoubleCloseIsIdempotent) {
+  SimSocket sock("c", 2);
+  NullWaker waker;
+  sock.Close(waker);
+  sock.Close(waker);
+  sock.Close(waker);
+  EXPECT_EQ(sock.state(), SocketState::kClosed);
+  EXPECT_EQ(sock.stats().closes, 1u);
+}
+
+TEST(SocketLifecycleTest, ResetDiscardsQueuedDataImmediately) {
+  // RST semantics: unlike Close, a reset destroys queued data — readers see
+  // kReset at once, never the lost messages, and the loss is accounted.
+  SimSocket sock("rst", 4);
+  NullWaker waker;
+  Message m;
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  sock.ResetByPeer(waker);
+  Message got;
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kReset);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kReset);
+  EXPECT_EQ(sock.state(), SocketState::kReset);
+  EXPECT_EQ(sock.stats().peer_resets, 1u);
+  EXPECT_EQ(sock.stats().discarded, 2u);
+  EXPECT_EQ(sock.stats().read_resets, 1u);
+  EXPECT_EQ(sock.stats().write_resets, 1u);
+}
+
+TEST(SocketLifecycleTest, HalfOpenPeerReadsDrainToEofWhileWritesProceed) {
+  // Peer sent FIN: our reads drain then EOF, but our direction stays open.
+  SimSocket sock("ho", 2);
+  NullWaker waker;
+  Message m;
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  sock.HalfOpenPeer(waker);
+  EXPECT_EQ(sock.state(), SocketState::kHalfOpen);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);  // Our side open.
+  Message got;
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kOk);
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kOk);
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kEof);
+  EXPECT_EQ(sock.stats().half_opens, 1u);
+}
+
+TEST(SocketLifecycleTest, ReopenRestoresService) {
+  SimSocket sock("re", 2);
+  NullWaker waker;
+  Message m;
+  ASSERT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  sock.ResetByPeer(waker);
+  sock.Reopen(waker);
+  EXPECT_EQ(sock.state(), SocketState::kOpen);
+  EXPECT_EQ(sock.stats().reopens, 1u);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  Message got;
+  EXPECT_EQ(sock.TryReadMsg(waker, &got), SockStatus::kOk);
+  // Reopening an already-open, empty socket is a no-op.
+  sock.Reopen(waker);
+  EXPECT_EQ(sock.stats().reopens, 1u);
+}
+
+TEST(SocketLifecycleTest, ThrottleShrinksEffectiveCapacity) {
+  SimSocket sock("slow", 4);
+  NullWaker waker;
+  Message m;
+  sock.SetThrottled(waker, true);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kWouldBlock);
+  sock.SetThrottled(waker, false);
+  EXPECT_EQ(sock.TryWriteMsg(waker, m), SockStatus::kOk);
+}
+
+TEST(SocketLifecycleTest, BackoffDelayIsDeterministicAndBounded) {
+  BackoffPolicy policy;
+  for (int attempt = 1; attempt <= policy.max_retries; ++attempt) {
+    const Cycles d1 = policy.Delay(17, attempt);
+    const Cycles d2 = policy.Delay(17, attempt);
+    EXPECT_EQ(d1, d2);  // Pure function of (key, attempt).
+    EXPECT_GE(d1, policy.base);
+    EXPECT_LE(d1, policy.max);
+    EXPECT_FALSE(policy.ShouldAbandon(attempt));
+  }
+  EXPECT_TRUE(policy.ShouldAbandon(policy.max_retries + 1));
+  // Different keys decorrelate (reconnect storms spread out).
+  EXPECT_NE(policy.Delay(1, 4), policy.Delay(2, 4));
+}
+
+// A reader that drains until the connection dies, recording how it died.
+class LifecycleReaderBehavior : public TaskBehavior {
+ public:
+  explicit LifecycleReaderBehavior(SimSocket* sock) : sock_(sock) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    Message m;
+    const SockStatus st = sock_->TryReadMsg(machine, &m);
+    if (st == SockStatus::kOk) {
+      ++received_;
+      return Segment::RunAgain(UsToCycles(5));
+    }
+    if (st == SockStatus::kWouldBlock) {
+      return BlockUntilReadable(UsToCycles(2), *sock_);
+    }
+    outcome_ = st;
+    return Segment::Exit(UsToCycles(1));
+  }
+  SockStatus outcome() const { return outcome_; }
+  int received() const { return received_; }
+
+ private:
+  SimSocket* sock_;
+  SockStatus outcome_ = SockStatus::kOk;
+  int received_ = 0;
+};
+
+// A writer that pushes until the connection dies, recording how it died.
+class LifecycleWriterBehavior : public TaskBehavior {
+ public:
+  explicit LifecycleWriterBehavior(SimSocket* sock) : sock_(sock) {}
+  Segment NextSegment(Machine& machine, Task& task) override {
+    (void)task;
+    Message m;
+    const SockStatus st = sock_->TryWriteMsg(machine, m);
+    if (st == SockStatus::kOk) {
+      ++written_;
+      return Segment::RunAgain(UsToCycles(5));
+    }
+    if (st == SockStatus::kWouldBlock) {
+      return BlockUntilWritable(UsToCycles(2), *sock_);
+    }
+    outcome_ = st;
+    return Segment::Exit(UsToCycles(1));
+  }
+  SockStatus outcome() const { return outcome_; }
+
+ private:
+  SimSocket* sock_;
+  SockStatus outcome_ = SockStatus::kOk;
+  int written_ = 0;
+};
+
+class SocketLifecycleMachineTest : public ::testing::TestWithParam<SchedulerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SocketLifecycleMachineTest,
+                         ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                         [](const auto& info) { return SchedulerKindName(info.param); });
+
+TEST_P(SocketLifecycleMachineTest, CloseWakesEveryBlockedReader) {
+  // Several readers parked on an empty socket; Close() must wake them ALL —
+  // a WakeOne here would leave the rest sleeping forever (the test would
+  // then fail RunUntilAllExited).
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  config.check_invariants = true;
+  Machine machine(config);
+  SimSocket sock("doomed", 4);
+  std::vector<std::unique_ptr<LifecycleReaderBehavior>> readers;
+  for (int i = 0; i < 5; ++i) {
+    readers.push_back(std::make_unique<LifecycleReaderBehavior>(&sock));
+    TaskParams params;
+    params.behavior = readers.back().get();
+    machine.CreateTask(params);
+  }
+  machine.engine().ScheduleAfter(MsToCycles(5), [&] { sock.Close(machine); });
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  for (const auto& reader : readers) {
+    EXPECT_EQ(reader->outcome(), SockStatus::kEof);
+    EXPECT_EQ(reader->received(), 0);
+  }
+  EXPECT_EQ(sock.stats().read_eofs, 5u);
+}
+
+TEST_P(SocketLifecycleMachineTest, CloseWakesEveryBlockedWriter) {
+  // Several writers parked on a full socket nobody drains; Close() wakes
+  // them all and their retried writes observe kClosed (EPIPE analog).
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  config.check_invariants = true;
+  Machine machine(config);
+  NullWaker null_waker;
+  SimSocket sock("full", 1);
+  Message m;
+  ASSERT_EQ(sock.TryWriteMsg(null_waker, m), SockStatus::kOk);  // Fill it.
+  std::vector<std::unique_ptr<LifecycleWriterBehavior>> writers;
+  for (int i = 0; i < 5; ++i) {
+    writers.push_back(std::make_unique<LifecycleWriterBehavior>(&sock));
+    TaskParams params;
+    params.behavior = writers.back().get();
+    machine.CreateTask(params);
+  }
+  machine.engine().ScheduleAfter(MsToCycles(5), [&] { sock.Close(machine); });
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  for (const auto& writer : writers) {
+    EXPECT_EQ(writer->outcome(), SockStatus::kClosed);
+  }
+  EXPECT_EQ(sock.stats().write_closed, 5u);
+}
+
+TEST_P(SocketLifecycleMachineTest, ResetWakesBlockedReadersAndWriters) {
+  // Readers starved on one wire, writers wedged on another; one reset event
+  // unblocks every one of them with the ECONNRESET-analog outcome.
+  MachineConfig config;
+  config.num_cpus = 2;
+  config.smp = true;
+  config.scheduler = GetParam();
+  config.check_invariants = true;
+  Machine machine(config);
+  NullWaker null_waker;
+  SimSocket empty_sock("starved", 2);
+  SimSocket full_sock("wedged", 1);
+  Message m;
+  ASSERT_EQ(full_sock.TryWriteMsg(null_waker, m), SockStatus::kOk);
+  std::vector<std::unique_ptr<LifecycleReaderBehavior>> readers;
+  std::vector<std::unique_ptr<LifecycleWriterBehavior>> writers;
+  for (int i = 0; i < 3; ++i) {
+    readers.push_back(std::make_unique<LifecycleReaderBehavior>(&empty_sock));
+    TaskParams params;
+    params.behavior = readers.back().get();
+    machine.CreateTask(params);
+    writers.push_back(std::make_unique<LifecycleWriterBehavior>(&full_sock));
+    params.behavior = writers.back().get();
+    machine.CreateTask(params);
+  }
+  machine.engine().ScheduleAfter(MsToCycles(5), [&] {
+    empty_sock.ResetByPeer(machine);
+    full_sock.ResetByPeer(machine);
+  });
+  machine.Start();
+  ASSERT_TRUE(machine.RunUntilAllExited(SecToCycles(10)));
+  for (const auto& reader : readers) {
+    EXPECT_EQ(reader->outcome(), SockStatus::kReset);
+  }
+  for (const auto& writer : writers) {
+    EXPECT_EQ(writer->outcome(), SockStatus::kReset);
+  }
+  EXPECT_EQ(full_sock.stats().discarded, 1u);  // The prefill died with it.
 }
 
 TEST_P(SocketMachineTest, ManyProducersOneConsumer) {

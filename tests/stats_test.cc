@@ -83,6 +83,64 @@ TEST(HistogramTest, MonotonicPercentiles) {
   }
 }
 
+TEST(HistogramTest, MergeIsExact) {
+  // Fixed buckets make Merge exact: percentiles of merged shards equal
+  // percentiles of the union, so sharded aggregation is deterministic.
+  Histogram shard_a;
+  Histogram shard_b;
+  Histogram whole;
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    (i % 2 == 0 ? shard_a : shard_b).Add(i * 3);
+    whole.Add(i * 3);
+  }
+  Histogram merged = shard_a;
+  merged.Merge(shard_b);
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.Percentile(q), whole.Percentile(q)) << "q=" << q;
+  }
+  // Merging an empty histogram is a no-op.
+  merged.Merge(Histogram());
+  EXPECT_EQ(merged.total(), whole.total());
+}
+
+TEST(HistogramTest, TailAccessorsMatchPercentile) {
+  Histogram h;
+  for (uint64_t i = 0; i < 5000; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.P50(), h.Percentile(0.50));
+  EXPECT_EQ(h.P99(), h.Percentile(0.99));
+  EXPECT_EQ(h.P999(), h.Percentile(0.999));
+  EXPECT_LE(h.P50(), h.P99());
+  EXPECT_LE(h.P99(), h.P999());
+}
+
+TEST(HistogramTest, PercentileUpperBoundBiasEnvelope) {
+  // Documented bias: a percentile reports its bucket's UPPER edge. Values
+  // 0..7 are exact; from 8 up the edge over-reports by at most one
+  // sub-bucket width (~25% worst case just past a power of two).
+  for (uint64_t v = 0; v < 8; ++v) {
+    Histogram h;
+    h.Add(v);
+    EXPECT_EQ(h.Percentile(0.5), v);  // Exact small-value fast path.
+  }
+  {
+    Histogram h;
+    h.Add(100);
+    EXPECT_EQ(h.Percentile(0.5), 111u);  // The canonical biased example.
+  }
+  for (uint64_t v : {8u, 9u, 100u, 1000u, 4097u, 65535u}) {
+    Histogram h;
+    h.Add(v);
+    const uint64_t reported = h.Percentile(1.0);
+    EXPECT_GE(reported, v);  // Never under-reports...
+    EXPECT_LE(static_cast<double>(reported), static_cast<double>(v) * 1.25 + 1.0)
+        << "v=" << v;  // ...and over-reports by at most ~25%.
+  }
+}
+
 TEST(TextTableTest, RendersAlignedColumns) {
   TextTable table({"name", "value"});
   table.AddRow({"alpha", "1"});
