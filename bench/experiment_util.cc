@@ -3,6 +3,7 @@
 #include <cerrno>  // program_invocation_name (glibc) for repro commands.
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 #include "src/base/string_util.h"
 #include "src/harness/journal.h"
@@ -156,17 +157,57 @@ std::vector<VolanoRun> RunVolanoCells(const std::vector<VolanoCellSpec>& cells, 
 
 std::vector<VolanoCellSummary> RunVolanoCellSummaries(const std::vector<VolanoCellSpec>& cells) {
   const int replicates = BenchReplicates();
-  std::vector<VolanoRun> runs = RunVolanoMatrix(cells, replicates, 0);
+  const size_t total = cells.size() * static_cast<size_t>(replicates);
+  auto describe = [&cells, replicates](size_t i) {
+    const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
+    const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
+    return StrFormat("volano kernel=%s sched=%s rooms=%d replicate=%d "
+                     "cell_key=0x%llx seed=0x%llx",
+                     KernelConfigLabel(spec.kernel), PaperLabel(spec.scheduler),
+                     spec.rooms, replicate,
+                     static_cast<unsigned long long>(VolanoCellKey(spec)),
+                     static_cast<unsigned long long>(ReplicateSeed(spec, replicate)));
+  };
+  // Streaming fold: a completed replicate contributes one throughput double
+  // and one completion bit, and only replicate 0's full run (the stats
+  // columns) is retained per cell — every other VolanoRun (histograms,
+  // RunStats, failure strings) is destroyed the moment it lands, so memory
+  // is O(cells), not O(cells x replicates). Slots a quarantined cell never
+  // fills keep {0.0, false}, exactly what the default-constructed runs of
+  // the materializing version folded.
   std::vector<VolanoCellSummary> summaries(cells.size());
+  std::vector<double> throughputs(total, 0.0);
+  std::vector<uint8_t> completed(total, 0);
+  std::mutex fold_mutex;
+  auto consume = [&](size_t i, VolanoRun&& run) {
+    std::lock_guard<std::mutex> lock(fold_mutex);
+    throughputs[i] = run.result.throughput;
+    completed[i] = run.result.completed ? 1 : 0;
+    if (i % static_cast<size_t>(replicates) == 0) {
+      summaries[i / static_cast<size_t>(replicates)].first = std::move(run);
+    }
+  };
+  SupervisorOptions options =
+      MakeBenchSupervisorOptions(VolanoMatrixId(cells, replicates), describe);
+  EncodedSupervisedRun run = RunSupervisedStream(
+      options, total,
+      [&cells, replicates](size_t i) {
+        const VolanoCellSpec& spec = cells[i / static_cast<size_t>(replicates)];
+        const int replicate = static_cast<int>(i % static_cast<size_t>(replicates));
+        return RunVolanoCell(spec.kernel, spec.scheduler, spec.rooms,
+                             ReplicateSeed(spec, replicate));
+      },
+      consume, VolanoRunCodec(), 0);
+  AccumulateSupervision(run.stats);
+  // Summary::Add is order-sensitive in floating point: fold the buffered
+  // scalars in replicate order so the output is bit-identical at any
+  // ELSC_BENCH_JOBS, as before.
   for (size_t c = 0; c < cells.size(); ++c) {
     VolanoCellSummary& summary = summaries[c];
     for (int r = 0; r < replicates; ++r) {
-      VolanoRun& run = runs[c * static_cast<size_t>(replicates) + static_cast<size_t>(r)];
-      summary.completed = summary.completed && run.result.completed;
-      summary.throughput.Add(run.result.throughput);
-      if (r == 0) {
-        summary.first = std::move(run);
-      }
+      const size_t i = c * static_cast<size_t>(replicates) + static_cast<size_t>(r);
+      summary.completed = summary.completed && completed[i] != 0;
+      summary.throughput.Add(throughputs[i]);
     }
   }
   return summaries;

@@ -91,15 +91,21 @@ double EventQueueChurn(uint64_t total_events, elsc::EventQueueStats* out_stats) 
 // every remaining number has been measured and written.
 int g_incomplete_cells = 0;
 
-double TimeMatrix(const std::vector<elsc::VolanoCellSpec>& cells, int jobs) {
+double TimeMatrix(const std::vector<elsc::VolanoCellSpec>& cells, int jobs,
+                  uint64_t* tasks_simulated = nullptr) {
   const double start = NowSec();
   const std::vector<elsc::VolanoRun> runs = elsc::RunVolanoCells(cells, jobs);
   const double elapsed = NowSec() - start;
+  uint64_t tasks = 0;
   for (size_t i = 0; i < runs.size(); ++i) {
+    tasks += runs[i].stats.machine.tasks_created;
     if (!runs[i].result.completed) {
       std::fprintf(stderr, "matrix cell %zu did not complete!\n", i);
       ++g_incomplete_cells;
     }
+  }
+  if (tasks_simulated != nullptr) {
+    *tasks_simulated = tasks;
   }
   return elapsed;
 }
@@ -136,10 +142,19 @@ int main(int argc, char** argv) {
       {elsc::KernelConfig::kSmp4, elsc::SchedulerKind::kElsc, rooms, 1},
   };
   const int jobs = elsc::BenchJobs();
-  const double serial_sec = TimeMatrix(cells, 1);
+  uint64_t matrix_tasks = 0;
+  const double serial_sec = TimeMatrix(cells, 1, &matrix_tasks);
   const double parallel_sec = TimeMatrix(cells, jobs);
+  // The scale metric (bench/scale_sweep reports the same number for sharded
+  // runs): simulated tasks brought to completion per wall-clock second.
+  const double tasks_per_wall_sec =
+      serial_sec > 0.0 ? static_cast<double>(matrix_tasks) / serial_sec : 0.0;
   std::printf("4-cell matrix     : %.2fs at jobs=1, %.2fs at jobs=%d (%.2fx)\n",
               serial_sec, parallel_sec, jobs, serial_sec / parallel_sec);
+  std::printf("matrix task rate  : %.0f tasks simulated per wall second "
+              "(%llu tasks at jobs=1)\n",
+              tasks_per_wall_sec,
+              static_cast<unsigned long long>(matrix_tasks));
 
   const char* json_path = "BENCH_perf_smoke.json";
   std::FILE* out = std::fopen(json_path, "w");
@@ -160,6 +175,8 @@ int main(int argc, char** argv) {
                "  \"matrix_serial_sec\": %.3f,\n"
                "  \"matrix_parallel_sec\": %.3f,\n"
                "  \"matrix_speedup\": %.3f,\n"
+               "  \"matrix_tasks_simulated\": %llu,\n"
+               "  \"tasks_per_wall_sec\": %.1f,\n"
                "  \"supervision\": {\n"
                "    \"cells\": %llu,\n"
                "    \"completed\": %llu,\n"
@@ -176,6 +193,8 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(churn_stats.max_heap_depth),
                cells.size(), jobs, serial_sec, parallel_sec,
                serial_sec / parallel_sec,
+               static_cast<unsigned long long>(matrix_tasks),
+               tasks_per_wall_sec,
                static_cast<unsigned long long>(sup.cells),
                static_cast<unsigned long long>(sup.completed),
                static_cast<unsigned long long>(sup.quarantined),

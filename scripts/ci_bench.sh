@@ -24,7 +24,7 @@ baseline="bench/baselines/BENCH_perf_smoke.json"
 
 echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
-cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep
+cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep scale_sweep
 
 echo "=== perf_smoke (${churn_events} churn events, ${rooms} rooms) ==="
 (cd build && ./bench/perf_smoke "${churn_events}" "${rooms}")
@@ -41,6 +41,22 @@ echo "=== overload_sweep smoke (short sweep; JSON must be job-count invariant) =
     ELSC_BENCH_JOBS=4 ./bench/overload_sweep &&
   cmp BENCH_overload.jobs1.json BENCH_overload.json &&
   echo "overload JSON identical at jobs 1 vs 4")
+
+echo "=== scale_sweep smoke (sharded mode; JSON must be shard- and job-count invariant) ==="
+# A tiny federation run three ways: shards 1 vs 4, and harness jobs 1 vs 4.
+# With the timing block off, the JSON is pure simulated data — all three
+# files must be byte-identical (the sharded mode's determinism contract;
+# the binary additionally digest-checks every shard count in-process).
+scale_env="ELSC_SCALE_ROOMS=8 ELSC_SCALE_USERS=4 ELSC_SCALE_MSGS=4 ELSC_SCALE_SCHEDS=elsc ELSC_SCALE_TIMING=0"
+(cd build &&
+  env ${scale_env} ELSC_SCALE_SHARDS=1 ELSC_BENCH_JOBS=1 ./bench/scale_sweep >/dev/null &&
+  mv BENCH_scale.json BENCH_scale.shards1.json &&
+  env ${scale_env} ELSC_SCALE_SHARDS=4 ELSC_BENCH_JOBS=1 ./bench/scale_sweep >/dev/null &&
+  cmp BENCH_scale.shards1.json BENCH_scale.json &&
+  mv BENCH_scale.json BENCH_scale.jobs1.json &&
+  env ${scale_env} ELSC_SCALE_SHARDS=4 ELSC_BENCH_JOBS=4 ./bench/scale_sweep >/dev/null &&
+  cmp BENCH_scale.jobs1.json BENCH_scale.json &&
+  echo "scale JSON identical at shards 1 vs 4 and jobs 1 vs 4")
 
 echo "=== micro_sched_ops (table search + task alloc + schedule/add-del) ==="
 ./build/bench/micro_sched_ops --benchmark_min_time=0.05 2>/dev/null |

@@ -1,0 +1,519 @@
+#include "src/api/scale.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "src/base/assert.h"
+#include "src/base/string_util.h"
+#include "src/harness/run_matrix.h"
+#include "src/harness/thread_pool.h"
+#include "src/net/socket.h"
+#include "src/sched/factory.h"
+#include "src/smp/machine.h"
+#include "src/workloads/volano.h"
+
+namespace elsc {
+
+namespace {
+
+// Key mixed into DeriveSeed so node seeds are a stable function of
+// (scenario seed, node index) — never of the node-to-shard assignment.
+constexpr uint64_t kScaleSeedKey = 0x5ca1ab1e5ca1ab1eULL;
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvFold(uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+struct ScaleNode;
+
+// Federation relay, transmit side: every `gossip_period` the relay wakes
+// and emits one progress beacon per owned room to the node's ring
+// successor. The beacons are the scenario's cross-node traffic; the relay
+// itself is scheduler-visible load (it sleeps, wakes, and burns CPU like
+// any other server thread). Exits once the local chat is complete — there
+// is no more progress to report.
+class FederationTx : public TaskBehavior {
+ public:
+  explicit FederationTx(ScaleNode* node) : node_(node) {}
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+ private:
+  ScaleNode* node_;
+  Cycles next_beacon_at_ = 0;
+  uint64_t next_beacon_id_ = 0;
+};
+
+// Federation relay, receive side: drains the node's fabric inbox, paying a
+// processing cost per beacon, and exits on EOF (the coordinator closes
+// every inbox once the whole federation's chat is complete and all
+// in-flight deliveries have landed).
+class FederationRx : public TaskBehavior {
+ public:
+  explicit FederationRx(ScaleNode* node) : node_(node) {}
+  Segment NextSegment(Machine& machine, Task& task) override;
+
+ private:
+  ScaleNode* node_;
+};
+
+// One node of the federation: an independent Machine simulating its rooms,
+// plus the fabric endpoints. Owned by the coordinator; advanced by exactly
+// one shard thread per window; destroyed (streaming fold) at the barrier
+// where its workload completes.
+struct ScaleNode {
+  int index = 0;
+  int first_room = 0;
+  int dst_node = 0;  // Ring successor receiving this node's beacons.
+  const ScaleConfig* config = nullptr;
+  FabricRouter* router = nullptr;  // Null when gossip is disabled.
+
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<VolanoWorkload> volano;
+  std::unique_ptr<SimSocket> inbox;
+  std::unique_ptr<FederationTx> tx;
+  std::unique_ptr<FederationRx> rx;
+
+  // Federation counters (single-writer: only this node's tasks / delivery
+  // events touch them, and those all run on this node's shard thread).
+  uint64_t beacons_sent = 0;
+  uint64_t beacons_received = 0;
+  uint64_t inbox_overflows = 0;
+  uint64_t late_writes = 0;
+  uint64_t last_remote_progress = 0;  // Payload of the newest beacon seen.
+
+  bool chat_done = false;
+  uint64_t completed_window = 0;
+};
+
+Segment FederationTx::NextSegment(Machine& machine, Task& task) {
+  (void)task;
+  const ScaleConfig& cfg = *node_->config;
+  if (node_->volano->ChatComplete()) {
+    return Segment::Exit(cfg.chat.syscall_cycles);
+  }
+  const Cycles now = machine.Now();
+  if (next_beacon_at_ == 0) {
+    next_beacon_at_ = cfg.gossip_period;
+  }
+  if (now < next_beacon_at_) {
+    return Segment::Sleep(cfg.chat.syscall_cycles, next_beacon_at_ - now);
+  }
+  const int owned_rooms = node_->volano->config().rooms;
+  for (int r = 0; r < owned_rooms; ++r) {
+    Message beacon;
+    beacon.id = ++next_beacon_id_;
+    beacon.sender = node_->index;
+    beacon.room = node_->first_room + r;
+    beacon.sent_at = now;
+    beacon.payload = node_->volano->messages_delivered();
+    node_->router->Emit(node_->index, node_->dst_node, now, beacon);
+    ++node_->beacons_sent;
+  }
+  next_beacon_at_ = now + cfg.gossip_period;
+  return Segment::RunAgain(cfg.beacon_cycles * static_cast<Cycles>(owned_rooms));
+}
+
+Segment FederationRx::NextSegment(Machine& machine, Task& task) {
+  (void)task;
+  const ScaleConfig& cfg = *node_->config;
+  SimSocket* inbox = node_->inbox.get();
+  Message beacon;
+  switch (inbox->TryReadMsg(machine, &beacon)) {
+    case SockStatus::kOk:
+      ++node_->beacons_received;
+      node_->last_remote_progress = beacon.payload;
+      return Segment::RunAgain(cfg.gossip_process_cycles);
+    case SockStatus::kWouldBlock:
+      return Segment::Block(cfg.chat.syscall_cycles, &inbox->read_wait(),
+                            [inbox] { return !inbox->ReadReady(); });
+    default:  // kEof / kClosed / kReset: the federation shut down.
+      return Segment::Exit(cfg.chat.syscall_cycles);
+  }
+}
+
+// Per-node RunStats snapshot (the sharded analog of the facade's
+// CollectStats), memory block included.
+RunStats NodeRunStats(const ScaleNode& node) {
+  RunStats stats;
+  const Machine& machine = *node.machine;
+  stats.sched = machine.scheduler().stats();
+  stats.machine = machine.stats();
+  stats.events = machine.engine().queue_stats();
+  stats.memory.task_arena_bytes = machine.task_arena_bytes();
+  stats.memory.task_arena_chunks = machine.task_arena_stats().chunks;
+  stats.memory.peak_live_sockets =
+      node.volano->SocketCount() + (node.inbox ? 1 : 0);
+  stats.elapsed_sec = CyclesToSec(machine.Now());
+  return stats;
+}
+
+}  // namespace
+
+ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
+  const int num_nodes = config.nodes();
+  ELSC_CHECK_MSG(config.rooms >= 1 && num_nodes >= 1, "scale scenario needs rooms");
+  ELSC_CHECK_MSG(config.window > 0, "scale window must be positive");
+  const Cycles window = config.window;
+  const Cycles latency =
+      config.fabric_latency == 0 ? window : config.fabric_latency;
+  ELSC_CHECK_MSG(latency >= window,
+                 "conservative rule: fabric latency must be >= the window");
+  const bool gossip = config.gossip_period > 0;
+  shards = std::clamp(shards <= 0 ? 1 : shards, 1, num_nodes);
+
+  ScaleRun run;
+  run.nodes = num_nodes;
+  run.shards = shards;
+  run.rooms = static_cast<uint64_t>(config.rooms);
+  run.connections = config.connections();
+  run.digest = kFnvOffset;
+
+  FabricRouter router(num_nodes, window, latency);
+
+  // ---- Build the federation ----
+  std::vector<std::unique_ptr<ScaleNode>> nodes;
+  nodes.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    auto node = std::make_unique<ScaleNode>();
+    node->index = i;
+    node->first_room = i * config.rooms_per_node;
+    node->dst_node = (i + 1) % num_nodes;
+    node->config = &config;
+    node->router = gossip ? &router : nullptr;
+
+    MachineConfig mc = MakeMachineConfig(
+        config.kernel, config.scheduler,
+        DeriveSeed(config.seed, kScaleSeedKey, static_cast<uint64_t>(i)));
+    node->machine = std::make_unique<Machine>(mc);
+
+    VolanoConfig chat = config.chat;
+    chat.rooms = std::min(config.rooms_per_node,
+                          config.rooms - node->first_room);
+    node->volano = std::make_unique<VolanoWorkload>(*node->machine, chat);
+    node->volano->Setup();
+
+    if (gossip) {
+      node->inbox = std::make_unique<SimSocket>(
+          StrFormat("node%d.fabric.in", i), config.fabric_inbox_capacity);
+      node->tx = std::make_unique<FederationTx>(node.get());
+      node->rx = std::make_unique<FederationRx>(node.get());
+      // The relays are server-process threads: share the server JVM's mm.
+      TaskParams params;
+      params.mm = node->volano->server_mm();
+      params.name = StrFormat("node%d.fedtx", i);
+      params.behavior = node->tx.get();
+      node->machine->CreateTask(params);
+      params.name = StrFormat("node%d.fedrx", i);
+      params.behavior = node->rx.get();
+      node->machine->CreateTask(params);
+    }
+    node->machine->Start();
+    nodes.push_back(std::move(node));
+  }
+
+  // ---- Delivery sink: schedules a beacon's arrival on its destination ----
+  // Runs on the coordinator thread at barriers (no shard is advancing), so
+  // ScheduleAt into the destination engine is race-free; the event itself
+  // fires on whichever shard advances the destination through `arrival`.
+  const auto sink = [&nodes](const FabricMessage& msg,
+                             Cycles arrival) -> FabricRouter::Delivery {
+    ScaleNode* dst = nodes[static_cast<size_t>(msg.dst_node)].get();
+    if (dst == nullptr || dst->machine == nullptr) {
+      return FabricRouter::Delivery::kRefused;
+    }
+    dst->machine->engine().ScheduleAt(
+        arrival, [dst, payload = msg.payload] {
+          switch (dst->inbox->TryWriteMsg(*dst->machine, payload)) {
+            case SockStatus::kOk:
+              break;
+            case SockStatus::kWouldBlock:
+              // Bounded inbox full: the beacon is dropped like a datagram
+              // against a full receive buffer.
+              ++dst->inbox_overflows;
+              break;
+            default:  // kClosed / kReset: delivery raced the shutdown.
+              ++dst->late_writes;
+              break;
+          }
+        });
+    return FabricRouter::Delivery::kDelivered;
+  };
+
+  // ---- Conservative time-windowed lock-step ----
+  std::unique_ptr<ThreadPool> pool;
+  if (shards > 1) {
+    pool = std::make_unique<ThreadPool>(shards);
+  }
+
+  int live = num_nodes;
+  int chats_done = 0;
+  bool all_completed = true;
+  Cycles inbox_close_at = 0;  // 0 = fabric still open.
+  bool inboxes_closed = !gossip;
+  uint64_t window_index = 0;
+
+  while (live > 0) {
+    ++window_index;
+    const Cycles barrier = static_cast<Cycles>(window_index) * window;
+
+    // Advance every live node to the barrier. Node->shard assignment is
+    // round-robin by node index; any assignment yields identical results
+    // (nodes only interact through the fabric, drained below).
+    if (pool != nullptr) {
+      for (int s = 0; s < shards; ++s) {
+        pool->Submit([&nodes, s, shards, barrier] {
+          for (size_t n = static_cast<size_t>(s); n < nodes.size();
+               n += static_cast<size_t>(shards)) {
+            if (nodes[n] != nullptr) {
+              nodes[n]->machine->engine().RunUntil(barrier);
+            }
+          }
+        });
+      }
+      pool->Wait();  // Rethrows the first shard exception, if any.
+    } else {
+      for (auto& node : nodes) {
+        if (node != nullptr) {
+          node->machine->engine().RunUntil(barrier);
+        }
+      }
+    }
+
+    // ---- Barrier (coordinator, single-threaded) ----
+    // Memory high-water sampling across the live federation.
+    uint64_t live_tasks = 0;
+    uint64_t arena_bytes = 0;
+    uint64_t sockets = 0;
+    for (const auto& node : nodes) {
+      if (node == nullptr) {
+        continue;
+      }
+      live_tasks += node->machine->live_tasks();
+      arena_bytes += node->machine->task_arena_bytes();
+      sockets += node->volano->SocketCount() + (node->inbox ? 1 : 0);
+    }
+    run.peak_live_tasks = std::max(run.peak_live_tasks, live_tasks);
+    run.peak_task_arena_bytes = std::max(run.peak_task_arena_bytes, arena_bytes);
+    run.peak_live_sockets = std::max(run.peak_live_sockets, sockets);
+    run.peak_live_nodes =
+        std::max(run.peak_live_nodes, static_cast<uint64_t>(live));
+
+    // Cross-node traffic exchange (deterministic node/emission order).
+    if (gossip) {
+      router.Exchange(barrier, sink);
+    }
+
+    // Chat-completion scan; once the whole federation's chat is done the
+    // fabric closes, and after one more latency the inboxes EOF so the
+    // receive relays drain whatever is still in flight and exit.
+    for (const auto& node : nodes) {
+      if (node != nullptr && !node->chat_done && node->volano->ChatComplete()) {
+        node->chat_done = true;
+        ++chats_done;
+      }
+    }
+    if (gossip && !router.closed() && chats_done == num_nodes) {
+      router.Close();
+      inbox_close_at = barrier + latency;
+    }
+    if (!inboxes_closed && inbox_close_at != 0 && barrier >= inbox_close_at) {
+      for (const auto& node : nodes) {
+        if (node != nullptr) {
+          node->inbox->Close(*node->machine);
+        }
+      }
+      inboxes_closed = true;
+    }
+
+    // Streaming fold: finished nodes are folded into the aggregate in node
+    // order and destroyed — constant live state, not O(total nodes).
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      ScaleNode* node = nodes[n].get();
+      if (node == nullptr || !node->volano->Done()) {
+        continue;
+      }
+      node->completed_window = window_index;
+      const RunStats node_stats = NodeRunStats(*node);
+      const VolanoResult result = node->volano->Result();
+      all_completed = all_completed && result.completed && !node_stats.failed;
+      run.messages_sent += result.messages_sent;
+      run.messages_delivered += result.messages_delivered;
+      run.beacons_sent += node->beacons_sent;
+      run.beacons_received += node->beacons_received;
+      run.inbox_overflows += node->inbox_overflows;
+      run.late_writes += node->late_writes;
+      MergeRunStats(&run.stats, node_stats);
+      run.digest = FnvFold(
+          run.digest,
+          StrFormat("n%d@%llu|", node->index,
+                    static_cast<unsigned long long>(node->completed_window)) +
+              RunStatsDigest(node_stats) +
+              StrFormat("|chat:%llu,%llu,%d|fed:%llu,%llu,%llu,%llu;",
+                        static_cast<unsigned long long>(result.messages_sent),
+                        static_cast<unsigned long long>(result.messages_delivered),
+                        result.completed ? 1 : 0,
+                        static_cast<unsigned long long>(node->beacons_sent),
+                        static_cast<unsigned long long>(node->beacons_received),
+                        static_cast<unsigned long long>(node->inbox_overflows),
+                        static_cast<unsigned long long>(node->late_writes)));
+      nodes[n].reset();
+      --live;
+    }
+
+    // Simulated-time safety net: fold whatever is still live as failed.
+    if (live > 0 && barrier >= config.deadline) {
+      for (size_t n = 0; n < nodes.size(); ++n) {
+        ScaleNode* node = nodes[n].get();
+        if (node == nullptr) {
+          continue;
+        }
+        RunStats node_stats = NodeRunStats(*node);
+        node_stats.failed = true;
+        run.messages_sent += node->volano->messages_sent();
+        run.messages_delivered += node->volano->messages_delivered();
+        run.beacons_sent += node->beacons_sent;
+        run.beacons_received += node->beacons_received;
+        MergeRunStats(&run.stats, node_stats);
+        run.digest = FnvFold(run.digest, StrFormat("n%d@deadline;", node->index));
+        nodes[n].reset();
+        --live;
+      }
+      all_completed = false;
+      run.stats.failed = true;
+      if (run.stats.failure.empty()) {
+        run.stats.failure = StrFormat(
+            "scale deadline exceeded: %d node(s) still live at window %llu",
+            num_nodes - chats_done,
+            static_cast<unsigned long long>(window_index));
+      }
+      break;
+    }
+  }
+
+  run.windows = window_index;
+  run.completed = all_completed;
+  run.fabric = router.stats();
+  run.elapsed_sec = run.stats.elapsed_sec;
+  run.throughput = run.elapsed_sec > 0
+                       ? static_cast<double>(run.messages_delivered) / run.elapsed_sec
+                       : 0.0;
+  run.digest = FnvFold(
+      run.digest,
+      StrFormat("windows:%llu|fabric:%llu,%llu,%llu,%llu|peaks:%llu,%llu,%llu,%llu",
+                static_cast<unsigned long long>(run.windows),
+                static_cast<unsigned long long>(run.fabric.emitted),
+                static_cast<unsigned long long>(run.fabric.routed),
+                static_cast<unsigned long long>(run.fabric.refused),
+                static_cast<unsigned long long>(run.fabric.dropped_closed),
+                static_cast<unsigned long long>(run.peak_live_tasks),
+                static_cast<unsigned long long>(run.peak_live_nodes),
+                static_cast<unsigned long long>(run.peak_task_arena_bytes),
+                static_cast<unsigned long long>(run.peak_live_sockets)));
+  return run;
+}
+
+std::string ScaleRunSignature(const ScaleRun& run) {
+  return StrFormat(
+      "scale:%016llx|nodes:%d|windows:%llu|sent:%llu|delivered:%llu|"
+      "beacons:%llu/%llu|drops:%llu+%llu|peak_tasks:%llu|peak_arena:%llu|"
+      "elapsed:%a|completed:%d",
+      static_cast<unsigned long long>(run.digest), run.nodes,
+      static_cast<unsigned long long>(run.windows),
+      static_cast<unsigned long long>(run.messages_sent),
+      static_cast<unsigned long long>(run.messages_delivered),
+      static_cast<unsigned long long>(run.beacons_sent),
+      static_cast<unsigned long long>(run.beacons_received),
+      static_cast<unsigned long long>(run.inbox_overflows),
+      static_cast<unsigned long long>(run.late_writes),
+      static_cast<unsigned long long>(run.peak_live_tasks),
+      static_cast<unsigned long long>(run.peak_task_arena_bytes),
+      run.elapsed_sec, run.completed ? 1 : 0);
+}
+
+std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
+                            bool include_timing) {
+  std::string out;
+  out += StrFormat("{\n  \"seed\": %llu,\n  \"cells\": [\n",
+                   static_cast<unsigned long long>(seed));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const ScaleCell& cell = cells[i];
+    const ScaleRun& r = cell.run;
+    out += StrFormat(
+        "    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"rooms\": %llu, "
+        "\"connections\": %llu,\n"
+        "     \"nodes\": %d, \"windows\": %llu,\n"
+        "     \"messages_sent\": %llu, \"messages_delivered\": %llu, "
+        "\"throughput\": %.4f, \"elapsed_sim_sec\": %.6f,\n"
+        "     \"tasks_simulated\": %llu, \"events_simulated\": %llu,\n"
+        "     \"federation\": {\"beacons_sent\": %llu, \"beacons_received\": %llu, "
+        "\"inbox_overflows\": %llu, \"late_writes\": %llu, "
+        "\"fabric_routed\": %llu, \"fabric_dropped_closed\": %llu},\n"
+        "     \"memory\": {\"peak_live_tasks\": %llu, \"peak_live_nodes\": %llu, "
+        "\"peak_task_arena_bytes\": %llu, \"peak_live_sockets\": %llu, "
+        "\"total_task_arena_bytes\": %llu, \"total_arena_chunks\": %llu},\n"
+        "     \"digest\": \"%016llx\", \"completed\": %s}%s\n",
+        KernelConfigLabel(cell.config.kernel),
+        SchedulerKindName(cell.config.scheduler),
+        static_cast<unsigned long long>(r.rooms),
+        static_cast<unsigned long long>(r.connections), r.nodes,
+        static_cast<unsigned long long>(r.windows),
+        static_cast<unsigned long long>(r.messages_sent),
+        static_cast<unsigned long long>(r.messages_delivered), r.throughput,
+        r.elapsed_sec,
+        static_cast<unsigned long long>(r.stats.machine.tasks_created),
+        static_cast<unsigned long long>(r.stats.events.fired),
+        static_cast<unsigned long long>(r.beacons_sent),
+        static_cast<unsigned long long>(r.beacons_received),
+        static_cast<unsigned long long>(r.inbox_overflows),
+        static_cast<unsigned long long>(r.late_writes),
+        static_cast<unsigned long long>(r.fabric.routed),
+        static_cast<unsigned long long>(r.fabric.dropped_closed),
+        static_cast<unsigned long long>(r.peak_live_tasks),
+        static_cast<unsigned long long>(r.peak_live_nodes),
+        static_cast<unsigned long long>(r.peak_task_arena_bytes),
+        static_cast<unsigned long long>(r.peak_live_sockets),
+        static_cast<unsigned long long>(r.stats.memory.task_arena_bytes),
+        static_cast<unsigned long long>(r.stats.memory.task_arena_chunks),
+        static_cast<unsigned long long>(r.digest),
+        r.completed ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  out += "  ]";
+  if (include_timing) {
+    // Host measurements — everything above this block is simulated data and
+    // byte-identical across shard/job counts; the CI determinism gate
+    // renders with include_timing == false.
+    struct rusage usage = {};
+    getrusage(RUSAGE_SELF, &usage);
+    out += StrFormat(
+        ",\n  \"timing\": {\n    \"host_cpus\": %u, \"peak_rss_kb\": %llu,\n"
+        "    \"cells\": [\n",
+        std::thread::hardware_concurrency(),
+        static_cast<unsigned long long>(usage.ru_maxrss));
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const ScaleCell& cell = cells[i];
+      out += StrFormat(
+          "      {\"scheduler\": \"%s\", \"rooms\": %d, \"shards\": %d, "
+          "\"wall_sec\": %.4f, \"tasks_per_wall_sec\": %.1f, "
+          "\"events_per_wall_sec\": %.1f}%s\n",
+          SchedulerKindName(cell.config.scheduler), cell.config.rooms,
+          cell.run.shards, cell.wall_sec, cell.tasks_per_wall_sec,
+          cell.events_per_wall_sec, i + 1 < cells.size() ? "," : "");
+    }
+    out += "    ]\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace elsc

@@ -1,0 +1,159 @@
+// Sharded parallel discrete-event mode: one scenario across worker threads.
+//
+// Every experiment so far parallelizes *across* matrix cells; a single cell
+// is strictly serial, which caps the largest simulable scenario at tens of
+// VolanoMark rooms. This layer runs ONE scenario — a federation of chat
+// servers — across worker threads:
+//
+//   * The scenario is partitioned into `nodes`: each node owns an
+//     independent Engine+Machine simulating `rooms_per_node` rooms (its own
+//     VolanoWorkload — a chat server process in the federation). The
+//     partition is scenario *structure*, not an execution knob: co-located
+//     rooms share a scheduler, so changing rooms_per_node changes the
+//     simulated system.
+//   * `shards` worker threads advance the nodes in conservative
+//     time-windowed lock-step: every node runs to the barrier B_k =
+//     (k+1) * window, then the single-threaded coordinator exchanges
+//     cross-node traffic (src/sim/fabric.h), folds finished nodes into the
+//     aggregate, and releases the next window. Shard count is pure
+//     execution parallelism — results are bit-identical at any value, and
+//     at any ELSC_BENCH_JOBS when cells of a sweep run concurrently.
+//   * Cross-node traffic: each node's federation relay gossips per-room
+//     progress beacons to its ring successor every `gossip_period`; beacons
+//     ride the fabric with latency >= window (the conservative rule) and
+//     land in the destination's bounded inbox, where a receiver task drains
+//     and processes them. Real scheduler-visible load — the relays block,
+//     wake, and compete for CPU like every other task.
+//   * Streaming aggregation: a node that completes is folded into the
+//     running RunStats/digest (MergeRunStats) and destroyed at that
+//     barrier, so peak memory tracks the *live* scenario, not its total
+//     history. Memory high-water marks are sampled at every barrier.
+//
+// Determinism contract: ScaleRun::digest (and RenderScaleJson output) are
+// pure functions of ScaleConfig — independent of shard count, job count,
+// and host timing. tests/scale_test.cc pins this with golden digests at
+// shard counts 1/2/4 and ELSC_BENCH_JOBS 1/2/4. See docs/SCALE.md.
+
+#ifndef SRC_API_SCALE_H_
+#define SRC_API_SCALE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/simulation.h"
+#include "src/sim/fabric.h"
+
+namespace elsc {
+
+struct ScaleConfig {
+  // Scenario shape: `rooms` total rooms, split into nodes of
+  // `rooms_per_node` each (the last node takes the remainder).
+  int rooms = 40;
+  int rooms_per_node = 1;
+  // Per-node chat parameters; `chat.rooms` is overridden with the node's
+  // share. Scale scenarios usually reduce messages_per_user — the point is
+  // breadth (rooms x connections), not per-room depth.
+  VolanoConfig chat;
+  // Per-node machine: every node is one chat-server host.
+  KernelConfig kernel = KernelConfig::kSmp1;
+  SchedulerKind scheduler = SchedulerKind::kElsc;
+  uint64_t seed = 1;
+
+  // Conservative lock-step parameters. fabric_latency == 0 means one
+  // window; RunShardedVolano aborts unless latency >= window.
+  Cycles window = MsToCycles(10);
+  Cycles fabric_latency = 0;
+
+  // Federation gossip (the cross-node traffic). gossip_period == 0 disables
+  // the fabric entirely (independent nodes — pure scaling measurements).
+  Cycles gossip_period = MsToCycles(20);
+  Cycles beacon_cycles = UsToCycles(30);          // CPU to compose one beacon.
+  Cycles gossip_process_cycles = UsToCycles(50);  // CPU to apply one beacon.
+  size_t fabric_inbox_capacity = 64;
+
+  // Simulated-time safety net: a scenario still live past this is declared
+  // failed (the sharded analog of RunVolano's deadline).
+  Cycles deadline = SecToCycles(3600);
+
+  int nodes() const {
+    return rooms_per_node > 0 ? (rooms + rooms_per_node - 1) / rooms_per_node : rooms;
+  }
+  uint64_t connections() const {
+    return static_cast<uint64_t>(rooms) * static_cast<uint64_t>(chat.users_per_room);
+  }
+};
+
+// Aggregate result of one sharded scenario. Everything except `shards` is a
+// pure function of the ScaleConfig (shards is recorded for reporting only).
+struct ScaleRun {
+  bool completed = false;
+  int nodes = 0;
+  int shards = 0;            // Execution detail; excluded from the digest.
+  uint64_t windows = 0;      // Lock-step windows until the last node finished.
+  uint64_t rooms = 0;
+  uint64_t connections = 0;
+
+  // Chat totals across nodes.
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  double elapsed_sec = 0.0;  // Max node completion time (simulated).
+  double throughput = 0.0;   // Deliveries per simulated second, aggregate.
+
+  // Federation traffic.
+  uint64_t beacons_sent = 0;
+  uint64_t beacons_received = 0;
+  uint64_t inbox_overflows = 0;  // Deliveries refused by a full inbox.
+  uint64_t late_writes = 0;      // Deliveries landing on a closed inbox.
+  FabricStats fabric;
+
+  // Folded per-node stats (MergeRunStats: counters summed, peaks summed —
+  // the total-footprint bound; see the concurrent peaks below for true
+  // coexistence maxima).
+  RunStats stats;
+
+  // Concurrent peaks sampled at every window barrier across live nodes.
+  uint64_t peak_live_tasks = 0;
+  uint64_t peak_live_nodes = 0;
+  uint64_t peak_task_arena_bytes = 0;
+  uint64_t peak_live_sockets = 0;
+
+  // Streaming FNV-1a fold over every node's completion record (node index,
+  // completion window, RunStatsDigest, chat + federation counters) plus the
+  // scenario trailer. Two runs are bit-identical iff digests match.
+  uint64_t digest = 0;
+};
+
+// Runs the sharded scenario on `shards` worker threads (clamped to
+// [1, nodes]; <= 0 means 1). Deterministic: the returned ScaleRun (minus
+// `shards`) depends only on `config`.
+ScaleRun RunShardedVolano(const ScaleConfig& config, int shards);
+
+// Canonical digest line for golden tests and logs:
+// "scale:<digest hex>|nodes:N|windows:K|delivered:D|...".
+std::string ScaleRunSignature(const ScaleRun& run);
+
+// One sweep cell for bench/scale_sweep: a scenario size x scheduler x shard
+// count, plus the wall-clock the bench measured around it (wall_sec and
+// tasks_per_wall_sec are host measurements — never part of the
+// deterministic JSON body, see RenderScaleJson).
+struct ScaleCell {
+  ScaleConfig config;
+  ScaleRun run;
+  double wall_sec = 0.0;
+  double tasks_per_wall_sec = 0.0;
+  double events_per_wall_sec = 0.0;
+};
+
+// Renders the sweep as canonical JSON. The cell bodies contain only
+// simulated (deterministic) data — byte-identical at any shard count and
+// any ELSC_BENCH_JOBS. `include_timing` additionally appends a "timing"
+// block of wall-clock measurements (tasks/sec curves, peak RSS); CI's
+// determinism gate renders with include_timing == false (the
+// ELSC_SCALE_TIMING=0 knob) so the files can be byte-compared.
+std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
+                            bool include_timing);
+
+}  // namespace elsc
+
+#endif  // SRC_API_SCALE_H_

@@ -1,5 +1,6 @@
 #include "src/api/simulation.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <exception>
 #include <utility>
@@ -73,6 +74,8 @@ RunStats CollectStats(const Machine& machine) {
   stats.sched = machine.scheduler().stats();
   stats.machine = machine.stats();
   stats.events = machine.engine().queue_stats();
+  stats.memory.task_arena_bytes = machine.task_arena_bytes();
+  stats.memory.task_arena_chunks = machine.task_arena_stats().chunks;
   stats.elapsed_sec = CyclesToSec(machine.Now());
   return stats;
 }
@@ -113,6 +116,11 @@ RunStats RunWithChaos(Machine& machine, Workload& workload, Cycles deadline,
       exception_failure = StrFormat("uncaught exception: %s", e.what());
     }
     stats = CollectStats(machine);
+    // Workloads that can count their sockets feed the memory high-water
+    // block; the rest (kcompile, chaos_mix — no sockets) report zero.
+    if constexpr (requires { workload.SocketCount(); }) {
+      stats.memory.peak_live_sockets = workload.SocketCount();
+    }
     if (!exception_failure.empty()) {
       stats.failed = true;
       stats.failure = std::move(exception_failure);
@@ -295,6 +303,7 @@ std::string EncodeRunStats(const RunStats& stats) {
   AppendU64(&out, m.ticks_dropped);
   AppendU64(&out, m.cpu_stalls);
   AppendU64(&out, m.lock_stall_cycles);
+  AppendU64(&out, m.peak_live_tasks);
   const EventQueueStats& e = stats.events;
   AppendU64(&out, e.scheduled);
   AppendU64(&out, e.fired);
@@ -325,6 +334,10 @@ std::string EncodeRunStats(const RunStats& stats) {
   AppendU64(&out, a.ordering_violations);
   AppendU64(&out, a.starvation_reports);
   AppendU64(&out, a.livelock_reports);
+  const MemoryStats& mem = stats.memory;
+  AppendU64(&out, mem.task_arena_bytes);
+  AppendU64(&out, mem.task_arena_chunks);
+  AppendU64(&out, mem.peak_live_sockets);
   AppendF64(&out, stats.elapsed_sec);
   AppendU64(&out, stats.failed ? 1 : 0);
   out += stats.failure;  // Last: may contain spaces (but never newlines).
@@ -350,7 +363,8 @@ bool DecodeRunStats(const std::string& payload, RunStats* stats) {
       r.U64(&m.wakeups) && r.U64(&m.tasks_created) && r.U64(&m.tasks_exited) &&
       r.U64(&m.quantum_expiries) && r.U64(&m.preempt_requests) &&
       r.U64(&m.ticks_dropped) && r.U64(&m.cpu_stalls) &&
-      r.U64(&m.lock_stall_cycles) && r.U64(&e.scheduled) && r.U64(&e.fired) &&
+      r.U64(&m.lock_stall_cycles) && r.U64(&m.peak_live_tasks) &&
+      r.U64(&e.scheduled) && r.U64(&e.fired) &&
       r.U64(&e.cancelled) && r.U64(&e.callback_heap_allocs) &&
       r.U64(&e.slot_allocs) && r.U64(&e.max_heap_depth) && r.U64(&f.tick_drops) &&
       r.U64(&f.tick_jitters) && r.U64(&f.storm_bursts) && r.U64(&f.storm_tasks) &&
@@ -361,13 +375,93 @@ bool DecodeRunStats(const std::string& payload, RunStats* stats) {
       r.U64(&a.conservation_violations) && r.U64(&a.counter_violations) &&
       r.U64(&a.structure_violations) && r.U64(&a.table_violations) &&
       r.U64(&a.ordering_violations) && r.U64(&a.starvation_reports) &&
-      r.U64(&a.livelock_reports) && r.F64(&out.elapsed_sec) && r.Bool(&out.failed);
+      r.U64(&a.livelock_reports) && r.U64(&out.memory.task_arena_bytes) &&
+      r.U64(&out.memory.task_arena_chunks) &&
+      r.U64(&out.memory.peak_live_sockets) && r.F64(&out.elapsed_sec) &&
+      r.Bool(&out.failed);
   if (!ok) {
     return false;
   }
   out.failure = r.Rest();
   *stats = std::move(out);
   return true;
+}
+
+void MergeRunStats(RunStats* into, const RunStats& from) {
+  SchedStats& s = into->sched;
+  const SchedStats& fs = from.sched;
+  s.schedule_calls += fs.schedule_calls;
+  s.idle_schedules += fs.idle_schedules;
+  s.cycles_in_schedule += fs.cycles_in_schedule;
+  s.lock_wait_cycles += fs.lock_wait_cycles;
+  s.tasks_examined += fs.tasks_examined;
+  s.recalc_entries += fs.recalc_entries;
+  s.recalc_tasks_touched += fs.recalc_tasks_touched;
+  s.picks_new_processor += fs.picks_new_processor;
+  s.picks_prev += fs.picks_prev;
+  s.picks_no_affinity += fs.picks_no_affinity;
+  s.yield_reruns += fs.yield_reruns;
+  s.wakeups += fs.wakeups;
+  s.preemption_ipis += fs.preemption_ipis;
+  MachineStats& m = into->machine;
+  const MachineStats& fm = from.machine;
+  m.ticks += fm.ticks;
+  m.context_switches += fm.context_switches;
+  m.migrations += fm.migrations;
+  m.wakeups += fm.wakeups;
+  m.tasks_created += fm.tasks_created;
+  m.tasks_exited += fm.tasks_exited;
+  m.quantum_expiries += fm.quantum_expiries;
+  m.preempt_requests += fm.preempt_requests;
+  m.ticks_dropped += fm.ticks_dropped;
+  m.cpu_stalls += fm.cpu_stalls;
+  m.lock_stall_cycles += fm.lock_stall_cycles;
+  // Summed per-machine peaks: for machines that coexisted this is the total
+  // footprint bound (see header comment).
+  m.peak_live_tasks += fm.peak_live_tasks;
+  EventQueueStats& e = into->events;
+  const EventQueueStats& fe = from.events;
+  e.scheduled += fe.scheduled;
+  e.fired += fe.fired;
+  e.cancelled += fe.cancelled;
+  e.callback_heap_allocs += fe.callback_heap_allocs;
+  e.slot_allocs += fe.slot_allocs;
+  e.max_heap_depth = std::max(e.max_heap_depth, fe.max_heap_depth);
+  FaultStats& f = into->faults;
+  const FaultStats& ff = from.faults;
+  f.tick_drops += ff.tick_drops;
+  f.tick_jitters += ff.tick_jitters;
+  f.storm_bursts += ff.storm_bursts;
+  f.storm_tasks += ff.storm_tasks;
+  f.spurious_wakes += ff.spurious_wakes;
+  f.yield_tasks += ff.yield_tasks;
+  f.cpu_stalls += ff.cpu_stalls;
+  f.lock_stalls += ff.lock_stalls;
+  f.conn_resets += ff.conn_resets;
+  f.conn_half_opens += ff.conn_half_opens;
+  f.slow_peer_windows += ff.slow_peer_windows;
+  f.reconnect_storms += ff.reconnect_storms;
+  AuditStats& a = into->audit;
+  const AuditStats& fa = from.audit;
+  a.audits += fa.audits;
+  a.picks_audited += fa.picks_audited;
+  a.conservation_violations += fa.conservation_violations;
+  a.counter_violations += fa.counter_violations;
+  a.structure_violations += fa.structure_violations;
+  a.table_violations += fa.table_violations;
+  a.ordering_violations += fa.ordering_violations;
+  a.starvation_reports += fa.starvation_reports;
+  a.livelock_reports += fa.livelock_reports;
+  MemoryStats& mem = into->memory;
+  const MemoryStats& fmem = from.memory;
+  mem.task_arena_bytes += fmem.task_arena_bytes;
+  mem.task_arena_chunks += fmem.task_arena_chunks;
+  mem.peak_live_sockets += fmem.peak_live_sockets;
+  if (from.failed && !into->failed) {
+    into->failed = true;
+    into->failure = from.failure;
+  }
+  into->elapsed_sec = std::max(into->elapsed_sec, from.elapsed_sec);
 }
 
 std::string EncodeVolanoRun(const VolanoRun& run) {

@@ -47,6 +47,18 @@ struct ChaosOptions {
   AuditConfig audit;
 };
 
+// Memory high-water marks of a run. Like the conn-chaos counters, these are
+// NOT part of RunStatsDigest (its format is pinned by the golden-stats
+// suite); they travel through EncodeRunStats, the /proc-style report, and
+// the bench JSON "memory" blocks.
+struct MemoryStats {
+  uint64_t task_arena_bytes = 0;   // Slab bytes resident in the task arena.
+  uint64_t task_arena_chunks = 0;  // Chunks ever carved (never returned).
+  // Workload sockets alive at end of run. Today's workloads build their
+  // sockets at Setup() and never destroy them, so this is also the peak.
+  uint64_t peak_live_sockets = 0;
+};
+
 struct RunStats {
   SchedStats sched;
   MachineStats machine;
@@ -55,12 +67,23 @@ struct RunStats {
   // Chaos layer (all zero when ChaosOptions were defaulted).
   FaultStats faults;
   AuditStats audit;
+  // Memory high-water marks (arena footprint, task/socket peaks).
+  MemoryStats memory;
   // Set when the run was stopped by the watchdog or unwound by a recoverable
   // invariant violation; `failure` carries the structured diagnosis.
   bool failed = false;
   std::string failure;
   double elapsed_sec = 0.0;
 };
+
+// Folds `from` into `into`: counters sum, max_heap_depth and elapsed_sec
+// take the max, failed ORs (the first non-empty failure string wins). Peaks
+// (peak_live_tasks, peak_live_sockets, arena bytes) also sum — merged stats
+// describe machines that coexisted (one sharded scenario's nodes), so the
+// sum is the total footprint; a true concurrent-peak sample is the sharded
+// runner's job (see src/api/scale.h). This is the streaming-aggregation
+// primitive: fold results as they complete instead of retaining them.
+void MergeRunStats(RunStats* into, const RunStats& from);
 
 // Renders every counter in `stats` into one canonical string (elapsed_sec in
 // hex-float, so no precision is lost). Two runs are bit-identical iff their

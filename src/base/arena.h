@@ -95,6 +95,10 @@ class SlabArena {
   }
 
   size_t live() const { return stats_.allocated - stats_.released; }
+  // Bytes resident in chunk storage (the arena never returns a chunk, so
+  // this is also the high-water mark). Bookkeeping vectors are excluded:
+  // they are a few pointers per chunk, noise next to the slabs themselves.
+  size_t footprint_bytes() const { return chunks_.size() * sizeof(Chunk); }
   const ArenaStats& stats() const { return stats_; }
 
  private:

@@ -198,6 +198,42 @@ SupervisedRun<R> RunSupervised(const SupervisorOptions& options, size_t cells,
   return out;
 }
 
+// Streaming variant of RunSupervised: instead of materializing every result
+// in an index-ordered vector, each completed cell is handed to
+// `consume(index, R&&)` the moment it finishes and then destroyed — memory
+// stays constant in the matrix size when the consumer folds rather than
+// stores. Journal-resumed cells are decoded and routed through the same
+// consumer. consume is invoked from worker threads (and, for resumed cells,
+// the calling thread) — the caller synchronizes; quarantined/skipped cells
+// are never consumed (check the outcomes). Fold floating-point aggregates in
+// index order *after* the run if bit-stable results are required.
+template <typename Fn, typename Consume,
+          typename R = std::decay_t<std::invoke_result_t<Fn&, size_t>>>
+EncodedSupervisedRun RunSupervisedStream(const SupervisorOptions& options,
+                                         size_t cells, Fn&& run_cell,
+                                         Consume&& consume,
+                                         CellCodec<R> codec = {},
+                                         int jobs = 0) {
+  std::function<std::string(size_t)> run_encoded = [&](size_t i) {
+    R result = run_cell(i);
+    std::string payload = codec.encode ? codec.encode(result) : std::string();
+    consume(i, std::move(result));
+    return payload;
+  };
+  std::function<bool(size_t, const std::string&)> load_encoded;
+  if (codec.valid()) {
+    load_encoded = [&](size_t i, const std::string& payload) {
+      R result{};
+      if (!codec.decode(payload, &result)) {
+        return false;
+      }
+      consume(i, std::move(result));
+      return true;
+    };
+  }
+  return RunSupervisedEncoded(options, cells, run_encoded, load_encoded, jobs);
+}
+
 }  // namespace elsc
 
 #endif  // SRC_HARNESS_SUPERVISOR_H_

@@ -1,0 +1,65 @@
+#include "src/sim/fabric.h"
+
+#include "src/base/assert.h"
+
+namespace elsc {
+
+FabricRouter::FabricRouter(int nodes, Cycles window, Cycles latency)
+    : window_(window), latency_(latency == 0 ? window : latency) {
+  ELSC_CHECK_MSG(nodes >= 1, "fabric needs at least one node");
+  ELSC_CHECK_MSG(window_ > 0, "fabric window must be positive");
+  ELSC_CHECK_MSG(latency_ >= window_,
+                 "conservative rule: fabric latency must be >= the window");
+  lanes_.resize(static_cast<size_t>(nodes));
+  next_seq_.resize(static_cast<size_t>(nodes), 0);
+}
+
+void FabricRouter::Emit(int src_node, int dst_node, Cycles sent_at,
+                        const Message& payload) {
+  ELSC_CHECK(src_node >= 0 && src_node < nodes());
+  ELSC_CHECK(dst_node >= 0 && dst_node < nodes());
+  const size_t lane = static_cast<size_t>(src_node);
+  FabricMessage msg;
+  msg.src_node = src_node;
+  msg.dst_node = dst_node;
+  msg.sent_at = sent_at;
+  msg.seq = ++next_seq_[lane];
+  msg.payload = payload;
+  lanes_[lane].push_back(msg);
+}
+
+void FabricRouter::Exchange(Cycles barrier_time, const Sink& sink) {
+  ++stats_.exchanges;
+  uint64_t drained = 0;
+  for (auto& lane : lanes_) {
+    drained += lane.size();
+    for (const FabricMessage& msg : lane) {
+      ++stats_.emitted;
+      if (closed_) {
+        ++stats_.dropped_closed;
+        continue;
+      }
+      // Every message in a lane was emitted during the window that just
+      // ended, i.e. after the previous barrier — so the conservative rule
+      // (latency >= window) puts its arrival strictly after this barrier,
+      // and the destination node's completed window cannot have depended
+      // on it.
+      const Cycles arrival = msg.sent_at + latency_;
+      ELSC_CHECK_MSG(msg.sent_at <= barrier_time,
+                     "fabric message emitted after the barrier it drains at");
+      ELSC_CHECK_MSG(arrival > barrier_time,
+                     "conservative window rule violated: arrival not after barrier");
+      if (sink(msg, arrival) == Delivery::kDelivered) {
+        ++stats_.routed;
+      } else {
+        ++stats_.refused;
+      }
+    }
+    lane.clear();
+  }
+  if (drained > stats_.max_window_backlog) {
+    stats_.max_window_backlog = drained;
+  }
+}
+
+}  // namespace elsc

@@ -65,6 +65,9 @@ Task* Machine::CreateTask(const TaskParams& params) {
   task_list_.Add(task);
   ++live_tasks_;
   ++stats_.tasks_created;
+  if (live_tasks_ > stats_.peak_live_tasks) {
+    stats_.peak_live_tasks = live_tasks_;
+  }
 
   scheduler_->AddToRunQueue(task);
   CheckInvariantsIfEnabled();

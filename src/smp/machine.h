@@ -72,6 +72,11 @@ struct MachineStats {
   uint64_t wakeups = 0;
   uint64_t tasks_created = 0;
   uint64_t tasks_exited = 0;
+  // High-water mark of concurrently live (created, not yet exited) tasks.
+  // Memory accounting only — NOT part of RunStatsDigest (the digest format
+  // is pinned by the golden-stats suite); travels through EncodeRunStats and
+  // the /proc-style report instead.
+  uint64_t peak_live_tasks = 0;
   uint64_t quantum_expiries = 0;
   uint64_t preempt_requests = 0;  // reschedule_idle() decided to preempt.
   // Fault injection (all zero when no FaultInjector is armed).
@@ -154,6 +159,9 @@ class Machine : public Waker {
   // recycle_exited_tasks reclaimed them); owned by the machine's task arena.
   const std::vector<Task*>& all_tasks() const { return tasks_; }
   const ArenaStats& task_arena_stats() const { return task_arena_.stats(); }
+  // Bytes resident in the task arena's slabs (a high-water mark: slabs are
+  // never returned). Feeds the memory block of RunStats / the proc report.
+  size_t task_arena_bytes() const { return task_arena_.footprint_bytes(); }
 
   // ---- Fault-injection hooks (driven by src/faults/) ----
   // Stalls a CPU for `duration` cycles: its live segment is parked (partial

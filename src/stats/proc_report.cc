@@ -42,6 +42,14 @@ std::string RenderProcSchedStats(const Machine& machine) {
   out += StrFormat("nr_running:           %zu\n", sched.nr_running());
   out += StrFormat("loadavg:              %.2f %.2f %.2f\n", machine.LoadAvg(0),
                    machine.LoadAvg(1), machine.LoadAvg(2));
+  // Memory high-water marks: at million-connection scale, footprint is as
+  // much a scheduler-viability question as throughput.
+  out += StrFormat("peak_live_tasks:      %llu\n",
+                   (unsigned long long)m.peak_live_tasks);
+  out += StrFormat("task_arena_bytes:     %llu\n",
+                   (unsigned long long)machine.task_arena_bytes());
+  out += StrFormat("task_arena_chunks:    %llu\n",
+                   (unsigned long long)machine.task_arena_stats().chunks);
 
   // The trace ring overwrites its oldest records when full; surfacing the
   // drop count here means a report reader never mistakes a truncated trace

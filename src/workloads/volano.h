@@ -153,6 +153,28 @@ class VolanoWorkload {
   uint64_t messages_delivered() const { return messages_delivered_; }
   const VolanoConfig& config() const { return config_; }
 
+  // True once the chat protocol itself has finished (all deliveries in the
+  // classic closed loop; every writer done in churn mode) even if threads
+  // are still draining to exit. The sharded runner (src/api/scale.h) keys
+  // its federation shutdown off this.
+  bool ChatComplete() const {
+    if (config_.churn) {
+      return done_writers_ ==
+             static_cast<uint64_t>(config_.rooms) * config_.users_per_room;
+    }
+    return messages_delivered_ == config_.expected_deliveries();
+  }
+
+  // Sockets this workload owns (4 per connection + the accept queue); feeds
+  // the memory high-water block of RunStats.
+  uint64_t SocketCount() const {
+    return static_cast<uint64_t>(connections_.size()) * 4 + (accept_queue_ ? 1 : 0);
+  }
+
+  // The server JVM's mm, exposed so embedders (the sharded runner's
+  // federation relays) can co-locate extra server-side threads.
+  MmStruct* server_mm() { return server_mm_; }
+
   // Ramp-phase state, exposed for the thread behaviors.
   bool chat_started() const { return chat_started_; }
   WaitQueue* start_barrier() { return start_barrier_.get(); }

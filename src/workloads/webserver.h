@@ -117,6 +117,10 @@ class WebserverWorkload {
 
   const SocketStats& accept_queue_stats() const { return accept_queue_->stats(); }
 
+  // Sockets this workload owns (just the accept queue — requests ride it);
+  // feeds the memory high-water block of RunStats.
+  uint64_t SocketCount() const { return accept_queue_ ? 1 : 0; }
+
  private:
   friend class WebserverWorker;
 

@@ -1,0 +1,162 @@
+// FabricRouter: the deterministic inter-node message queue of the sharded
+// simulation mode. These tests pin the determinism contract the golden
+// digests in scale_test.cc rely on: drain order (node index, then emission
+// order), arrival stamping (sent_at + latency, strictly after the barrier),
+// and the close/drop accounting.
+
+#include "src/sim/fabric.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/base/time_units.h"
+
+namespace elsc {
+namespace {
+
+struct Recorded {
+  FabricMessage msg;
+  Cycles arrival = 0;
+};
+
+// Sink that appends every delivery, optionally refusing some destinations.
+struct RecordingSink {
+  std::vector<Recorded> deliveries;
+  int refuse_dst = -1;
+
+  FabricRouter::Sink fn() {
+    return [this](const FabricMessage& msg, Cycles arrival) {
+      if (msg.dst_node == refuse_dst) {
+        return FabricRouter::Delivery::kRefused;
+      }
+      deliveries.push_back({msg, arrival});
+      return FabricRouter::Delivery::kDelivered;
+    };
+  }
+};
+
+Message Payload(uint64_t id) {
+  Message m;
+  m.id = id;
+  return m;
+}
+
+TEST(FabricTest, DrainsLanesInNodeIndexThenEmissionOrder) {
+  FabricRouter router(3, /*window=*/100, /*latency=*/100);
+  // Emit out of node order: node 2 first, then 0 twice, then 1.
+  router.Emit(2, 0, 10, Payload(20));
+  router.Emit(0, 1, 30, Payload(1));
+  router.Emit(0, 2, 20, Payload(2));  // Later emission, earlier sent_at: kept.
+  router.Emit(1, 2, 40, Payload(10));
+
+  RecordingSink sink;
+  router.Exchange(/*barrier_time=*/100, sink.fn());
+
+  ASSERT_EQ(sink.deliveries.size(), 4u);
+  // Lane 0 drains first (both messages, in emission order), then 1, then 2.
+  EXPECT_EQ(sink.deliveries[0].msg.payload.id, 1u);
+  EXPECT_EQ(sink.deliveries[1].msg.payload.id, 2u);
+  EXPECT_EQ(sink.deliveries[2].msg.payload.id, 10u);
+  EXPECT_EQ(sink.deliveries[3].msg.payload.id, 20u);
+  // Per-source sequence numbers count emissions within the lane.
+  EXPECT_EQ(sink.deliveries[0].msg.seq, 1u);
+  EXPECT_EQ(sink.deliveries[1].msg.seq, 2u);
+  EXPECT_EQ(sink.deliveries[2].msg.seq, 1u);
+}
+
+TEST(FabricTest, ArrivalIsSentAtPlusLatencyStrictlyAfterBarrier) {
+  FabricRouter router(2, /*window=*/100, /*latency=*/250);
+  router.Emit(0, 1, 1, Payload(1));     // Earliest possible emission.
+  router.Emit(1, 0, 100, Payload(2));   // Emission exactly at the barrier.
+
+  RecordingSink sink;
+  router.Exchange(/*barrier_time=*/100, sink.fn());
+
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  EXPECT_EQ(sink.deliveries[0].arrival, 251u);
+  EXPECT_EQ(sink.deliveries[1].arrival, 350u);
+  for (const Recorded& r : sink.deliveries) {
+    EXPECT_GT(r.arrival, 100u);  // The conservative rule, per message.
+  }
+}
+
+TEST(FabricTest, ZeroLatencyDefaultsToOneWindow) {
+  FabricRouter router(2, /*window=*/64, /*latency=*/0);
+  EXPECT_EQ(router.latency(), 64u);
+}
+
+TEST(FabricTest, LanesClearBetweenExchanges) {
+  FabricRouter router(2, 100, 100);
+  router.Emit(0, 1, 50, Payload(1));
+  RecordingSink sink;
+  router.Exchange(100, sink.fn());
+  router.Exchange(200, sink.fn());  // Nothing new: no re-delivery.
+  EXPECT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(router.stats().exchanges, 2u);
+  EXPECT_EQ(router.stats().emitted, 1u);
+}
+
+TEST(FabricTest, RefusedDeliveriesAreCounted) {
+  FabricRouter router(2, 100, 100);
+  router.Emit(0, 1, 10, Payload(1));
+  router.Emit(1, 0, 10, Payload(2));
+  RecordingSink sink;
+  sink.refuse_dst = 1;  // Node 1 is gone.
+  router.Exchange(100, sink.fn());
+  EXPECT_EQ(router.stats().routed, 1u);
+  EXPECT_EQ(router.stats().refused, 1u);
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].msg.payload.id, 2u);
+}
+
+TEST(FabricTest, CloseDropsSubsequentDrains) {
+  FabricRouter router(2, 100, 100);
+  router.Emit(0, 1, 50, Payload(1));
+  router.Close();
+  RecordingSink sink;
+  router.Exchange(100, sink.fn());
+  EXPECT_TRUE(sink.deliveries.empty());
+  EXPECT_EQ(router.stats().dropped_closed, 1u);
+  EXPECT_EQ(router.stats().routed, 0u);
+  EXPECT_EQ(router.stats().emitted, 1u);
+}
+
+TEST(FabricTest, BacklogHighWaterTracksDeepestWindow) {
+  FabricRouter router(2, 100, 100);
+  router.Emit(0, 1, 10, Payload(1));
+  RecordingSink sink;
+  router.Exchange(100, sink.fn());
+  EXPECT_EQ(router.stats().max_window_backlog, 1u);
+  router.Emit(0, 1, 110, Payload(2));
+  router.Emit(0, 1, 120, Payload(3));
+  router.Emit(1, 0, 130, Payload(4));
+  router.Exchange(200, sink.fn());
+  EXPECT_EQ(router.stats().max_window_backlog, 3u);
+  router.Exchange(300, sink.fn());  // Empty window: high-water unchanged.
+  EXPECT_EQ(router.stats().max_window_backlog, 3u);
+}
+
+TEST(FabricTest, IdenticalEmissionsYieldIdenticalDrains) {
+  // Two routers fed the same emission sequence drain identically — the
+  // property the sharded runner's bit-identical digests reduce to.
+  auto feed = [](FabricRouter& router) {
+    router.Emit(1, 0, 15, Payload(7));
+    router.Emit(0, 1, 25, Payload(8));
+    router.Emit(2, 1, 35, Payload(9));
+  };
+  FabricRouter a(3, 100, 150), b(3, 100, 150);
+  feed(a);
+  feed(b);
+  RecordingSink sa, sb;
+  a.Exchange(100, sa.fn());
+  b.Exchange(100, sb.fn());
+  ASSERT_EQ(sa.deliveries.size(), sb.deliveries.size());
+  for (size_t i = 0; i < sa.deliveries.size(); ++i) {
+    EXPECT_EQ(sa.deliveries[i].msg.payload.id, sb.deliveries[i].msg.payload.id);
+    EXPECT_EQ(sa.deliveries[i].msg.seq, sb.deliveries[i].msg.seq);
+    EXPECT_EQ(sa.deliveries[i].arrival, sb.deliveries[i].arrival);
+  }
+}
+
+}  // namespace
+}  // namespace elsc
