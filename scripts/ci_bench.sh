@@ -24,7 +24,7 @@ baseline="bench/baselines/BENCH_perf_smoke.json"
 
 echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
-cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep scale_sweep
+cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep scale_sweep federation_chaos
 
 echo "=== perf_smoke (${churn_events} churn events, ${rooms} rooms) ==="
 (cd build && ./bench/perf_smoke "${churn_events}" "${rooms}")
@@ -57,6 +57,24 @@ scale_env="ELSC_SCALE_ROOMS=8 ELSC_SCALE_USERS=4 ELSC_SCALE_MSGS=4 ELSC_SCALE_SC
   env ${scale_env} ELSC_SCALE_SHARDS=4 ELSC_BENCH_JOBS=4 ./bench/scale_sweep >/dev/null &&
   cmp BENCH_scale.jobs1.json BENCH_scale.json &&
   echo "scale JSON identical at shards 1 vs 4 and jobs 1 vs 4")
+
+echo "=== federation_chaos smoke (failure model; JSON must be shard- and job-count invariant) ==="
+# A tiny chaos-armed federation (crashes + loss + retransmission) run three
+# ways: shards 1 vs 4, and harness jobs 1 vs 4. Chaos is seeded config, so
+# with the timing block off all three JSON files must be byte-identical; the
+# binary additionally digest-checks every shard count and asserts the
+# retransmit column never loses more deliveries than its no-retransmit
+# control in-process.
+fed_env="ELSC_FED_ROOMS=4 ELSC_FED_USERS=4 ELSC_FED_MSGS=8 ELSC_FED_CRASH=0,100 ELSC_FED_SCHEDS=elsc ELSC_FED_TIMING=0"
+(cd build &&
+  env ${fed_env} ELSC_FED_SHARDS=1 ELSC_BENCH_JOBS=1 ./bench/federation_chaos >/dev/null &&
+  mv BENCH_federation_chaos.json BENCH_federation_chaos.shards1.json &&
+  env ${fed_env} ELSC_FED_SHARDS=4 ELSC_BENCH_JOBS=1 ./bench/federation_chaos >/dev/null &&
+  cmp BENCH_federation_chaos.shards1.json BENCH_federation_chaos.json &&
+  mv BENCH_federation_chaos.json BENCH_federation_chaos.jobs1.json &&
+  env ${fed_env} ELSC_FED_SHARDS=4 ELSC_BENCH_JOBS=4 ./bench/federation_chaos >/dev/null &&
+  cmp BENCH_federation_chaos.jobs1.json BENCH_federation_chaos.json &&
+  echo "federation chaos JSON identical at shards 1 vs 4 and jobs 1 vs 4")
 
 echo "=== micro_sched_ops (table search + task alloc + schedule/add-del) ==="
 ./build/bench/micro_sched_ops --benchmark_min_time=0.05 2>/dev/null |

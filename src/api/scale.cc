@@ -3,12 +3,17 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <map>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <utility>
 
 #include "src/base/assert.h"
 #include "src/base/string_util.h"
+#include "src/base/watchdog.h"
 #include "src/harness/run_matrix.h"
 #include "src/harness/thread_pool.h"
 #include "src/net/socket.h"
@@ -23,6 +28,18 @@ namespace {
 // Key mixed into DeriveSeed so node seeds are a stable function of
 // (scenario seed, node index) — never of the node-to-shard assignment.
 constexpr uint64_t kScaleSeedKey = 0x5ca1ab1e5ca1ab1eULL;
+// Restart incarnations derive fresh seeds from this key + incarnation, so a
+// rebuilt node replays a different (but deterministic) schedule.
+constexpr uint64_t kScaleRestartKey = 0xfede7a7e00000000ULL;
+
+// Sentinel room id marking a cumulative-ack message on the fabric (real
+// rooms are >= 0).
+constexpr int kAckRoom = -2;
+
+// Beacon ids encode (incarnation << 48) | seq: a restarted transmitter's
+// ids are strictly larger than anything its dead incarnation sent, so the
+// receiver's gap-jump handles the incarnation switch like any other loss.
+constexpr int kIncarnationShift = 48;
 
 constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
@@ -43,13 +60,27 @@ struct ScaleNode;
 // itself is scheduler-visible load (it sleeps, wakes, and burns CPU like
 // any other server thread). Exits once the local chat is complete — there
 // is no more progress to report.
+//
+// With the failure model armed, beacons additionally carry link-sequence
+// ids and the relay keeps a bounded buffer of unacked beacons, re-emitting
+// them on timeout under the retransmit backoff policy (a TCP-lite tail on
+// top of the fire-and-forget gossip). Fault-free configs never enter any of
+// those branches, byte for byte.
 class FederationTx : public TaskBehavior {
  public:
-  explicit FederationTx(ScaleNode* node) : node_(node) {}
+  explicit FederationTx(ScaleNode* node);
   Segment NextSegment(Machine& machine, Task& task) override;
 
  private:
+  struct Unacked {
+    uint64_t id = 0;
+    Message msg;
+    int attempts = 1;         // Emissions so far (1 = the original send).
+    Cycles next_retx_at = 0;  // Global time of the next retransmission.
+  };
+
   ScaleNode* node_;
+  std::deque<Unacked> unacked_;
   Cycles next_beacon_at_ = 0;
   uint64_t next_beacon_id_ = 0;
 };
@@ -58,31 +89,56 @@ class FederationTx : public TaskBehavior {
 // processing cost per beacon, and exits on EOF (the coordinator closes
 // every inbox once the whole federation's chat is complete and all
 // in-flight deliveries have landed).
+//
+// With the failure model armed it runs the receive half of the recovery
+// protocol: in-order beacons are processed and cumulatively acked, small
+// gaps are buffered for reordering (duplicated fabric deliveries arrive at
+// the same time but a retransmit can overtake a slower original), wide gaps
+// — including a restarted predecessor's incarnation jump — are jumped past,
+// and duplicates are discarded by id.
 class FederationRx : public TaskBehavior {
  public:
   explicit FederationRx(ScaleNode* node) : node_(node) {}
   Segment NextSegment(Machine& machine, Task& task) override;
 
  private:
+  Segment Process(Machine& machine, const Message& beacon);
+  void Deliver(const Message& beacon);
+
   ScaleNode* node_;
+  uint64_t cum_ = 0;         // Highest contiguously-processed beacon id.
+  uint64_t last_acked_ = 0;  // cum_ value carried by the last ack sent.
+  std::map<uint64_t, Message> reorder_;  // Out-of-order beacons, bounded.
 };
 
 // One node of the federation: an independent Machine simulating its rooms,
 // plus the fabric endpoints. Owned by the coordinator; advanced by exactly
 // one shard thread per window; destroyed (streaming fold) at the barrier
-// where its workload completes.
+// where its workload completes. Under the failure model a node can
+// additionally be torn down mid-scenario (crash) and rebuilt with a derived
+// seed (restart) — the counters below deliberately live here, not in the
+// machine, so they survive incarnations.
 struct ScaleNode {
   int index = 0;
   int first_room = 0;
   int dst_node = 0;  // Ring successor receiving this node's beacons.
+  int src_node = 0;  // Ring predecessor; acks flow back to it.
   const ScaleConfig* config = nullptr;
   FabricRouter* router = nullptr;  // Null when gossip is disabled.
+  bool armed = false;              // config->faults.Enabled().
 
   std::unique_ptr<Machine> machine;
   std::unique_ptr<VolanoWorkload> volano;
   std::unique_ptr<SimSocket> inbox;
   std::unique_ptr<FederationTx> tx;
   std::unique_ptr<FederationRx> rx;
+
+  // Global room ids this incarnation simulates (restart re-runs only the
+  // unfinished rooms; index 0 pairs with volano room 0, and so on).
+  std::vector<int> room_ids;
+  // A restarted machine starts at local t = 0; global time = offset + local.
+  Cycles clock_offset = 0;
+  int incarnation = 0;
 
   // Federation counters (single-writer: only this node's tasks / delivery
   // events touch them, and those all run on this node's shard thread).
@@ -91,15 +147,65 @@ struct ScaleNode {
   uint64_t inbox_overflows = 0;
   uint64_t late_writes = 0;
   uint64_t last_remote_progress = 0;  // Payload of the newest beacon seen.
+  // Recovery-protocol counters (persist across restarts).
+  uint64_t tx_acked = 0;  // Cumulative ack from the ring successor.
+  uint64_t retransmits = 0;
+  uint64_t retx_abandoned = 0;
+  uint64_t dup_discards = 0;
+  uint64_t acks_sent = 0;
+  uint64_t acks_received = 0;
+
+  // Crash lifecycle (coordinator-side).
+  bool down = false;
+  uint64_t restart_window = 0;
+  uint64_t crashes = 0;
+  // Finished-room quotas banked from dead incarnations — their deliveries
+  // happened and stay counted; only unfinished rooms re-run.
+  uint64_t banked_sent = 0;
+  uint64_t banked_delivered = 0;
+  uint64_t chat_messages_lost = 0;      // Partial-room work thrown away.
+  uint64_t crash_inflight_dropped = 0;  // Fabric deliveries killed mid-air.
+  // Arrivals scheduled on this incarnation's engine that have not landed
+  // yet (incremented by the coordinator sink at barriers, decremented by
+  // the delivery event on the shard thread — phases never overlap).
+  uint64_t pending_deliveries = 0;
+  RunStats carried_stats;  // Stats of dead incarnations, merged at fold.
+  bool has_carried_stats = false;
 
   bool chat_done = false;
   uint64_t completed_window = 0;
+
+  Cycles GlobalNow() const { return clock_offset + machine->Now(); }
 };
+
+// Jitter key for one unacked beacon's retransmission schedule.
+uint64_t RetxKey(const ScaleNode& node, uint64_t id) {
+  return (static_cast<uint64_t>(node.index) << 32) ^ id;
+}
+
+FederationTx::FederationTx(ScaleNode* node)
+    : node_(node),
+      next_beacon_id_(static_cast<uint64_t>(node->incarnation)
+                      << kIncarnationShift) {}
 
 Segment FederationTx::NextSegment(Machine& machine, Task& task) {
   (void)task;
   const ScaleConfig& cfg = *node_->config;
-  if (node_->volano->ChatComplete()) {
+  const bool armed = node_->armed;
+  if (armed) {
+    // Cumulative ack from the ring successor: everything at or below it
+    // arrived — purge it from the retransmission buffer.
+    while (!unacked_.empty() && unacked_.front().id <= node_->tx_acked) {
+      unacked_.pop_front();
+    }
+  }
+  if (node_->volano->ChatComplete() &&
+      (!armed || !cfg.retransmit || unacked_.empty() ||
+       node_->router->closed())) {
+    // Nothing more to report — though an armed transmitter lingers while
+    // unacked beacons might still need retransmission, until the router
+    // closes (the coordinator closes it at a barrier; no shard is running,
+    // so this read is race-free).
     return Segment::Exit(cfg.chat.syscall_cycles);
   }
   const Cycles now = machine.Now();
@@ -109,19 +215,63 @@ Segment FederationTx::NextSegment(Machine& machine, Task& task) {
   if (now < next_beacon_at_) {
     return Segment::Sleep(cfg.chat.syscall_cycles, next_beacon_at_ - now);
   }
-  const int owned_rooms = node_->volano->config().rooms;
-  for (int r = 0; r < owned_rooms; ++r) {
-    Message beacon;
-    beacon.id = ++next_beacon_id_;
-    beacon.sender = node_->index;
-    beacon.room = node_->first_room + r;
-    beacon.sent_at = now;
-    beacon.payload = node_->volano->messages_delivered();
-    node_->router->Emit(node_->index, node_->dst_node, now, beacon);
-    ++node_->beacons_sent;
+  const Cycles global_now = node_->clock_offset + now;
+  Cycles emissions = 0;
+  if (armed && cfg.retransmit) {
+    // Timeout-driven retransmission: anything unacked past its deadline is
+    // re-emitted under the backoff policy; exhausted retries abandon.
+    for (size_t i = 0; i < unacked_.size();) {
+      Unacked& u = unacked_[i];
+      if (global_now < u.next_retx_at) {
+        ++i;
+        continue;
+      }
+      if (cfg.retransmit_backoff.ShouldAbandon(u.attempts)) {
+        ++node_->retx_abandoned;
+        unacked_.erase(unacked_.begin() + static_cast<long>(i));
+        continue;
+      }
+      u.msg.sent_at = global_now;
+      node_->router->Emit(node_->index, node_->dst_node, global_now, u.msg);
+      ++node_->retransmits;
+      ++u.attempts;
+      u.next_retx_at =
+          global_now + cfg.retransmit_backoff.Delay(RetxKey(*node_, u.id),
+                                                    u.attempts);
+      ++emissions;
+      ++i;
+    }
+  }
+  if (!node_->volano->ChatComplete()) {
+    const int owned_rooms = node_->volano->config().rooms;
+    for (int r = 0; r < owned_rooms; ++r) {
+      Message beacon;
+      beacon.id = ++next_beacon_id_;
+      beacon.sender = node_->index;
+      beacon.room = node_->room_ids[static_cast<size_t>(r)];
+      beacon.sent_at = global_now;
+      beacon.payload = node_->volano->messages_delivered();
+      node_->router->Emit(node_->index, node_->dst_node, global_now, beacon);
+      ++node_->beacons_sent;
+      ++emissions;
+      if (armed && cfg.retransmit) {
+        Unacked u;
+        u.id = beacon.id;
+        u.msg = beacon;
+        u.next_retx_at =
+            global_now + cfg.retransmit_backoff.Delay(RetxKey(*node_, u.id), 1);
+        unacked_.push_back(u);
+        while (unacked_.size() > cfg.retransmit_buffer) {
+          // Bounded buffer: the oldest unacked beacon is given up on.
+          unacked_.pop_front();
+          ++node_->retx_abandoned;
+        }
+      }
+    }
   }
   next_beacon_at_ = now + cfg.gossip_period;
-  return Segment::RunAgain(cfg.beacon_cycles * static_cast<Cycles>(owned_rooms));
+  return Segment::RunAgain(cfg.beacon_cycles *
+                           (emissions == 0 ? 1 : emissions));
 }
 
 Segment FederationRx::NextSegment(Machine& machine, Task& task) {
@@ -131,15 +281,88 @@ Segment FederationRx::NextSegment(Machine& machine, Task& task) {
   Message beacon;
   switch (inbox->TryReadMsg(machine, &beacon)) {
     case SockStatus::kOk:
-      ++node_->beacons_received;
-      node_->last_remote_progress = beacon.payload;
-      return Segment::RunAgain(cfg.gossip_process_cycles);
+      if (!node_->armed) {
+        ++node_->beacons_received;
+        node_->last_remote_progress = beacon.payload;
+        return Segment::RunAgain(cfg.gossip_process_cycles);
+      }
+      return Process(machine, beacon);
     case SockStatus::kWouldBlock:
+      if (node_->armed && cum_ > last_acked_) {
+        // Inbox drained: return one cumulative ack covering everything
+        // processed since the last ack (delayed-ack batching for free).
+        Message ack;
+        ack.id = cum_;
+        ack.sender = node_->index;
+        ack.room = kAckRoom;
+        const Cycles global_now = node_->clock_offset + machine.Now();
+        ack.sent_at = global_now;
+        ack.payload = cum_;
+        node_->router->Emit(node_->index, node_->src_node, global_now, ack);
+        last_acked_ = cum_;
+        ++node_->acks_sent;
+        return Segment::RunAgain(cfg.beacon_cycles);
+      }
       return Segment::Block(cfg.chat.syscall_cycles, &inbox->read_wait(),
                             [inbox] { return !inbox->ReadReady(); });
     default:  // kEof / kClosed / kReset: the federation shut down.
       return Segment::Exit(cfg.chat.syscall_cycles);
   }
+}
+
+void FederationRx::Deliver(const Message& beacon) {
+  ++node_->beacons_received;
+  node_->last_remote_progress = beacon.payload;
+}
+
+Segment FederationRx::Process(Machine& machine, const Message& beacon) {
+  (void)machine;
+  const ScaleConfig& cfg = *node_->config;
+  if (beacon.room == kAckRoom) {
+    // The successor's cumulative ack for our own transmissions.
+    if (beacon.payload > node_->tx_acked) {
+      node_->tx_acked = beacon.payload;
+    }
+    ++node_->acks_received;
+    return Segment::RunAgain(cfg.chat.syscall_cycles);
+  }
+  const uint64_t id = beacon.id;
+  if (id <= cum_ || reorder_.count(id) != 0) {
+    ++node_->dup_discards;
+    return Segment::RunAgain(cfg.chat.syscall_cycles);
+  }
+  uint64_t processed = 0;
+  if (id == cum_ + 1) {
+    Deliver(beacon);
+    cum_ = id;
+    ++processed;
+  } else if (id > cum_ + cfg.recovery_gap_span ||
+             reorder_.size() >= cfg.recovery_gap_span) {
+    // Gap too wide (a restarted predecessor's incarnation jump is 2^48) or
+    // the reorder buffer is full: jump past it. Buffered beacons below the
+    // jump target still get processed in id order; the rest of the gap is
+    // this run's deliveries_lost.
+    for (auto it = reorder_.begin(); it != reorder_.end() && it->first < id;) {
+      Deliver(it->second);
+      ++processed;
+      it = reorder_.erase(it);
+    }
+    Deliver(beacon);
+    cum_ = id;
+    ++processed;
+  } else {
+    reorder_.emplace(id, beacon);
+    return Segment::RunAgain(cfg.chat.syscall_cycles);
+  }
+  // Drain whatever the new cum_ made contiguous.
+  while (!reorder_.empty() && reorder_.begin()->first == cum_ + 1) {
+    Deliver(reorder_.begin()->second);
+    ++cum_;
+    ++processed;
+    reorder_.erase(reorder_.begin());
+  }
+  return Segment::RunAgain(cfg.gossip_process_cycles *
+                           static_cast<Cycles>(processed));
 }
 
 // Per-node RunStats snapshot (the sharded analog of the facade's
@@ -158,6 +381,55 @@ RunStats NodeRunStats(const ScaleNode& node) {
   return stats;
 }
 
+// Builds (or rebuilds, incarnation > 0) a node's simulated machine, chat
+// workload over node->room_ids, inbox, and federation relays, and starts it.
+void BootNode(ScaleNode* node, const ScaleConfig& config) {
+  const uint64_t seed_key =
+      node->incarnation == 0
+          ? kScaleSeedKey
+          : kScaleRestartKey + static_cast<uint64_t>(node->incarnation);
+  MachineConfig mc = MakeMachineConfig(
+      config.kernel, config.scheduler,
+      DeriveSeed(config.seed, seed_key, static_cast<uint64_t>(node->index)));
+  node->machine = std::make_unique<Machine>(mc);
+
+  VolanoConfig chat = config.chat;
+  chat.rooms = static_cast<int>(node->room_ids.size());
+  node->volano = std::make_unique<VolanoWorkload>(*node->machine, chat);
+  node->volano->Setup();
+
+  if (node->router != nullptr) {
+    node->inbox = std::make_unique<SimSocket>(
+        node->incarnation == 0
+            ? StrFormat("node%d.fabric.in", node->index)
+            : StrFormat("node%d.fabric.in#%d", node->index, node->incarnation),
+        config.fabric_inbox_capacity);
+    node->tx = std::make_unique<FederationTx>(node);
+    node->rx = std::make_unique<FederationRx>(node);
+    // The relays are server-process threads: share the server JVM's mm.
+    TaskParams params;
+    params.mm = node->volano->server_mm();
+    params.name = StrFormat("node%d.fedtx", node->index);
+    params.behavior = node->tx.get();
+    node->machine->CreateTask(params);
+    params.name = StrFormat("node%d.fedrx", node->index);
+    params.behavior = node->rx.get();
+    node->machine->CreateTask(params);
+  }
+  node->machine->Start();
+}
+
+// Resolves the per-window wall-clock budget: explicit config value, else
+// the supervisor's ELSC_CELL_TIMEOUT_MS, else off.
+double ResolveWindowBudget(const ScaleConfig& config) {
+  double budget = config.window_wall_budget_sec;
+  if (budget == 0.0) {
+    const char* env = std::getenv("ELSC_CELL_TIMEOUT_MS");
+    budget = env != nullptr ? std::atof(env) / 1000.0 : 0.0;
+  }
+  return budget > 0.0 ? budget : 0.0;
+}
+
 }  // namespace
 
 ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
@@ -170,6 +442,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   ELSC_CHECK_MSG(latency >= window,
                  "conservative rule: fabric latency must be >= the window");
   const bool gossip = config.gossip_period > 0;
+  const bool armed = config.faults.Enabled();
   shards = std::clamp(shards <= 0 ? 1 : shards, 1, num_nodes);
 
   ScaleRun run;
@@ -177,9 +450,16 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   run.shards = shards;
   run.rooms = static_cast<uint64_t>(config.rooms);
   run.connections = config.connections();
+  run.fault_model = armed;
   run.digest = kFnvOffset;
 
   FabricRouter router(num_nodes, window, latency);
+  if (armed) {
+    router.ArmFaults(&config.faults);
+  }
+  if (config.fabric_lane_capacity > 0) {
+    router.SetLaneCapacity(config.fabric_lane_capacity);
+  }
 
   // ---- Build the federation ----
   std::vector<std::unique_ptr<ScaleNode>> nodes;
@@ -189,36 +469,17 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     node->index = i;
     node->first_room = i * config.rooms_per_node;
     node->dst_node = (i + 1) % num_nodes;
+    node->src_node = (i + num_nodes - 1) % num_nodes;
     node->config = &config;
     node->router = gossip ? &router : nullptr;
-
-    MachineConfig mc = MakeMachineConfig(
-        config.kernel, config.scheduler,
-        DeriveSeed(config.seed, kScaleSeedKey, static_cast<uint64_t>(i)));
-    node->machine = std::make_unique<Machine>(mc);
-
-    VolanoConfig chat = config.chat;
-    chat.rooms = std::min(config.rooms_per_node,
-                          config.rooms - node->first_room);
-    node->volano = std::make_unique<VolanoWorkload>(*node->machine, chat);
-    node->volano->Setup();
-
-    if (gossip) {
-      node->inbox = std::make_unique<SimSocket>(
-          StrFormat("node%d.fabric.in", i), config.fabric_inbox_capacity);
-      node->tx = std::make_unique<FederationTx>(node.get());
-      node->rx = std::make_unique<FederationRx>(node.get());
-      // The relays are server-process threads: share the server JVM's mm.
-      TaskParams params;
-      params.mm = node->volano->server_mm();
-      params.name = StrFormat("node%d.fedtx", i);
-      params.behavior = node->tx.get();
-      node->machine->CreateTask(params);
-      params.name = StrFormat("node%d.fedrx", i);
-      params.behavior = node->rx.get();
-      node->machine->CreateTask(params);
+    node->armed = armed;
+    const int owned =
+        std::min(config.rooms_per_node, config.rooms - node->first_room);
+    node->room_ids.reserve(static_cast<size_t>(owned));
+    for (int r = 0; r < owned; ++r) {
+      node->room_ids.push_back(node->first_room + r);
     }
-    node->machine->Start();
+    BootNode(node.get(), config);
     nodes.push_back(std::move(node));
   }
 
@@ -229,11 +490,17 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   const auto sink = [&nodes](const FabricMessage& msg,
                              Cycles arrival) -> FabricRouter::Delivery {
     ScaleNode* dst = nodes[static_cast<size_t>(msg.dst_node)].get();
-    if (dst == nullptr || dst->machine == nullptr) {
+    if (dst == nullptr) {
       return FabricRouter::Delivery::kRefused;
     }
+    if (dst->down || dst->machine == nullptr) {
+      return FabricRouter::Delivery::kDown;
+    }
+    ++dst->pending_deliveries;
+    // A restarted machine's clock is offset: schedule at local time.
     dst->machine->engine().ScheduleAt(
-        arrival, [dst, payload = msg.payload] {
+        arrival - dst->clock_offset, [dst, payload = msg.payload] {
+          --dst->pending_deliveries;
           switch (dst->inbox->TryWriteMsg(*dst->machine, payload)) {
             case SockStatus::kOk:
               break;
@@ -255,6 +522,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   if (shards > 1) {
     pool = std::make_unique<ThreadPool>(shards);
   }
+  const double wall_budget = ResolveWindowBudget(config);
 
   int live = num_nodes;
   int chats_done = 0;
@@ -263,40 +531,191 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   bool inboxes_closed = !gossip;
   uint64_t window_index = 0;
 
+  // Folds every still-live node as failed (partial per-node stats included)
+  // and stamps the run's failure — the deadline and watchdog exits.
+  const auto fold_failed = [&](const char* tag, const std::string& why) {
+    for (size_t n = 0; n < nodes.size(); ++n) {
+      ScaleNode* node = nodes[n].get();
+      if (node == nullptr) {
+        continue;
+      }
+      RunStats node_stats;
+      if (node->machine != nullptr) {
+        node_stats = NodeRunStats(*node);
+        run.messages_sent += node->volano->messages_sent();
+        run.messages_delivered += node->volano->messages_delivered();
+      }
+      if (node->has_carried_stats) {
+        MergeRunStats(&node->carried_stats, node_stats);
+        node_stats = node->carried_stats;
+      }
+      node_stats.failed = true;
+      run.messages_sent += node->banked_sent;
+      run.messages_delivered += node->banked_delivered;
+      run.beacons_sent += node->beacons_sent;
+      run.beacons_received += node->beacons_received;
+      run.inbox_overflows += node->inbox_overflows;
+      run.late_writes += node->late_writes;
+      run.retransmits += node->retransmits;
+      run.retx_abandoned += node->retx_abandoned;
+      run.dup_discards += node->dup_discards;
+      run.acks_sent += node->acks_sent;
+      run.acks_received += node->acks_received;
+      run.chat_messages_lost += node->chat_messages_lost;
+      run.crash_inflight_dropped += node->crash_inflight_dropped;
+      MergeRunStats(&run.stats, node_stats);
+      run.digest = FnvFold(
+          run.digest,
+          StrFormat("n%d@%s|", node->index, tag) + RunStatsDigest(node_stats) +
+              StrFormat("|fed:%llu,%llu,%llu,%llu;",
+                        static_cast<unsigned long long>(node->beacons_sent),
+                        static_cast<unsigned long long>(node->beacons_received),
+                        static_cast<unsigned long long>(node->inbox_overflows),
+                        static_cast<unsigned long long>(node->late_writes)));
+      nodes[n].reset();
+      --live;
+    }
+    all_completed = false;
+    run.stats.failed = true;
+    if (run.stats.failure.empty()) {
+      run.stats.failure = why;
+    }
+  };
+
   while (live > 0) {
     ++window_index;
     const Cycles barrier = static_cast<Cycles>(window_index) * window;
 
     // Advance every live node to the barrier. Node->shard assignment is
     // round-robin by node index; any assignment yields identical results
-    // (nodes only interact through the fabric, drained below).
-    if (pool != nullptr) {
-      for (int s = 0; s < shards; ++s) {
-        pool->Submit([&nodes, s, shards, barrier] {
-          for (size_t n = static_cast<size_t>(s); n < nodes.size();
-               n += static_cast<size_t>(shards)) {
-            if (nodes[n] != nullptr) {
-              nodes[n]->machine->engine().RunUntil(barrier);
+    // (nodes only interact through the fabric, drained below). Each shard
+    // thread (and the serial loop) arms a per-window wall-clock watchdog:
+    // a livelocked node fails the federation instead of hanging it.
+    bool wall_timeout = false;
+    try {
+      if (pool != nullptr) {
+        for (int s = 0; s < shards; ++s) {
+          pool->Submit([&nodes, s, shards, barrier, wall_budget] {
+            std::optional<CellWatchdog> dog;
+            if (wall_budget > 0.0) {
+              dog.emplace(wall_budget);
             }
+            for (size_t n = static_cast<size_t>(s); n < nodes.size();
+                 n += static_cast<size_t>(shards)) {
+              ScaleNode* node = nodes[n].get();
+              if (node != nullptr && !node->down) {
+                node->machine->engine().RunUntil(barrier - node->clock_offset);
+              }
+            }
+          });
+        }
+        pool->Wait();  // Rethrows the first shard exception, if any.
+      } else {
+        std::optional<CellWatchdog> dog;
+        if (wall_budget > 0.0) {
+          dog.emplace(wall_budget);
+        }
+        for (auto& node : nodes) {
+          if (node != nullptr && !node->down) {
+            node->machine->engine().RunUntil(barrier - node->clock_offset);
           }
-        });
+        }
       }
-      pool->Wait();  // Rethrows the first shard exception, if any.
-    } else {
-      for (auto& node : nodes) {
-        if (node != nullptr) {
-          node->machine->engine().RunUntil(barrier);
+    } catch (const CellDeadlineExceeded&) {
+      if (wall_budget <= 0.0) {
+        throw;  // The supervisor's cell watchdog, not ours.
+      }
+      wall_timeout = true;
+    }
+    if (wall_timeout) {
+      fold_failed("watchdog",
+                  StrFormat("federation watchdog: window %llu exceeded %.3fs "
+                            "wall-clock",
+                            static_cast<unsigned long long>(window_index),
+                            wall_budget));
+      break;
+    }
+
+    // ---- Barrier (coordinator, single-threaded) ----
+    // Failure plan, step 1 — crashes scheduled for this window. The node's
+    // engine is torn down mid-scenario: queued inbox traffic is discarded
+    // (peers see a reset inbox), scheduled arrivals die with the engine,
+    // finished rooms' delivery quotas are banked, partial rooms are lost
+    // and will re-run at restart.
+    if (armed) {
+      for (auto& owner : nodes) {
+        ScaleNode* node = owner.get();
+        if (node == nullptr || node->down || node->machine == nullptr ||
+            node->crashes > 0 || node->volano->ChatComplete() ||
+            !config.faults.NodeCrashes(node->index) ||
+            config.faults.CrashWindow(node->index) != window_index) {
+          continue;
+        }
+        node->inbox->ResetByPeer(*node->machine);
+        node->crash_inflight_dropped +=
+            node->pending_deliveries + node->inbox->stats().discarded;
+        node->pending_deliveries = 0;
+        MergeRunStats(&node->carried_stats, NodeRunStats(*node));
+        node->has_carried_stats = true;
+        const VolanoConfig& chat = node->volano->config();
+        const uint64_t room_quota_delivered =
+            static_cast<uint64_t>(chat.users_per_room) * chat.users_per_room *
+            chat.messages_per_user;
+        const uint64_t room_quota_sent =
+            static_cast<uint64_t>(chat.users_per_room) * chat.messages_per_user;
+        std::vector<int> unfinished;
+        for (int r = 0; r < chat.rooms; ++r) {
+          if (node->volano->RoomComplete(r)) {
+            node->banked_delivered += room_quota_delivered;
+            node->banked_sent += room_quota_sent;
+          } else {
+            node->chat_messages_lost += node->volano->RoomDelivered(r);
+            unfinished.push_back(node->room_ids[static_cast<size_t>(r)]);
+          }
+        }
+        node->room_ids = std::move(unfinished);
+        // Teardown in the member-destruction order a folded node uses.
+        node->rx.reset();
+        node->tx.reset();
+        node->inbox.reset();
+        node->volano.reset();
+        node->machine.reset();
+        node->down = true;
+        node->restart_window =
+            window_index + config.faults.DownWindows(node->index);
+        ++node->crashes;
+        ++run.node_crashes;
+      }
+      // Step 2 — restarts due this window: rebuild the node with a derived
+      // seed over its unfinished rooms; its fresh engine starts at local
+      // t = 0, offset to the current barrier.
+      for (auto& owner : nodes) {
+        ScaleNode* node = owner.get();
+        if (node == nullptr || !node->down ||
+            node->restart_window != window_index) {
+          continue;
+        }
+        ++node->incarnation;
+        node->clock_offset = barrier;
+        node->tx_acked = 0;  // The new incarnation's ids restart the link.
+        BootNode(node, config);
+        node->down = false;
+        ++run.node_restarts;
+      }
+      for (const auto& node : nodes) {
+        if (node != nullptr && node->down) {
+          ++run.windows_degraded;
+          break;
         }
       }
     }
 
-    // ---- Barrier (coordinator, single-threaded) ----
     // Memory high-water sampling across the live federation.
     uint64_t live_tasks = 0;
     uint64_t arena_bytes = 0;
     uint64_t sockets = 0;
     for (const auto& node : nodes) {
-      if (node == nullptr) {
+      if (node == nullptr || node->machine == nullptr) {
         continue;
       }
       live_tasks += node->machine->live_tasks();
@@ -318,7 +737,8 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     // fabric closes, and after one more latency the inboxes EOF so the
     // receive relays drain whatever is still in flight and exit.
     for (const auto& node : nodes) {
-      if (node != nullptr && !node->chat_done && node->volano->ChatComplete()) {
+      if (node != nullptr && node->machine != nullptr && !node->chat_done &&
+          node->volano->ChatComplete()) {
         node->chat_done = true;
         ++chats_done;
       }
@@ -329,7 +749,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     }
     if (!inboxes_closed && inbox_close_at != 0 && barrier >= inbox_close_at) {
       for (const auto& node : nodes) {
-        if (node != nullptr) {
+        if (node != nullptr && node->machine != nullptr) {
           node->inbox->Close(*node->machine);
         }
       }
@@ -340,63 +760,73 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     // order and destroyed — constant live state, not O(total nodes).
     for (size_t n = 0; n < nodes.size(); ++n) {
       ScaleNode* node = nodes[n].get();
-      if (node == nullptr || !node->volano->Done()) {
+      if (node == nullptr || node->machine == nullptr ||
+          !node->volano->Done()) {
         continue;
       }
       node->completed_window = window_index;
-      const RunStats node_stats = NodeRunStats(*node);
+      RunStats node_stats = NodeRunStats(*node);
+      if (node->has_carried_stats) {
+        // Dead incarnations' partial stats ride along with the final one.
+        MergeRunStats(&node->carried_stats, node_stats);
+        node_stats = node->carried_stats;
+      }
       const VolanoResult result = node->volano->Result();
       all_completed = all_completed && result.completed && !node_stats.failed;
-      run.messages_sent += result.messages_sent;
-      run.messages_delivered += result.messages_delivered;
+      run.messages_sent += result.messages_sent + node->banked_sent;
+      run.messages_delivered += result.messages_delivered + node->banked_delivered;
       run.beacons_sent += node->beacons_sent;
       run.beacons_received += node->beacons_received;
       run.inbox_overflows += node->inbox_overflows;
       run.late_writes += node->late_writes;
+      run.retransmits += node->retransmits;
+      run.retx_abandoned += node->retx_abandoned;
+      run.dup_discards += node->dup_discards;
+      run.acks_sent += node->acks_sent;
+      run.acks_received += node->acks_received;
+      run.chat_messages_lost += node->chat_messages_lost;
+      run.crash_inflight_dropped += node->crash_inflight_dropped;
       MergeRunStats(&run.stats, node_stats);
-      run.digest = FnvFold(
-          run.digest,
+      std::string record =
           StrFormat("n%d@%llu|", node->index,
                     static_cast<unsigned long long>(node->completed_window)) +
-              RunStatsDigest(node_stats) +
-              StrFormat("|chat:%llu,%llu,%d|fed:%llu,%llu,%llu,%llu;",
-                        static_cast<unsigned long long>(result.messages_sent),
-                        static_cast<unsigned long long>(result.messages_delivered),
-                        result.completed ? 1 : 0,
-                        static_cast<unsigned long long>(node->beacons_sent),
-                        static_cast<unsigned long long>(node->beacons_received),
-                        static_cast<unsigned long long>(node->inbox_overflows),
-                        static_cast<unsigned long long>(node->late_writes)));
+          RunStatsDigest(node_stats) +
+          StrFormat("|chat:%llu,%llu,%d|fed:%llu,%llu,%llu,%llu;",
+                    static_cast<unsigned long long>(result.messages_sent),
+                    static_cast<unsigned long long>(result.messages_delivered),
+                    result.completed ? 1 : 0,
+                    static_cast<unsigned long long>(node->beacons_sent),
+                    static_cast<unsigned long long>(node->beacons_received),
+                    static_cast<unsigned long long>(node->inbox_overflows),
+                    static_cast<unsigned long long>(node->late_writes));
+      if (run.fault_model) {
+        // The recovery block only exists under an armed plan — fault-free
+        // fold records stay byte-identical to the pre-failure-model layout.
+        record += StrFormat(
+            "|rec:%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu;",
+            node->incarnation,
+            static_cast<unsigned long long>(node->banked_delivered),
+            static_cast<unsigned long long>(node->retransmits),
+            static_cast<unsigned long long>(node->retx_abandoned),
+            static_cast<unsigned long long>(node->dup_discards),
+            static_cast<unsigned long long>(node->acks_sent),
+            static_cast<unsigned long long>(node->acks_received),
+            static_cast<unsigned long long>(node->chat_messages_lost),
+            static_cast<unsigned long long>(node->crash_inflight_dropped));
+      }
+      run.digest = FnvFold(run.digest, record);
       nodes[n].reset();
       --live;
     }
 
-    // Simulated-time safety net: fold whatever is still live as failed.
+    // Simulated-time safety net: fold whatever is still live as failed,
+    // partial per-node stats and all.
     if (live > 0 && barrier >= config.deadline) {
-      for (size_t n = 0; n < nodes.size(); ++n) {
-        ScaleNode* node = nodes[n].get();
-        if (node == nullptr) {
-          continue;
-        }
-        RunStats node_stats = NodeRunStats(*node);
-        node_stats.failed = true;
-        run.messages_sent += node->volano->messages_sent();
-        run.messages_delivered += node->volano->messages_delivered();
-        run.beacons_sent += node->beacons_sent;
-        run.beacons_received += node->beacons_received;
-        MergeRunStats(&run.stats, node_stats);
-        run.digest = FnvFold(run.digest, StrFormat("n%d@deadline;", node->index));
-        nodes[n].reset();
-        --live;
-      }
-      all_completed = false;
-      run.stats.failed = true;
-      if (run.stats.failure.empty()) {
-        run.stats.failure = StrFormat(
-            "scale deadline exceeded: %d node(s) still live at window %llu",
-            num_nodes - chats_done,
-            static_cast<unsigned long long>(window_index));
-      }
+      fold_failed("deadline",
+                  StrFormat("scale deadline exceeded: %d node(s) still live "
+                            "at window %llu",
+                            num_nodes - chats_done,
+                            static_cast<unsigned long long>(window_index)));
       break;
     }
   }
@@ -404,10 +834,20 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   run.windows = window_index;
   run.completed = all_completed;
   run.fabric = router.stats();
+  run.deliveries_lost = run.beacons_sent > run.beacons_received
+                            ? run.beacons_sent - run.beacons_received
+                            : 0;
   run.elapsed_sec = run.stats.elapsed_sec;
   run.throughput = run.elapsed_sec > 0
                        ? static_cast<double>(run.messages_delivered) / run.elapsed_sec
                        : 0.0;
+  // Goodput under faults: deliveries per simulated second of *federation*
+  // runtime — downtime, degraded windows, and re-run rooms all stretch the
+  // denominator, unlike throughput's max-node-elapsed.
+  const double federation_sec = CyclesToSec(static_cast<Cycles>(run.windows) * window);
+  run.goodput = federation_sec > 0
+                    ? static_cast<double>(run.messages_delivered) / federation_sec
+                    : 0.0;
   run.digest = FnvFold(
       run.digest,
       StrFormat("windows:%llu|fabric:%llu,%llu,%llu,%llu|peaks:%llu,%llu,%llu,%llu",
@@ -420,11 +860,28 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
                 static_cast<unsigned long long>(run.peak_live_nodes),
                 static_cast<unsigned long long>(run.peak_task_arena_bytes),
                 static_cast<unsigned long long>(run.peak_live_sockets)));
+  if (run.fault_model) {
+    run.digest = FnvFold(
+        run.digest,
+        StrFormat("|chaos:%llu,%llu,%llu,%llu,%llu,%llu,%llu|drops:%llu,%llu,%llu,%llu,%llu",
+                  static_cast<unsigned long long>(run.node_crashes),
+                  static_cast<unsigned long long>(run.node_restarts),
+                  static_cast<unsigned long long>(run.windows_degraded),
+                  static_cast<unsigned long long>(run.deliveries_lost),
+                  static_cast<unsigned long long>(run.retransmits),
+                  static_cast<unsigned long long>(run.retx_abandoned),
+                  static_cast<unsigned long long>(run.dup_discards),
+                  static_cast<unsigned long long>(run.fabric.dropped_loss),
+                  static_cast<unsigned long long>(run.fabric.dropped_partition),
+                  static_cast<unsigned long long>(run.fabric.dropped_crashed),
+                  static_cast<unsigned long long>(run.fabric.dropped_lane_overflow),
+                  static_cast<unsigned long long>(run.fabric.duplicated)));
+  }
   return run;
 }
 
 std::string ScaleRunSignature(const ScaleRun& run) {
-  return StrFormat(
+  std::string sig = StrFormat(
       "scale:%016llx|nodes:%d|windows:%llu|sent:%llu|delivered:%llu|"
       "beacons:%llu/%llu|drops:%llu+%llu|peak_tasks:%llu|peak_arena:%llu|"
       "elapsed:%a|completed:%d",
@@ -439,6 +896,24 @@ std::string ScaleRunSignature(const ScaleRun& run) {
       static_cast<unsigned long long>(run.peak_live_tasks),
       static_cast<unsigned long long>(run.peak_task_arena_bytes),
       run.elapsed_sec, run.completed ? 1 : 0);
+  if (run.fault_model) {
+    sig += StrFormat(
+        "|crashes:%llu|restarts:%llu|degraded:%llu|lost:%llu|retx:%llu+%llu|"
+        "dupdrop:%llu|acks:%llu/%llu|goodput:%a",
+        static_cast<unsigned long long>(run.node_crashes),
+        static_cast<unsigned long long>(run.node_restarts),
+        static_cast<unsigned long long>(run.windows_degraded),
+        static_cast<unsigned long long>(run.deliveries_lost),
+        static_cast<unsigned long long>(run.retransmits),
+        static_cast<unsigned long long>(run.retx_abandoned),
+        static_cast<unsigned long long>(run.dup_discards),
+        static_cast<unsigned long long>(run.acks_sent),
+        static_cast<unsigned long long>(run.acks_received), run.goodput);
+  }
+  if (!run.stats.failure.empty()) {
+    sig += "|failure:" + run.stats.failure;
+  }
+  return sig;
 }
 
 std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
@@ -449,6 +924,38 @@ std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
   for (size_t i = 0; i < cells.size(); ++i) {
     const ScaleCell& cell = cells[i];
     const ScaleRun& r = cell.run;
+    // The failure-model block renders only for armed plans: fault-free
+    // cells keep the exact pre-failure-model byte layout.
+    std::string fault_block;
+    if (r.fault_model) {
+      fault_block = StrFormat(
+          "     \"failure_model\": {\"node_crashes\": %llu, "
+          "\"node_restarts\": %llu, \"windows_degraded\": %llu, "
+          "\"deliveries_lost\": %llu, \"retransmits\": %llu, "
+          "\"retx_abandoned\": %llu, \"dup_discards\": %llu, "
+          "\"acks_sent\": %llu, \"acks_received\": %llu, "
+          "\"crash_inflight_dropped\": %llu, \"chat_messages_lost\": %llu, "
+          "\"goodput\": %.4f,\n"
+          "      \"fabric_drops\": {\"loss\": %llu, \"partition\": %llu, "
+          "\"crashed\": %llu, \"lane_overflow\": %llu, "
+          "\"duplicated\": %llu}},\n",
+          static_cast<unsigned long long>(r.node_crashes),
+          static_cast<unsigned long long>(r.node_restarts),
+          static_cast<unsigned long long>(r.windows_degraded),
+          static_cast<unsigned long long>(r.deliveries_lost),
+          static_cast<unsigned long long>(r.retransmits),
+          static_cast<unsigned long long>(r.retx_abandoned),
+          static_cast<unsigned long long>(r.dup_discards),
+          static_cast<unsigned long long>(r.acks_sent),
+          static_cast<unsigned long long>(r.acks_received),
+          static_cast<unsigned long long>(r.crash_inflight_dropped),
+          static_cast<unsigned long long>(r.chat_messages_lost), r.goodput,
+          static_cast<unsigned long long>(r.fabric.dropped_loss),
+          static_cast<unsigned long long>(r.fabric.dropped_partition),
+          static_cast<unsigned long long>(r.fabric.dropped_crashed),
+          static_cast<unsigned long long>(r.fabric.dropped_lane_overflow),
+          static_cast<unsigned long long>(r.fabric.duplicated));
+    }
     out += StrFormat(
         "    {\"kernel\": \"%s\", \"scheduler\": \"%s\", \"rooms\": %llu, "
         "\"connections\": %llu,\n"
@@ -459,6 +966,7 @@ std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
         "     \"federation\": {\"beacons_sent\": %llu, \"beacons_received\": %llu, "
         "\"inbox_overflows\": %llu, \"late_writes\": %llu, "
         "\"fabric_routed\": %llu, \"fabric_dropped_closed\": %llu},\n"
+        "%s"
         "     \"memory\": {\"peak_live_tasks\": %llu, \"peak_live_nodes\": %llu, "
         "\"peak_task_arena_bytes\": %llu, \"peak_live_sockets\": %llu, "
         "\"total_task_arena_bytes\": %llu, \"total_arena_chunks\": %llu},\n"
@@ -479,6 +987,7 @@ std::string RenderScaleJson(const std::vector<ScaleCell>& cells, uint64_t seed,
         static_cast<unsigned long long>(r.late_writes),
         static_cast<unsigned long long>(r.fabric.routed),
         static_cast<unsigned long long>(r.fabric.dropped_closed),
+        fault_block.c_str(),
         static_cast<unsigned long long>(r.peak_live_tasks),
         static_cast<unsigned long long>(r.peak_live_nodes),
         static_cast<unsigned long long>(r.peak_task_arena_bytes),

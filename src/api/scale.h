@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "src/api/simulation.h"
+#include "src/net/backoff.h"
 #include "src/sim/fabric.h"
 
 namespace elsc {
@@ -76,6 +77,31 @@ struct ScaleConfig {
   // failed (the sharded analog of RunVolano's deadline).
   Cycles deadline = SecToCycles(3600);
 
+  // -- Failure model (docs/SCALE.md "Failure model"). Default-disabled: a
+  //    fault-free config runs the exact pre-failure-model code paths
+  //    (fire-and-forget beacons, no acks) and keeps byte-identical digests.
+  FederationFaultPlan faults;
+  // Recovery protocol, armed only when faults.Enabled(): beacons carry
+  // per-link sequence numbers, receivers return cumulative acks, and — when
+  // `retransmit` is true — unacked beacons are retransmitted on gossip wakes
+  // under `retransmit_backoff`. retransmit = false is the no-retransmit
+  // control column of bench/federation_chaos.
+  bool retransmit = true;
+  BackoffPolicy retransmit_backoff;
+  size_t retransmit_buffer = 128;  // Unacked beacons retained per node.
+  // A receiver seeing a sequence gap wider than this (or a full reorder
+  // buffer) jumps past the gap: the skipped beacons are the protocol's
+  // deliveries_lost.
+  size_t recovery_gap_span = 32;
+  // Per-source fabric lane bound (0 = unbounded): a partitioned destination
+  // cannot grow fabric memory without bound, overflow is a counted drop.
+  size_t fabric_lane_capacity = 0;
+  // Per-window wall-clock watchdog armed on every shard thread (and the
+  // serial loop): 0 = take ELSC_CELL_TIMEOUT_MS from the environment (unset
+  // = off), negative = force off. A stuck federation folds into a
+  // completed=false run instead of hanging the process.
+  double window_wall_budget_sec = 0.0;
+
   int nodes() const {
     return rooms_per_node > 0 ? (rooms + rooms_per_node - 1) / rooms_per_node : rooms;
   }
@@ -101,11 +127,33 @@ struct ScaleRun {
   double throughput = 0.0;   // Deliveries per simulated second, aggregate.
 
   // Federation traffic.
-  uint64_t beacons_sent = 0;
-  uint64_t beacons_received = 0;
+  uint64_t beacons_sent = 0;      // Unique beacons (retransmits not counted).
+  uint64_t beacons_received = 0;  // Unique beacons processed by receivers.
   uint64_t inbox_overflows = 0;  // Deliveries refused by a full inbox.
   uint64_t late_writes = 0;      // Deliveries landing on a closed inbox.
   FabricStats fabric;
+
+  // -- Availability accounting (failure model; all zero fault-free).
+  bool fault_model = false;       // config.faults.Enabled() — gates the
+                                  // fault blocks in digest/signature/JSON.
+  uint64_t node_crashes = 0;
+  uint64_t node_restarts = 0;
+  uint64_t windows_degraded = 0;  // Barriers with >= 1 node down.
+  uint64_t deliveries_lost = 0;   // Beacons emitted but never processed.
+  uint64_t retransmits = 0;       // Beacon re-emissions by the protocol.
+  uint64_t retx_abandoned = 0;    // Unacked beacons given up on (retries
+                                  // exhausted or buffer overflow).
+  uint64_t dup_discards = 0;      // Received beacons discarded as duplicates.
+  uint64_t acks_sent = 0;
+  uint64_t acks_received = 0;
+  uint64_t crash_inflight_dropped = 0;  // Fabric deliveries destroyed with a
+                                        // crashing node (inbox + scheduled).
+  uint64_t chat_messages_lost = 0;  // Partial-room chat work a crash threw
+                                    // away (re-run after restart).
+  // Deliveries per simulated second of total federation runtime (windows x
+  // window), downtime and re-run windows included — the goodput-under-faults
+  // metric. Equals throughput's denominator-free sibling fault-free.
+  double goodput = 0.0;
 
   // Folded per-node stats (MergeRunStats: counters summed, peaks summed —
   // the total-footprint bound; see the concurrent peaks below for true

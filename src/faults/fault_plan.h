@@ -120,6 +120,129 @@ struct FaultStats {
   uint64_t reconnect_storms = 0;   // Mass-reset storms launched.
 };
 
+// ---------------------------------------------------------------------------
+// Federation failure model (the sharded scale layer, src/api/scale.h).
+// ---------------------------------------------------------------------------
+//
+// Where FaultPlan perturbs one machine from the inside, FederationFaultPlan
+// describes cluster-level hostility: node crashes/restarts, inter-node link
+// partitions, and fabric message loss/duplication. Every decision below is a
+// pure function of (seed, structural key) — node index for crash schedules,
+// (src, dst) for partitions, (src, dst, seq) for per-message chaos — never
+// of shard assignment, thread timing, or delivery history. Injection is
+// therefore bit-identical at any shard count and any ELSC_BENCH_JOBS, the
+// same discipline the in-machine injectors get from their private RNG.
+
+// splitmix64 finalizer (same public-domain constants as Rng's seeding mix
+// and BackoffMix64); duplicated so this header stays dependency-free.
+inline uint64_t FedMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct FederationFaultPlan {
+  uint64_t seed = 1;
+
+  // -- Node crashes: with probability node_crash_rate, node i crashes at
+  //    window  crash_window_min + h % crash_window_span  and stays down for
+  //    down_windows_min + h' % down_windows_span  windows before the
+  //    coordinator rebuilds it (derived seed, unfinished rooms only).
+  double node_crash_rate = 0.0;
+  uint64_t crash_window_min = 2;
+  uint64_t crash_window_span = 16;
+  uint64_t down_windows_min = 2;
+  uint64_t down_windows_span = 4;
+
+  // -- Directed link partitions: with probability link_partition_rate the
+  //    (src, dst) link drops every message drained during windows
+  //    [start, start + duration).
+  double link_partition_rate = 0.0;
+  uint64_t partition_window_min = 1;
+  uint64_t partition_window_span = 12;
+  uint64_t partition_duration_min = 2;
+  uint64_t partition_duration_span = 6;
+
+  // -- Per-message fabric chaos, keyed by (src, dst, seq): independent drop
+  //    and duplicate coin flips on every drained message.
+  double loss_rate = 0.0;
+  double dup_rate = 0.0;
+
+  bool Enabled() const {
+    return node_crash_rate > 0.0 || link_partition_rate > 0.0 ||
+           loss_rate > 0.0 || dup_rate > 0.0;
+  }
+
+  // Uniform [0,1) from a hash — 53 mantissa bits, standard conversion.
+  static double U01(uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  uint64_t NodeKey(int node, uint64_t salt) const {
+    return FedMix64(seed ^ FedMix64(static_cast<uint64_t>(node) * 0x9e3779b97f4a7c15ull + salt));
+  }
+  uint64_t LinkKey(int src, int dst, uint64_t salt) const {
+    return FedMix64(seed ^ FedMix64((static_cast<uint64_t>(src) << 32) ^
+                                    static_cast<uint64_t>(dst) ^ salt));
+  }
+
+  bool NodeCrashes(int node) const {
+    return node_crash_rate > 0.0 && U01(NodeKey(node, 0x11)) < node_crash_rate;
+  }
+  // Window index (1-based, matching the coordinator's loop) of the crash.
+  uint64_t CrashWindow(int node) const {
+    const uint64_t span = crash_window_span == 0 ? 1 : crash_window_span;
+    uint64_t w = crash_window_min + NodeKey(node, 0x22) % span;
+    return w == 0 ? 1 : w;
+  }
+  uint64_t DownWindows(int node) const {
+    const uint64_t span = down_windows_span == 0 ? 1 : down_windows_span;
+    const uint64_t d = down_windows_min + NodeKey(node, 0x33) % span;
+    return d == 0 ? 1 : d;
+  }
+  uint64_t RestartWindow(int node) const {
+    return CrashWindow(node) + DownWindows(node);
+  }
+
+  bool LinkPartitioned(int src, int dst, uint64_t window) const {
+    if (link_partition_rate <= 0.0) {
+      return false;
+    }
+    if (U01(LinkKey(src, dst, 0x44)) >= link_partition_rate) {
+      return false;
+    }
+    const uint64_t wspan = partition_window_span == 0 ? 1 : partition_window_span;
+    const uint64_t dspan = partition_duration_span == 0 ? 1 : partition_duration_span;
+    const uint64_t start = partition_window_min + LinkKey(src, dst, 0x55) % wspan;
+    const uint64_t duration =
+        partition_duration_min + LinkKey(src, dst, 0x66) % dspan;
+    return window >= start && window < start + duration;
+  }
+
+  bool DropMessage(int src, int dst, uint64_t seq) const {
+    return loss_rate > 0.0 &&
+           U01(FedMix64(LinkKey(src, dst, 0x77) ^ FedMix64(seq))) < loss_rate;
+  }
+  bool DuplicateMessage(int src, int dst, uint64_t seq) const {
+    return dup_rate > 0.0 &&
+           U01(FedMix64(LinkKey(src, dst, 0x88) ^ FedMix64(seq))) < dup_rate;
+  }
+};
+
+// Federation chaos at moderate intensity: roughly half the nodes crash once,
+// a quarter of the directed links partition for a few windows, and the
+// fabric drops 10% / duplicates 5% of drained messages.
+inline FederationFaultPlan FederationChaosPlan(uint64_t seed) {
+  FederationFaultPlan plan;
+  plan.seed = seed;
+  plan.node_crash_rate = 0.5;
+  plan.link_partition_rate = 0.25;
+  plan.loss_rate = 0.10;
+  plan.dup_rate = 0.05;
+  return plan;
+}
+
 // Connection-lifecycle chaos at moderate intensity: reset storms, half-open
 // peers, slow peers, and periodic mass reconnects. Kept separate from
 // FullChaosPlan — the golden chaos cells replay FullChaosPlan's exact event

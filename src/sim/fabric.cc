@@ -12,6 +12,7 @@ FabricRouter::FabricRouter(int nodes, Cycles window, Cycles latency)
                  "conservative rule: fabric latency must be >= the window");
   lanes_.resize(static_cast<size_t>(nodes));
   next_seq_.resize(static_cast<size_t>(nodes), 0);
+  lane_overflows_.resize(static_cast<size_t>(nodes), 0);
 }
 
 void FabricRouter::Emit(int src_node, int dst_node, Cycles sent_at,
@@ -25,13 +26,29 @@ void FabricRouter::Emit(int src_node, int dst_node, Cycles sent_at,
   msg.sent_at = sent_at;
   msg.seq = ++next_seq_[lane];
   msg.payload = payload;
+  if (lane_capacity_ > 0 && lanes_[lane].size() >= lane_capacity_) {
+    // Bounded lane full: counted drop, not unbounded growth. The seq was
+    // still consumed — the message existed, the fabric lost it.
+    ++lane_overflows_[lane];
+    return;
+  }
   lanes_[lane].push_back(msg);
 }
 
 void FabricRouter::Exchange(Cycles barrier_time, const Sink& sink) {
   ++stats_.exchanges;
+  // Barriers sit at exact window multiples, so this names the window whose
+  // emissions are being drained — the key the partition schedule uses.
+  const uint64_t window_index = static_cast<uint64_t>(barrier_time / window_);
   uint64_t drained = 0;
-  for (auto& lane : lanes_) {
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    auto& lane = lanes_[l];
+    // Lane-overflow drops happened during the window (single-writer, like
+    // the lane itself); fold them into the shared stats here on the
+    // coordinator thread.
+    stats_.emitted += lane_overflows_[l];
+    stats_.dropped_lane_overflow += lane_overflows_[l];
+    lane_overflows_[l] = 0;
     drained += lane.size();
     for (const FabricMessage& msg : lane) {
       ++stats_.emitted;
@@ -49,10 +66,37 @@ void FabricRouter::Exchange(Cycles barrier_time, const Sink& sink) {
                      "fabric message emitted after the barrier it drains at");
       ELSC_CHECK_MSG(arrival > barrier_time,
                      "conservative window rule violated: arrival not after barrier");
-      if (sink(msg, arrival) == Delivery::kDelivered) {
-        ++stats_.routed;
-      } else {
-        ++stats_.refused;
+      // Failure model (armed plans only): partition, then loss — both pure
+      // functions of (plan, src, dst, seq/window), decided here on the
+      // coordinator thread so shard assignment can never influence them.
+      if (plan_ != nullptr &&
+          plan_->LinkPartitioned(msg.src_node, msg.dst_node, window_index)) {
+        ++stats_.dropped_partition;
+        continue;
+      }
+      if (plan_ != nullptr &&
+          plan_->DropMessage(msg.src_node, msg.dst_node, msg.seq)) {
+        ++stats_.dropped_loss;
+        continue;
+      }
+      switch (sink(msg, arrival)) {
+        case Delivery::kDelivered:
+          ++stats_.routed;
+          break;
+        case Delivery::kDown:
+          ++stats_.dropped_crashed;
+          break;
+        case Delivery::kRefused:
+          ++stats_.refused;
+          break;
+      }
+      // Duplication delivers a second copy at the same arrival; it counts
+      // only in `duplicated` so emitted = routed + refused + dropped_* stays
+      // an exact conservation law over unique messages.
+      if (plan_ != nullptr &&
+          plan_->DuplicateMessage(msg.src_node, msg.dst_node, msg.seq)) {
+        ++stats_.duplicated;
+        sink(msg, arrival);
       }
     }
     lane.clear();

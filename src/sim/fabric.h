@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "src/base/time_units.h"
+#include "src/faults/fault_plan.h"
 #include "src/net/socket.h"
 
 namespace elsc {
@@ -55,6 +56,18 @@ struct FabricStats {
   uint64_t dropped_closed = 0;  // Drained after Close(): never delivered.
   uint64_t exchanges = 0;       // Barrier drains performed.
   uint64_t max_window_backlog = 0;  // Deepest single-window total drain.
+  // Failure-model causes (all zero unless a FederationFaultPlan is armed /
+  // a lane capacity is set — fault-free runs keep these out of digests).
+  uint64_t dropped_loss = 0;          // Random per-message fabric loss.
+  uint64_t dropped_partition = 0;     // Drained while the link was partitioned.
+  uint64_t dropped_crashed = 0;       // Destination node was down (sink kDown).
+  uint64_t dropped_lane_overflow = 0;  // Emitted into a full bounded lane.
+  uint64_t duplicated = 0;            // Extra deliveries from duplication.
+
+  bool FaultCausesSeen() const {
+    return dropped_loss > 0 || dropped_partition > 0 || dropped_crashed > 0 ||
+           dropped_lane_overflow > 0 || duplicated > 0;
+  }
 };
 
 class FabricRouter {
@@ -62,6 +75,7 @@ class FabricRouter {
   enum class Delivery {
     kDelivered,  // Sink scheduled the arrival.
     kRefused,    // Destination no longer accepts traffic.
+    kDown,       // Destination node is crashed: counted dropped_crashed.
   };
   // Invoked once per message, on the coordinator thread, in deterministic
   // order; schedules the payload's arrival at `arrival` on the destination.
@@ -89,6 +103,19 @@ class FabricRouter {
   void Close() { closed_ = true; }
   bool closed() const { return closed_; }
 
+  // Arms the federation failure model: Exchange() consults `plan` on the
+  // coordinator thread for per-link partitions and per-message loss and
+  // duplication, all keyed by (src, dst, seq) — injection is a pure function
+  // of the plan, never of shard assignment. Pass nullptr to disarm. The plan
+  // must outlive the router.
+  void ArmFaults(const FederationFaultPlan* plan) { plan_ = plan; }
+
+  // Bounds every per-source lane to `capacity` queued messages (0 =
+  // unbounded, the default). An Emit() into a full lane is a counted drop
+  // (dropped_lane_overflow), not unbounded growth — a partitioned or crashed
+  // destination cannot OOM the fabric.
+  void SetLaneCapacity(size_t capacity) { lane_capacity_ = capacity; }
+
   int nodes() const { return static_cast<int>(lanes_.size()); }
   Cycles window() const { return window_; }
   Cycles latency() const { return latency_; }
@@ -98,9 +125,14 @@ class FabricRouter {
   Cycles window_;
   Cycles latency_;
   bool closed_ = false;
+  size_t lane_capacity_ = 0;  // 0 = unbounded.
+  const FederationFaultPlan* plan_ = nullptr;
   // lanes_[i]: messages emitted by node i since the last Exchange.
   std::vector<std::vector<FabricMessage>> lanes_;
   std::vector<uint64_t> next_seq_;  // Per-source emission counters.
+  // Per-lane overflow counts (single-writer, like the lanes themselves);
+  // folded into stats_.dropped_lane_overflow at each Exchange.
+  std::vector<uint64_t> lane_overflows_;
   FabricStats stats_;
 };
 

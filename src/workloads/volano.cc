@@ -262,6 +262,7 @@ class VolanoClientReader : public VolanoThreadBase {
     ResetSpin();
     ++received_;
     ++workload_->messages_delivered_;
+    ++workload_->room_delivered_[static_cast<size_t>(conn.room)];
     if (msg.sender == user_) {
       // Our own message completed the round trip: let the writer proceed.
       // The token carries the message id so a churn-mode writer can tell a
@@ -596,6 +597,7 @@ void VolanoWorkload::Setup() {
   start_barrier_ = std::make_unique<WaitQueue>("volano.start");
 
   const int total_users = config_.rooms * config_.users_per_room;
+  room_delivered_.assign(static_cast<size_t>(config_.rooms), 0);
   rooms_.reserve(static_cast<size_t>(config_.rooms));
   for (int room = 0; room < config_.rooms; ++room) {
     auto state = std::make_unique<RoomState>();

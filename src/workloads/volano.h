@@ -153,6 +153,25 @@ class VolanoWorkload {
   uint64_t messages_delivered() const { return messages_delivered_; }
   const VolanoConfig& config() const { return config_; }
 
+  // Per-room delivery progress, for embedders that must account work at
+  // room granularity — the sharded runner's crash/restart path banks the
+  // finished rooms of a dead node and re-runs only the unfinished ones.
+  uint64_t RoomDelivered(int room) const {
+    return room_delivered_[static_cast<size_t>(room)];
+  }
+  bool RoomComplete(int room) const {
+    return RoomDelivered(room) == static_cast<uint64_t>(config_.users_per_room) *
+                                      config_.users_per_room *
+                                      config_.messages_per_user;
+  }
+  int CompletedRooms() const {
+    int done = 0;
+    for (int r = 0; r < config_.rooms; ++r) {
+      done += RoomComplete(r) ? 1 : 0;
+    }
+    return done;
+  }
+
   // True once the chat protocol itself has finished (all deliveries in the
   // classic closed loop; every writer done in churn mode) even if threads
   // are still draining to exit. The sharded runner (src/api/scale.h) keys
@@ -237,6 +256,7 @@ class VolanoWorkload {
   bool chat_started_ = false;
   uint64_t messages_sent_ = 0;
   uint64_t messages_delivered_ = 0;
+  std::vector<uint64_t> room_delivered_;  // Deliveries landed, per room.
   uint64_t next_message_id_ = 1;
   // Churn-mode progress and resilience counters.
   uint64_t done_writers_ = 0;
