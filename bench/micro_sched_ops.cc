@@ -21,6 +21,7 @@
 #include "src/kernel/task.h"
 #include "src/sched/cost_model.h"
 #include "src/sched/factory.h"
+#include "src/sched/goodness.h"
 #include "tests/sched_test_util.h"
 
 namespace elsc {
@@ -134,6 +135,77 @@ void BM_TableSearchBitmap(benchmark::State& state) {
 }
 
 // ---------------------------------------------------------------------------
+// The O(1) pick primitive against the scans it replaces. Three ways to answer
+// "which runnable task runs next?" at queue depth N:
+//  * goodness scan — the stock O(n) walk, one Goodness() per runnable task;
+//  * ELSC table search — find the highest populated list (BM_TableSearch*);
+//  * O(1) pick — find-first-set on a 140-entry priority bitmap, plus the
+//    constant-time active/expired array swap when the epoch turns over.
+// The O(1) loop below runs the full steady-state cycle (pick → expire the
+// level into the other array → swap when the active side drains), so its
+// flat line versus depth includes the swap, not just the ffs.
+// ---------------------------------------------------------------------------
+
+void BM_GoodnessScanPick(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  TaskFactory factory;
+  Rng rng(42);
+  std::vector<Task*> tasks;
+  tasks.reserve(static_cast<size_t>(depth));
+  for (int i = 0; i < depth; ++i) {
+    const long priority = static_cast<long>(1 + rng.NextBelow(40));
+    Task* t = factory.NewTask(static_cast<long>(1 + rng.NextBelow(2 * priority)), priority);
+    t->processor = static_cast<int>(rng.NextBelow(2));
+    tasks.push_back(t);
+  }
+  const MmStruct* mm = tasks.front()->mm;
+  for (auto _ : state) {
+    long best = kUnschedulableWeight;
+    Task* pick = nullptr;
+    for (Task* t : tasks) {
+      const long g = Goodness(*t, 0, mm, /*smp=*/true);
+      if (g > best) {
+        best = g;
+        pick = t;
+      }
+    }
+    benchmark::DoNotOptimize(pick);
+  }
+}
+
+void BM_O1BitmapPick(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr int kLevels = 140;
+  // Per-level task counts in two arrays, exactly the O(1) run queue's shape:
+  // depth tasks spread over the 40 SCHED_OTHER levels of the active array.
+  OccupancyBitmap bitmaps[2] = {OccupancyBitmap(kLevels), OccupancyBitmap(kLevels)};
+  int counts[2][kLevels] = {};
+  int active = 0;
+  Rng rng(42);
+  for (int i = 0; i < depth; ++i) {
+    const int prio = static_cast<int>(100 + rng.NextBelow(40));
+    ++counts[active][prio];
+    bitmaps[active].Set(prio);
+  }
+  for (auto _ : state) {
+    int prio = bitmaps[active].Lowest();
+    if (prio < 0) {
+      active ^= 1;  // Epoch turnover: the arrays swap in O(1).
+      prio = bitmaps[active].Lowest();
+    }
+    benchmark::DoNotOptimize(prio);
+    // Expire the picked task into the other array to keep the cycle going.
+    if (--counts[active][prio] == 0) {
+      bitmaps[active].Clear(prio);
+    }
+    const int other = active ^ 1;
+    if (counts[other][prio]++ == 0) {
+      bitmaps[other].Set(prio);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Task allocation: the slab arena (what the Machine uses) versus a fresh heap
 // allocation per task (what it used before). The churn pattern mirrors a
 // fork/exit-heavy workload: allocate a batch, release it, repeat — the arena
@@ -180,9 +252,14 @@ BENCHMARK(BM_TaskAllocArena);
 BENCHMARK_CAPTURE(BM_Schedule, linux, SchedulerKind::kLinux)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_Schedule, elsc, SchedulerKind::kElsc)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_Schedule, heap, SchedulerKind::kHeap)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_Schedule, o1, SchedulerKind::kO1)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_AddDel, linux, SchedulerKind::kLinux)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_AddDel, elsc, SchedulerKind::kElsc)->RangeMultiplier(4)->Range(8, 2048);
 BENCHMARK_CAPTURE(BM_AddDel, heap, SchedulerKind::kHeap)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK_CAPTURE(BM_AddDel, o1, SchedulerKind::kO1)->RangeMultiplier(4)->Range(8, 2048);
+
+BENCHMARK(BM_GoodnessScanPick)->RangeMultiplier(4)->Range(8, 2048);
+BENCHMARK(BM_O1BitmapPick)->RangeMultiplier(4)->Range(8, 2048);
 
 }  // namespace
 }  // namespace elsc

@@ -24,7 +24,7 @@ baseline="bench/baselines/BENCH_perf_smoke.json"
 
 echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
-cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep scale_sweep federation_chaos
+cmake --build build -j "${jobs}" --target perf_smoke micro_sched_ops overload_sweep scale_sweep federation_chaos o1_scaling
 
 echo "=== perf_smoke (${churn_events} churn events, ${rooms} rooms) ==="
 (cd build && ./bench/perf_smoke "${churn_events}" "${rooms}")
@@ -76,9 +76,20 @@ fed_env="ELSC_FED_ROOMS=4 ELSC_FED_USERS=4 ELSC_FED_MSGS=8 ELSC_FED_CRASH=0,100 
   cmp BENCH_federation_chaos.jobs1.json BENCH_federation_chaos.json &&
   echo "federation chaos JSON identical at shards 1 vs 4 and jobs 1 vs 4")
 
-echo "=== micro_sched_ops (table search + task alloc + schedule/add-del) ==="
+echo "=== o1_scaling smoke (per-CPU lock model; JSON must be job-count invariant) ==="
+# A reduced CPU sweep run at harness jobs 1 vs 4. With the timing block off,
+# the JSON is pure simulated data, so the two files must be byte-identical.
+o1_env="ELSC_O1_CPUS=1,4,16 ELSC_O1_ROOMS=2 ELSC_O1_TIMING=0"
+(cd build &&
+  env ${o1_env} ELSC_BENCH_JOBS=1 ./bench/o1_scaling >/dev/null &&
+  mv BENCH_o1_scaling.json BENCH_o1_scaling.jobs1.json &&
+  env ${o1_env} ELSC_BENCH_JOBS=4 ./bench/o1_scaling >/dev/null &&
+  cmp BENCH_o1_scaling.jobs1.json BENCH_o1_scaling.json &&
+  echo "o1 scaling JSON identical at jobs 1 vs 4")
+
+echo "=== micro_sched_ops (table search + task alloc + schedule/add-del + o1 pick) ==="
 ./build/bench/micro_sched_ops --benchmark_min_time=0.05 2>/dev/null |
-  grep -E "BM_TableSearch|BM_TaskAlloc|BM_Schedule" || true
+  grep -E "BM_TableSearch|BM_TaskAlloc|BM_Schedule|BM_GoodnessScanPick|BM_O1BitmapPick" || true
 
 json_field() {
   # json_field <file> <key>: extracts a bare numeric field from the flat JSON

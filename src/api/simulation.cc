@@ -291,6 +291,14 @@ std::string EncodeRunStats(const RunStats& stats) {
   AppendU64(&out, s.yield_reruns);
   AppendU64(&out, s.wakeups);
   AppendU64(&out, s.preemption_ipis);
+  AppendU64(&out, s.percpu_lock_acquisitions);
+  AppendU64(&out, s.percpu_lock_contended);
+  AppendU64(&out, s.percpu_lock_hold_cycles);
+  AppendU64(&out, s.percpu_lock_wait_cycles);
+  AppendU64(&out, s.double_locks);
+  AppendU64(&out, s.load_balance_calls);
+  AppendU64(&out, s.pull_migrations);
+  AppendU64(&out, s.array_swaps);
   const MachineStats& m = stats.machine;
   AppendU64(&out, m.ticks);
   AppendU64(&out, m.context_switches);
@@ -359,6 +367,10 @@ bool DecodeRunStats(const std::string& payload, RunStats* stats) {
       r.U64(&s.recalc_tasks_touched) && r.U64(&s.picks_new_processor) &&
       r.U64(&s.picks_prev) && r.U64(&s.picks_no_affinity) &&
       r.U64(&s.yield_reruns) && r.U64(&s.wakeups) && r.U64(&s.preemption_ipis) &&
+      r.U64(&s.percpu_lock_acquisitions) && r.U64(&s.percpu_lock_contended) &&
+      r.U64(&s.percpu_lock_hold_cycles) && r.U64(&s.percpu_lock_wait_cycles) &&
+      r.U64(&s.double_locks) && r.U64(&s.load_balance_calls) &&
+      r.U64(&s.pull_migrations) && r.U64(&s.array_swaps) &&
       r.U64(&m.ticks) && r.U64(&m.context_switches) && r.U64(&m.migrations) &&
       r.U64(&m.wakeups) && r.U64(&m.tasks_created) && r.U64(&m.tasks_exited) &&
       r.U64(&m.quantum_expiries) && r.U64(&m.preempt_requests) &&
@@ -403,6 +415,14 @@ void MergeRunStats(RunStats* into, const RunStats& from) {
   s.yield_reruns += fs.yield_reruns;
   s.wakeups += fs.wakeups;
   s.preemption_ipis += fs.preemption_ipis;
+  s.percpu_lock_acquisitions += fs.percpu_lock_acquisitions;
+  s.percpu_lock_contended += fs.percpu_lock_contended;
+  s.percpu_lock_hold_cycles += fs.percpu_lock_hold_cycles;
+  s.percpu_lock_wait_cycles += fs.percpu_lock_wait_cycles;
+  s.double_locks += fs.double_locks;
+  s.load_balance_calls += fs.load_balance_calls;
+  s.pull_migrations += fs.pull_migrations;
+  s.array_swaps += fs.array_swaps;
   MachineStats& m = into->machine;
   const MachineStats& fm = from.machine;
   m.ticks += fm.ticks;

@@ -4,6 +4,7 @@
 #include "src/base/string_util.h"
 #include "src/kernel/policy.h"
 #include "src/sched/elsc_scheduler.h"
+#include "src/sched/o1_scheduler.h"
 
 namespace elsc {
 
@@ -51,6 +52,7 @@ void SchedulerAuditor::AuditTick() {
   AuditCounters();
   AuditStructure();
   AuditElscTable();
+  AuditO1Queues();
   if (config_.starvation_threshold > 0) {
     CheckStarvation();
   }
@@ -132,6 +134,30 @@ void SchedulerAuditor::AuditElscTable() {
       const Task* t = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
       if (table.IndexFor(*t) != i) {
         ++stats_.table_violations;
+      }
+    }
+  }
+}
+
+void SchedulerAuditor::AuditO1Queues() {
+  const auto* o1 = dynamic_cast<const O1Scheduler*>(&machine_.scheduler());
+  if (o1 == nullptr) {
+    return;
+  }
+  // Shadow re-derivation of the per-CPU prio_array filing: every resident
+  // task must sit in the priority list its policy/priority map to. Executing
+  // tasks are exempt — a priority change while running is re-filed lazily at
+  // the task's next schedule() (see O1Scheduler::Schedule).
+  for (int cpu = 0; cpu < machine_.num_cpus(); ++cpu) {
+    for (int slot = 0; slot < O1Scheduler::kNumArrays; ++slot) {
+      for (int prio = 0; prio < O1Scheduler::kPrioLevels; ++prio) {
+        const ListHead* head = o1->ListAt(cpu, slot, prio);
+        for (const ListHead* node = head->next; node != head; node = node->next) {
+          const Task* t = ListEntry<Task, &Task::run_list>(const_cast<ListHead*>(node));
+          if (t->has_cpu == 0 && O1Scheduler::PrioIndexOf(*t) != prio) {
+            ++stats_.table_violations;
+          }
+        }
       }
     }
   }

@@ -11,8 +11,10 @@
 //  * structure — the scheduler's own CheckInvariants() sweep (list linkage,
 //    per-list size counters, heap property, ELSC top/next_top freshness),
 //    run under a ViolationTrap so a corrupt structure is counted, not fatal.
-//  * table (ELSC only) — every resident task actually belongs in the list it
-//    is filed under (IndexFor(task) == its cached run_list_index).
+//  * table (ELSC and O(1)) — every resident task actually belongs in the
+//    list it is filed under (ELSC: IndexFor(task) == its cached
+//    run_list_index; O(1): PrioIndexOf(task) == the priority list holding
+//    it, executing tasks exempt until their lazy re-file).
 //  * ordering — on every schedule() pick (via the Machine's pick observer):
 //    a picked SCHED_OTHER task has quantum left; on global-runqueue
 //    schedulers the pick respects real-time supremacy and the CPU never
@@ -66,7 +68,7 @@ struct AuditStats {
   uint64_t conservation_violations = 0;
   uint64_t counter_violations = 0;
   uint64_t structure_violations = 0;
-  uint64_t table_violations = 0;  // ELSC list-index freshness.
+  uint64_t table_violations = 0;  // ELSC/O(1) list-index freshness.
   uint64_t ordering_violations = 0;
   uint64_t starvation_reports = 0;
   uint64_t livelock_reports = 0;
@@ -108,6 +110,7 @@ class SchedulerAuditor {
   void AuditCounters();
   void AuditStructure();
   void AuditElscTable();
+  void AuditO1Queues();
   void CheckStarvation();
 
   void FailRun(std::string diagnosis);

@@ -12,6 +12,7 @@
 #define SRC_SCHED_COST_MODEL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/base/time_units.h"
 
@@ -87,11 +88,24 @@ class CostMeter {
   }
   void ChargeIndex() { cycles_ += model_->elsc_index; }
   void ChargeFinish() { cycles_ += model_->pick_finish; }
+  // A per-CPU-queue scheduler touched CPU `cpu`'s run-queue lock during this
+  // pick (migration double-lock). Charges the acquire cost and records the
+  // CPU so the Machine can model the mutual-exclusion window: after the pick
+  // returns, the Machine re-acquires the recorded locks in ascending CPU
+  // index (the documented double-lock order), waits out any that are still
+  // held by an in-flight pick, and extends their hold window to the end of
+  // this pick. Recording the same CPU twice is allowed (two probes of the
+  // same peer) — the Machine deduplicates.
+  void ChargeRemoteLock(int cpu) {
+    cycles_ += model_->lock_acquire;
+    remote_locks_.push_back(cpu);
+  }
 
   Cycles cycles() const { return cycles_; }
   uint64_t tasks_examined() const { return tasks_examined_; }
   uint64_t recalc_entries() const { return recalc_entries_; }
   uint64_t recalc_tasks() const { return recalc_tasks_; }
+  const std::vector<int>& remote_locks() const { return remote_locks_; }
 
  private:
   const CostModel* model_;
@@ -99,6 +113,9 @@ class CostMeter {
   uint64_t tasks_examined_ = 0;
   uint64_t recalc_entries_ = 0;
   uint64_t recalc_tasks_ = 0;
+  // CPUs whose run-queue lock the pick acquired remotely (empty for every
+  // global-lock scheduler and for picks that never migrate).
+  std::vector<int> remote_locks_;
 };
 
 }  // namespace elsc

@@ -4,6 +4,7 @@
 #include "src/sched/heap_scheduler.h"
 #include "src/sched/linux_scheduler.h"
 #include "src/sched/multiqueue_scheduler.h"
+#include "src/sched/o1_scheduler.h"
 
 namespace elsc {
 
@@ -20,7 +21,10 @@ SchedulerKind SchedulerKindFromName(const std::string& name) {
   if (name == "multiqueue" || name == "mq") {
     return SchedulerKind::kMultiQueue;
   }
-  ELSC_CHECK_MSG(false, "unknown scheduler name (expected linux|elsc|heap|multiqueue)");
+  if (name == "o1") {
+    return SchedulerKind::kO1;
+  }
+  ELSC_CHECK_MSG(false, "unknown scheduler name (expected linux|elsc|heap|multiqueue|o1)");
   __builtin_unreachable();
 }
 
@@ -34,13 +38,15 @@ const char* SchedulerKindName(SchedulerKind kind) {
       return "heap";
     case SchedulerKind::kMultiQueue:
       return "multiqueue";
+    case SchedulerKind::kO1:
+      return "o1";
   }
   return "?";
 }
 
 std::vector<SchedulerKind> AllSchedulerKinds() {
   return {SchedulerKind::kLinux, SchedulerKind::kElsc, SchedulerKind::kHeap,
-          SchedulerKind::kMultiQueue};
+          SchedulerKind::kMultiQueue, SchedulerKind::kO1};
 }
 
 std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, const CostModel& cost_model,
@@ -55,6 +61,8 @@ std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, const CostModel& co
       return std::make_unique<HeapScheduler>(cost_model, all_tasks, config);
     case SchedulerKind::kMultiQueue:
       return std::make_unique<MultiQueueScheduler>(cost_model, all_tasks, config);
+    case SchedulerKind::kO1:
+      return std::make_unique<O1Scheduler>(cost_model, all_tasks, config);
   }
   __builtin_unreachable();
 }

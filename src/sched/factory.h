@@ -18,9 +18,10 @@ enum class SchedulerKind {
   kElsc,        // The ELSC table scheduler.
   kHeap,        // The future-work heap alternative.
   kMultiQueue,  // The future-work per-CPU multi-queue alternative.
+  kO1,          // The Linux 2.6 O(1) scheduler (per-CPU active/expired arrays).
 };
 
-// Parses "linux"/"reg"/"stock", "elsc", "heap", "multiqueue"/"mq".
+// Parses "linux"/"reg"/"stock", "elsc", "heap", "multiqueue"/"mq", "o1".
 // Aborts on unknown names.
 SchedulerKind SchedulerKindFromName(const std::string& name);
 const char* SchedulerKindName(SchedulerKind kind);

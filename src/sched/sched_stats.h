@@ -27,6 +27,20 @@ struct SchedStats {
   uint64_t wakeups = 0;              // add_to_runqueue() via wake path.
   uint64_t preemption_ipis = 0;      // reschedule_idle() forced a running CPU.
 
+  // Per-CPU run-queue lock model (per-CPU-queue schedulers only; all zero
+  // under a global-lock scheduler). NOT part of RunStatsDigest — the digest
+  // format is pinned by the golden-stats suite; these travel through
+  // EncodeRunStats and the /proc-style report only.
+  uint64_t percpu_lock_acquisitions = 0;  // Own-CPU lock takes by picks.
+  uint64_t percpu_lock_contended = 0;     // Acquisitions that found it held.
+  Cycles percpu_lock_hold_cycles = 0;     // Total per-CPU lock hold time.
+  Cycles percpu_lock_wait_cycles = 0;     // Total spin time on per-CPU locks.
+  uint64_t double_locks = 0;              // Remote locks taken for migration.
+  // O(1) backend counters (zero for every other scheduler).
+  uint64_t load_balance_calls = 0;   // load_balance() invocations.
+  uint64_t pull_migrations = 0;      // Tasks pulled to another CPU's queue.
+  uint64_t array_swaps = 0;          // Active/expired array exchanges.
+
   double CyclesPerSchedule() const {
     return schedule_calls == 0
                ? 0.0

@@ -13,7 +13,10 @@
 //  * Schedule() must return the next task to run, or nullptr to schedule the
 //    CPU's idle task. It may return prev.
 //  * Schedule() charges its simulated cost to the CostMeter; the Machine
-//    turns that into simulated time and global run-queue-lock occupancy.
+//    turns that into simulated time and run-queue-lock occupancy — the one
+//    global runqueue_lock for global-lock schedulers, or this CPU's own lock
+//    (plus any remote locks reported via ChargeRemoteLock) for per-CPU-queue
+//    schedulers.
 
 #ifndef SRC_SCHED_SCHEDULER_H_
 #define SRC_SCHED_SCHEDULER_H_
@@ -51,9 +54,15 @@ class Scheduler {
   virtual const char* name() const = 0;
 
   // Whether this scheduler's schedule() path contends on the kernel's single
-  // global runqueue_lock (true for everything the paper measures). Designs
-  // with per-CPU queues return false and skip the Machine's lock
-  // serialization model.
+  // global runqueue_lock (true for everything the paper measures: linux,
+  // elsc, heap). Per-CPU-queue designs (multiqueue, o1) return false and use
+  // the Machine's *per-CPU* lock model instead: each pick holds only its own
+  // CPU's run-queue lock for the pick's duration, and a pick that migrates
+  // tasks reports each source CPU through CostMeter::ChargeRemoteLock — the
+  // Machine acquires those double-locks in ascending CPU index (the
+  // deadlock-avoidance order), charges any residual hold time of a remote
+  // holder to this pick, and accounts per-CPU hold/wait cycles in SchedStats
+  // (percpu_lock_*) and Machine::cpu_lock().
   virtual bool uses_global_lock() const { return true; }
 
   // ---- Run-queue manipulation (the four kernel functions, paper §5.1) ----

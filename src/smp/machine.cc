@@ -20,6 +20,7 @@ Machine::Machine(const MachineConfig& config)
                                config_.elsc);
   }
   cpus_.reserve(static_cast<size_t>(config_.num_cpus));
+  cpu_locks_.resize(static_cast<size_t>(config_.num_cpus));
   idle_cpus_.Reset(config_.num_cpus);
   for (int i = 0; i < config_.num_cpus; ++i) {
     auto cpu = std::make_unique<Cpu>();
@@ -116,12 +117,27 @@ void Machine::RequestSchedule(int cpu_id) {
   UpdateIdleMask(cpu_id);
   c.schedule_requested_at = Now();
   if (!scheduler_->uses_global_lock()) {
-    // Per-CPU-queue schedulers do not serialize on the global runqueue_lock.
-    DoSchedule(cpu_id);
+    // Per-CPU-queue schedulers serialize on their own CPU's run-queue lock
+    // instead of the global runqueue_lock.
+    AcquireCpuLock(cpu_id);
     return;
   }
   lock_waiters_.push_back(cpu_id);
   TryGrantLock();
+}
+
+void Machine::AcquireCpuLock(int cpu_id) {
+  CpuLockStats& lock = cpu_locks_[static_cast<size_t>(cpu_id)];
+  if (lock.held_until > Now()) {
+    // A migrating pick on another CPU holds this CPU's lock: spin until the
+    // holder's release time, then retry. The spin time lands in
+    // DoSchedule()'s lock_wait (Now() - schedule_requested_at).
+    ++lock.contended;
+    ++scheduler_->mutable_stats().percpu_lock_contended;
+    engine_.ScheduleAfter(lock.held_until - Now(), [this, cpu_id] { AcquireCpuLock(cpu_id); });
+    return;
+  }
+  DoSchedule(cpu_id);
 }
 
 void Machine::TryGrantLock() {
@@ -166,6 +182,59 @@ void Machine::DoSchedule(int cpu_id) {
     pick_cost += pending_lock_stall_;
     stats_.lock_stall_cycles += pending_lock_stall_;
     pending_lock_stall_ = 0;
+  }
+  if (!scheduler_->uses_global_lock()) {
+    SchedStats& ss = scheduler_->mutable_stats();
+    CpuLockStats& own = cpu_locks_[static_cast<size_t>(cpu_id)];
+    ++own.acquisitions;
+    own.wait_cycles += lock_wait;
+    ++ss.percpu_lock_acquisitions;
+    ss.percpu_lock_wait_cycles += lock_wait;
+
+    // Migration double-lock: the pick also took the source CPUs' locks,
+    // acquired in ascending CPU index (the deadlock-avoidance order every
+    // per-CPU-queue scheduler must follow). If a remote lock is still held
+    // by an in-flight pick, this pick spins for the residue — the wait is
+    // serial with the pick, so it lands in pick_cost.
+    if (!meter.remote_locks().empty()) {
+      std::vector<int> remotes = meter.remote_locks();
+      std::sort(remotes.begin(), remotes.end());
+      remotes.erase(std::unique(remotes.begin(), remotes.end()), remotes.end());
+      Cycles remote_wait = 0;
+      for (int r : remotes) {
+        ELSC_CHECK(r >= 0 && r < num_cpus() && r != cpu_id);
+        CpuLockStats& rl = cpu_locks_[static_cast<size_t>(r)];
+        ++rl.remote_acquisitions;
+        ++ss.double_locks;
+        if (rl.held_until > Now()) {
+          ++rl.contended;
+          ++ss.percpu_lock_contended;
+          const Cycles residue = rl.held_until - Now();
+          rl.wait_cycles += residue;
+          remote_wait = std::max(remote_wait, residue);
+        }
+      }
+      if (remote_wait > 0) {
+        pick_cost += remote_wait;
+        ss.lock_wait_cycles += remote_wait;
+        ss.percpu_lock_wait_cycles += remote_wait;
+      }
+      // Every remote lock stays held to the end of this pick.
+      const Cycles release_at = Now() + pick_cost;
+      for (int r : remotes) {
+        CpuLockStats& rl = cpu_locks_[static_cast<size_t>(r)];
+        const Cycles start = std::max(rl.held_until, Now());
+        if (release_at > start) {
+          rl.hold_cycles += release_at - start;
+          ss.percpu_lock_hold_cycles += release_at - start;
+          rl.held_until = release_at;
+        }
+      }
+    }
+    // Own lock held for the pick's duration.
+    own.held_until = Now() + pick_cost;
+    own.hold_cycles += pick_cost;
+    ss.percpu_lock_hold_cycles += pick_cost;
   }
   engine_.ScheduleAfter(pick_cost,
                         [this, cpu_id, next, pick_cost] { FinishSchedule(cpu_id, next, pick_cost); });
@@ -512,6 +581,17 @@ void Machine::RescheduleIdle(Task* woken) {
   if (idle_cpus_.Test(woken->processor)) {
     RequestSchedule(woken->processor);
     return;
+  }
+  if (!scheduler_->uses_global_lock()) {
+    Cpu& home = *cpus_[static_cast<size_t>(woken->processor)];
+    if (home.schedule_pending) {
+      // Per-CPU queues anchor this wake to the home CPU's run queue, and the
+      // pick in flight there predates the enqueue. Under the global lock any
+      // other CPU's next schedule() would still see the task; here nobody
+      // else is guaranteed to (an idle CPU's rescue pull skips depth-1
+      // queues), so the home CPU must re-run schedule() when its pick lands.
+      home.need_resched = true;
+    }
   }
   const int first_idle = idle_cpus_.Lowest();
   if (first_idle >= 0) {

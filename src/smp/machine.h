@@ -5,9 +5,15 @@
 // scheduler under test, and N simulated CPUs, and implements:
 //
 //  * the 10 ms timer tick (counter decrement, quantum expiry -> need_resched),
-//  * schedule() invocation with a global run-queue-lock serialization model
-//    (CPUs entering schedule() while another holds the lock wait in FIFO
-//    order — the 2.3.x kernel had exactly one runqueue_lock),
+//  * schedule() invocation with a run-queue-lock serialization model. Global-
+//    lock schedulers (uses_global_lock() == true) serialize on one
+//    runqueue_lock with FIFO waiters — the 2.3.x kernel had exactly one.
+//    Per-CPU-queue schedulers (uses_global_lock() == false) take only their
+//    own CPU's run-queue lock, so picks on different CPUs overlap freely;
+//    a pick that migrates tasks additionally acquires the source CPUs' locks
+//    (reported via CostMeter::ChargeRemoteLock, applied by the Machine in
+//    ascending CPU index — the double-lock order) and a CPU whose lock is
+//    held by a remote pick spins until the holder releases,
 //  * context-switch and cache-migration cost accounting,
 //  * wake_up_process() / reschedule_idle() preemption,
 //  * task lifecycle (create, block, yield, exit) driven by TaskBehaviors.
@@ -85,6 +91,20 @@ struct MachineStats {
   Cycles lock_stall_cycles = 0;    // Injected lock-holder preemption time.
 };
 
+// Per-CPU run-queue lock accounting (per-CPU-queue schedulers only; every
+// field stays zero under a global-lock scheduler). The lock is modeled as a
+// hold window in simulated time: a pick holds its own CPU's lock for the
+// pick's duration, and a migrating pick extends the hold window of every
+// remote lock it took to the end of the pick.
+struct CpuLockStats {
+  Cycles held_until = 0;        // Lock is held iff held_until > Now().
+  Cycles hold_cycles = 0;       // Total cycles this lock was held.
+  Cycles wait_cycles = 0;       // Cycles pickers spun waiting for this lock.
+  uint64_t acquisitions = 0;    // Own-CPU pick acquisitions.
+  uint64_t remote_acquisitions = 0;  // Acquisitions by migrating peers.
+  uint64_t contended = 0;       // Acquisitions that found the lock held.
+};
+
 struct TaskParams {
   std::string name;
   MmStruct* mm = nullptr;          // nullptr: give the task a fresh mm.
@@ -146,6 +166,10 @@ class Machine : public Waker {
   const Cpu& cpu(int index) const { return *cpus_[static_cast<size_t>(index)]; }
   int num_cpus() const { return config_.num_cpus; }
   size_t live_tasks() const { return live_tasks_; }
+  // Per-CPU run-queue lock accounting (all-zero for global-lock schedulers).
+  const CpuLockStats& cpu_lock(int index) const {
+    return cpu_locks_[static_cast<size_t>(index)];
+  }
 
   // Kernel-style load averages (exponentially-damped nr_running, sampled
   // every 5 simulated seconds). which: 0 = 1 min, 1 = 5 min, 2 = 15 min.
@@ -176,7 +200,8 @@ class Machine : public Waker {
   void InjectTickJitter(Cycles delta) { pending_tick_jitter_ += delta; }
   // The next schedule() pick on a global-lock scheduler holds the run-queue
   // lock `extra` cycles longer (lock-holder preemption spike). Ignored by
-  // per-CPU-queue schedulers, which never take the global lock.
+  // per-CPU-queue schedulers, which never take the global lock (their
+  // per-CPU hold windows are driven by pick cost alone).
   void AddLockHolderStall(Cycles extra) { pending_lock_stall_ += extra; }
   // Observer invoked synchronously after every scheduler pick (before the
   // pick is claimed), with the run queue in its post-pick state. Used by the
@@ -188,6 +213,9 @@ class Machine : public Waker {
   // ---- schedule() path ----
   void RequestSchedule(int cpu_id);
   void TryGrantLock();
+  // Per-CPU-queue path: runs the pick if cpu_id's own lock is free, else
+  // re-arms itself for the moment the current holder releases (spin model).
+  void AcquireCpuLock(int cpu_id);
   void DoSchedule(int cpu_id);
   void FinishSchedule(int cpu_id, Task* next, Cycles pick_cost);
   void Dispatch(int cpu_id, Task* next);
@@ -241,8 +269,12 @@ class Machine : public Waker {
   MachineStats stats_;
 
   // Global run-queue lock model: one holder at a time, FIFO waiters.
+  // Engaged only when scheduler_->uses_global_lock().
   bool lock_held_ = false;
   std::deque<int> lock_waiters_;
+  // Per-CPU run-queue lock model (the complementary path): one entry per
+  // CPU; engaged only when !scheduler_->uses_global_lock().
+  std::vector<CpuLockStats> cpu_locks_;
 
   // Pending injected faults (consumed by the timer / schedule paths).
   uint64_t pending_tick_drops_ = 0;

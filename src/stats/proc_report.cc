@@ -51,6 +51,34 @@ std::string RenderProcSchedStats(const Machine& machine) {
   out += StrFormat("task_arena_chunks:    %llu\n",
                    (unsigned long long)machine.task_arena_stats().chunks);
 
+  // Per-CPU run-queue lock block: only rendered for per-CPU-queue schedulers
+  // (the counters are identically zero under a global-lock scheduler, and
+  // gating keeps the classic report byte-for-byte what it always was).
+  if (s.percpu_lock_acquisitions > 0) {
+    out += StrFormat("percpu_lock_acq:      %llu\n",
+                     (unsigned long long)s.percpu_lock_acquisitions);
+    out += StrFormat("percpu_lock_contended: %llu\n",
+                     (unsigned long long)s.percpu_lock_contended);
+    out += StrFormat("percpu_lock_hold_cycles: %llu\n",
+                     (unsigned long long)s.percpu_lock_hold_cycles);
+    out += StrFormat("percpu_lock_wait_cycles: %llu\n",
+                     (unsigned long long)s.percpu_lock_wait_cycles);
+    out += StrFormat("double_locks:         %llu\n", (unsigned long long)s.double_locks);
+    out += StrFormat("load_balance_calls:   %llu\n",
+                     (unsigned long long)s.load_balance_calls);
+    out += StrFormat("pull_migrations:      %llu\n",
+                     (unsigned long long)s.pull_migrations);
+    out += StrFormat("array_swaps:          %llu\n", (unsigned long long)s.array_swaps);
+    for (int i = 0; i < machine.num_cpus(); ++i) {
+      const CpuLockStats& lock = machine.cpu_lock(i);
+      out += StrFormat(
+          "cpu%d lock: acq=%llu remote=%llu contended=%llu hold=%llu wait=%llu\n", i,
+          (unsigned long long)lock.acquisitions, (unsigned long long)lock.remote_acquisitions,
+          (unsigned long long)lock.contended, (unsigned long long)lock.hold_cycles,
+          (unsigned long long)lock.wait_cycles);
+    }
+  }
+
   // The trace ring overwrites its oldest records when full; surfacing the
   // drop count here means a report reader never mistakes a truncated trace
   // for the whole run.

@@ -27,7 +27,8 @@ class AccountingTest : public ::testing::TestWithParam<SchedulerKind> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, AccountingTest,
                          ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
-                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue,
+                                           SchedulerKind::kO1),
                          [](const auto& info) { return SchedulerKindName(info.param); });
 
 TEST_P(AccountingTest, CpuTimeConservedOnMixedLoad) {

@@ -37,7 +37,8 @@ TEST(SchedulerFactoryTest, NamesRoundTrip) {
   EXPECT_EQ(SchedulerKindFromName("heap"), SchedulerKind::kHeap);
   EXPECT_EQ(SchedulerKindFromName("multiqueue"), SchedulerKind::kMultiQueue);
   EXPECT_EQ(SchedulerKindFromName("mq"), SchedulerKind::kMultiQueue);
-  EXPECT_EQ(AllSchedulerKinds().size(), 4u);
+  EXPECT_EQ(SchedulerKindFromName("o1"), SchedulerKind::kO1);
+  EXPECT_EQ(AllSchedulerKinds().size(), 5u);
 }
 
 TEST(RunVolanoTest, SmokeRunReturnsConsistentStats) {

@@ -90,7 +90,7 @@ constexpr InjectorCase kInjectors[] = {
 
 constexpr SchedulerKind kAllSchedulers[] = {
     SchedulerKind::kLinux, SchedulerKind::kElsc, SchedulerKind::kHeap,
-    SchedulerKind::kMultiQueue};
+    SchedulerKind::kMultiQueue, SchedulerKind::kO1};
 
 class FaultInjectionTest : public ::testing::TestWithParam<SchedulerKind> {};
 

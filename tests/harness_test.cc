@@ -295,9 +295,9 @@ const std::vector<GoldenCell>& GoldenCells() {
        "34,0,96,0,0,0|events:7620,7528,90,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,0|"
        "failed:0|elapsed:0x1.38525d9ae5c9fp-4"},
       {GoldenKind::kVolano, KernelConfig::kSmp4, SchedulerKind::kMultiQueue, 14,
-       "sched:3912,37,5481810,0,8892,326,5262,197,361,197,0,1080,162|machine:6,3514,197,1046,34,"
-       "34,0,162,0,0,0|events:10218,10058,158,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,"
-       "0|failed:0|elapsed:0x1.1136b16cf4f5ep-4"},
+       "sched:4178,56,5663950,0,8800,337,5475,227,473,227,0,1138,171|machine:6,3649,227,1104,34,"
+       "34,0,171,0,0,0|events:10731,10479,250,0,5,5|faults:0,0,0,0,0,0,0,0|audit:0,0,0,0,0,0,0,0,"
+       "0|failed:0|elapsed:0x1.160e30446b69ep-4"},
       {GoldenKind::kChaos, KernelConfig::kSmp2, SchedulerKind::kLinux, 21,
        "sched:589,6,2290810,53970,7672,3,7,5,4,5,0,75,4|machine:8,579,5,43,32,32,0,4,0,0,200000|"
        "events:1460,1445,6,0,15,15|faults:1,3,0,0,12,4,0,1|audit:9,588,0,0,0,0,0,0,0|failed:0|"
@@ -311,8 +311,8 @@ const std::vector<GoldenCell>& GoldenCells() {
        "events:1369,1326,34,0,15,15|faults:2,4,0,0,18,4,0,1|audit:12,563,0,0,0,0,0,0,0|failed:0|"
        "elapsed:0x1.f30786dcfe734p-4"},
       {GoldenKind::kChaos, KernelConfig::kSmp2, SchedulerKind::kMultiQueue, 24,
-       "sched:592,2,1411330,0,4143,3,6,4,3,4,0,86,2|machine:7,587,4,54,32,32,0,2,1,0,0|events:"
-       "1424,1411,4,0,16,16|faults:2,3,0,0,12,4,0,1|audit:9,590,0,0,0,0,0,0,0|failed:0|elapsed:"
+       "sched:593,2,1413960,0,4151,3,6,4,4,4,0,86,2|machine:7,587,4,54,32,32,0,2,1,0,0|events:"
+       "1426,1412,5,0,16,16|faults:2,3,0,0,12,4,0,1|audit:9,591,0,0,0,0,0,0,0|failed:0|elapsed:"
        "0x1.734bde24e3e51p-4"},
   };
   return cells;

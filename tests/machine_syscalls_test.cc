@@ -43,7 +43,8 @@ class SchedulerParamTest : public ::testing::TestWithParam<SchedulerKind> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerParamTest,
                          ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
-                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue,
+                                           SchedulerKind::kO1),
                          [](const auto& info) { return SchedulerKindName(info.param); });
 
 TEST_P(SchedulerParamTest, ForkSplitsQuantum) {

@@ -36,7 +36,8 @@ class MachineTest : public ::testing::TestWithParam<SchedulerKind> {};
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, MachineTest,
                          ::testing::Values(SchedulerKind::kLinux, SchedulerKind::kElsc,
-                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue),
+                                           SchedulerKind::kHeap, SchedulerKind::kMultiQueue,
+                                           SchedulerKind::kO1),
                          [](const auto& info) { return SchedulerKindName(info.param); });
 
 TEST_P(MachineTest, SingleSpinnerRunsToCompletion) {
@@ -166,9 +167,16 @@ TEST_P(MachineTest, HigherGoodnessWakePreemptsRunningTask) {
   const uint64_t preemptions_before = hog_task->stats.preemptions;
   wq.WakeAll(machine);
   machine.RunFor(MsToCycles(5));
-  // The woken task (goodness ~40) preempts the nearly-exhausted hog.
-  EXPECT_GT(hog_task->stats.preemptions, preemptions_before);
-  EXPECT_EQ(waiter_task->stats.times_scheduled, 2u);
+  if (GetParam() == SchedulerKind::kO1) {
+    // O(1) wakeup preemption is by priority index alone (2.6 semantics):
+    // an equal-priority waker never preempts, however fresh its quantum.
+    EXPECT_EQ(hog_task->stats.preemptions, preemptions_before);
+    EXPECT_EQ(waiter_task->stats.times_scheduled, 1u);
+  } else {
+    // The woken task (goodness ~40) preempts the nearly-exhausted hog.
+    EXPECT_GT(hog_task->stats.preemptions, preemptions_before);
+    EXPECT_EQ(waiter_task->stats.times_scheduled, 2u);
+  }
 }
 
 TEST_P(MachineTest, IdleCpuAccumulatesIdleTime) {

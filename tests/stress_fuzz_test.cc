@@ -56,7 +56,8 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{SchedulerKind::kElsc, 1}, FuzzCase{SchedulerKind::kElsc, 2},
                       FuzzCase{SchedulerKind::kElsc, 3}, FuzzCase{SchedulerKind::kHeap, 1},
                       FuzzCase{SchedulerKind::kHeap, 2}, FuzzCase{SchedulerKind::kMultiQueue, 1},
-                      FuzzCase{SchedulerKind::kMultiQueue, 2}),
+                      FuzzCase{SchedulerKind::kMultiQueue, 2}, FuzzCase{SchedulerKind::kO1, 1},
+                      FuzzCase{SchedulerKind::kO1, 2}),
     [](const auto& info) {
       return std::string(SchedulerKindName(info.param.kind)) + "_seed" +
              std::to_string(info.param.seed);
