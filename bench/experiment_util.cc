@@ -7,6 +7,7 @@
 
 #include "src/base/string_util.h"
 #include "src/harness/journal.h"
+#include "src/harness/shutdown.h"
 #include "src/stats/proc_report.h"
 
 namespace elsc {
@@ -73,6 +74,15 @@ int BenchExit(int code) {
   const SupervisionStats& stats = GlobalSupervisionStats();
   if (stats.cells > 0) {
     std::printf("%s", RenderSupervisionReport(stats).c_str());
+  }
+  if (ShutdownRequested()) {
+    // SIGTERM/SIGINT: durable state (journal, checkpoint segments) was
+    // flushed on the way out. EX_TEMPFAIL tells the caller a rerun resumes.
+    std::fprintf(stderr,
+                 "elsc-bench: interrupted by SIGTERM/SIGINT — rerun to resume "
+                 "(exit %d)\n",
+                 kShutdownExitCode);
+    return kShutdownExitCode;
   }
   if (!stats.AllOk()) {
     std::fprintf(stderr,
@@ -240,6 +250,9 @@ void MaybeExportCsv(const std::string& name, const TextTable& table) {
 }
 
 void PrintBenchHeader(const std::string& experiment, const std::string& description) {
+  // Every bench main prints this first: graceful SIGTERM/SIGINT handling is
+  // armed process-wide here (idempotent).
+  InstallGracefulShutdown();
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
   std::printf("%s\n", description.c_str());

@@ -28,6 +28,10 @@
 //   ELSC_FED_MSGS     messages per user                (default 16)
 //   ELSC_FED_KERNEL   per-node machine: UP|1P|2P|4P    (default 1P)
 //   ELSC_FED_TIMING   0 -> omit the wall-clock timing block from the JSON
+//
+// The scale layer's checkpoint/restore knobs apply here too (cells run
+// through RunShardedVolano): ELSC_SCALE_CKPT / _EVERY / _KEEP and
+// ELSC_SCALE_INJECT_KILL; see docs/SCALE.md "Checkpoint & recovery".
 
 #include <chrono>
 #include <cstdint>

@@ -22,6 +22,14 @@
 //   ELSC_SCALE_MSGS     messages per user             (default 10)
 //   ELSC_SCALE_KERNEL   per-node machine: UP|1P|2P|4P (default 1P)
 //   ELSC_SCALE_TIMING   0 -> omit the wall-clock timing block from the JSON
+//
+// Checkpoint/restore (docs/SCALE.md "Checkpoint & recovery"): with
+// ELSC_SCALE_CKPT=<prefix> each cell writes checksummed segment files every
+// ELSC_SCALE_CKPT_EVERY windows (keeping ELSC_SCALE_CKPT_KEEP), and a
+// killed run resumes from the newest valid one to the identical JSON.
+// ELSC_SCALE_INJECT_KILL=<window> _Exit(137)s at that barrier for recovery
+// drills (scripts/ci_supervised.sh); SIGTERM/SIGINT exit 75 gracefully
+// after flushing a final segment.
 
 #include <chrono>
 #include <cstdint>

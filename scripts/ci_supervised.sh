@@ -20,7 +20,7 @@ rooms=2
 
 echo "=== build (build/) ==="
 cmake -B build -S . >/dev/null
-cmake --build build -j "${jobs}" --target perf_smoke
+cmake --build build -j "${jobs}" --target perf_smoke scale_sweep
 
 scratch="build/ci_supervised"
 rm -rf "${scratch}"
@@ -84,5 +84,61 @@ if [[ -z "${retries}" || "${retries}" -lt 1 ]]; then
   exit 1
 fi
 echo "  JSON supervision block reports ${retries} retry(ies)"
+
+echo "=== 3. kill-at-window recovery drill: checkpoint -> SIGKILL -> resume ==="
+# A real process kill mid-federation (ELSC_SCALE_INJECT_KILL fires _Exit(137)
+# at a window barrier, after a forced segment). The rerun must resume from
+# the segment and render BENCH_scale.json byte-identical to an uninterrupted
+# control — at both ends of the shard axis and the harness job axis.
+scale_env=(ELSC_SCALE_ROOMS=8 ELSC_SCALE_USERS=4 ELSC_SCALE_MSGS=4
+           ELSC_SCALE_SCHEDS=elsc ELSC_SCALE_TIMING=0)
+
+mkdir -p "${scratch}/scale_control"
+(cd "${scratch}/scale_control" &&
+ env "${scale_env[@]}" ELSC_SCALE_SHARDS=1,4 \
+ ../../bench/scale_sweep >stdout.log 2>stderr.log)
+
+# Every drill keeps the control's two-cell matrix (shard values never enter
+# the JSON, so the files stay comparable) while moving one execution axis.
+for drill in "shards1:1,1:1" "shards4:4,4:1" "jobs4:1,4:4"; do
+  name="${drill%%:*}"; rest="${drill#*:}"
+  shards="${rest%%:*}"; bench_jobs="${rest##*:}"
+  dir="${scratch}/scale_${name}"
+  mkdir -p "${dir}"
+
+  status=0
+  (cd "${dir}" &&
+   env "${scale_env[@]}" ELSC_SCALE_SHARDS="${shards}" \
+   ELSC_BENCH_JOBS="${bench_jobs}" \
+   ELSC_SCALE_CKPT=ck ELSC_SCALE_CKPT_EVERY=2 ELSC_SCALE_INJECT_KILL=3 \
+   ../../bench/scale_sweep >stdout_kill.log 2>stderr_kill.log) || status=$?
+  if [[ "${status}" -ne 137 ]]; then
+    echo "FAIL: ${name}: kill run exited ${status}, want 137 (injected kill)"
+    exit 1
+  fi
+  if ! ls "${dir}"/ck.*.ckpt >/dev/null 2>&1; then
+    echo "FAIL: ${name}: no checkpoint segment on disk after the kill"
+    exit 1
+  fi
+
+  (cd "${dir}" &&
+   env "${scale_env[@]}" ELSC_SCALE_SHARDS="${shards}" \
+   ELSC_BENCH_JOBS="${bench_jobs}" \
+   ELSC_SCALE_CKPT=ck ELSC_SCALE_CKPT_EVERY=2 \
+   ../../bench/scale_sweep >stdout_resume.log 2>stderr_resume.log)
+  if ! grep -q "elsc-scale: resumed from" "${dir}/stderr_resume.log"; then
+    echo "FAIL: ${name}: resume run never restored a segment"
+    exit 1
+  fi
+  if ! cmp -s "${dir}/BENCH_scale.json" "${scratch}/scale_control/BENCH_scale.json"; then
+    echo "FAIL: ${name}: resumed BENCH_scale.json differs from the control"
+    exit 1
+  fi
+  if ls "${dir}"/ck.*.ckpt >/dev/null 2>&1; then
+    echo "FAIL: ${name}: segments survived a clean completion"
+    exit 1
+  fi
+  echo "  ${name}: killed at window 3, resumed, JSON byte-identical, segments cleaned"
+done
 
 echo "supervised gate: green"

@@ -3,6 +3,7 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <map>
@@ -12,9 +13,12 @@
 #include <utility>
 
 #include "src/base/assert.h"
+#include "src/base/atomic_file.h"
 #include "src/base/string_util.h"
 #include "src/base/watchdog.h"
+#include "src/faults/kill_point.h"
 #include "src/harness/run_matrix.h"
+#include "src/harness/shutdown.h"
 #include "src/harness/thread_pool.h"
 #include "src/net/socket.h"
 #include "src/sched/factory.h"
@@ -71,6 +75,20 @@ class FederationTx : public TaskBehavior {
   explicit FederationTx(ScaleNode* node);
   Segment NextSegment(Machine& machine, Task& task) override;
 
+  // Canonical encoding of the transmit-side protocol state (beacon clock,
+  // id counter, unacked retransmission buffer) for the checkpoint
+  // verification line: replay must reconstruct this exactly.
+  std::string EncodeState() const {
+    std::string s =
+        StrFormat("tx:%llu,%llu", static_cast<unsigned long long>(next_beacon_at_),
+                  static_cast<unsigned long long>(next_beacon_id_));
+    for (const Unacked& u : unacked_) {
+      s += StrFormat(";%llu,%d,%llu", static_cast<unsigned long long>(u.id),
+                     u.attempts, static_cast<unsigned long long>(u.next_retx_at));
+    }
+    return s;
+  }
+
  private:
   struct Unacked {
     uint64_t id = 0;
@@ -100,6 +118,17 @@ class FederationRx : public TaskBehavior {
  public:
   explicit FederationRx(ScaleNode* node) : node_(node) {}
   Segment NextSegment(Machine& machine, Task& task) override;
+
+  // Receive-side analog of FederationTx::EncodeState (cumulative cursor,
+  // last ack sent, buffered out-of-order ids).
+  std::string EncodeState() const {
+    std::string s = StrFormat("rx:%llu,%llu", static_cast<unsigned long long>(cum_),
+                              static_cast<unsigned long long>(last_acked_));
+    for (const auto& entry : reorder_) {
+      s += StrFormat(";%llu", static_cast<unsigned long long>(entry.first));
+    }
+    return s;
+  }
 
  private:
   Segment Process(Machine& machine, const Message& beacon);
@@ -174,6 +203,32 @@ struct ScaleNode {
 
   bool chat_done = false;
   uint64_t completed_window = 0;
+
+  // --- Checkpoint support (scale_ckpt.h) ---
+  // Fabric deliveries the coordinator sink scheduled onto this incarnation's
+  // engine, in sink-call order (duplicates appear twice). Restore replays
+  // them verbatim at their original barriers. Only populated when
+  // checkpointing is armed; cleared at every boot.
+  bool log_arrivals = false;
+  std::vector<CkptArrival> arrival_log;
+  // Counter values at this incarnation's boot. Task- and event-mutated
+  // counters cannot be serialized live (their current values are the sum of
+  // boot value + this incarnation's deltas, and the deltas are reproduced by
+  // replay) — so checkpoints store the boot snapshot and replay re-adds the
+  // deltas. tx_acked needs no snapshot: it is always 0 at boot.
+  struct FedSnapshot {
+    uint64_t beacons_sent = 0;
+    uint64_t beacons_received = 0;
+    uint64_t inbox_overflows = 0;
+    uint64_t late_writes = 0;
+    uint64_t last_remote_progress = 0;
+    uint64_t retransmits = 0;
+    uint64_t retx_abandoned = 0;
+    uint64_t dup_discards = 0;
+    uint64_t acks_sent = 0;
+    uint64_t acks_received = 0;
+  };
+  FedSnapshot boot_counters;
 
   Cycles GlobalNow() const { return clock_offset + machine->Now(); }
 };
@@ -381,6 +436,62 @@ RunStats NodeRunStats(const ScaleNode& node) {
   return stats;
 }
 
+// Schedules one fabric delivery onto `dst`'s engine. Shared by the live
+// coordinator sink and checkpoint replay so both paths produce identical
+// engine insertion order and identical delivery-event behavior. Never logs
+// (the sink logs before calling; replayed arrivals are already logged).
+void ScheduleArrivalOn(ScaleNode* dst, Cycles arrival, const Message& payload) {
+  ++dst->pending_deliveries;
+  // A restarted machine's clock is offset: schedule at local time.
+  dst->machine->engine().ScheduleAt(
+      arrival - dst->clock_offset, [dst, payload] {
+        --dst->pending_deliveries;
+        switch (dst->inbox->TryWriteMsg(*dst->machine, payload)) {
+          case SockStatus::kOk:
+            break;
+          case SockStatus::kWouldBlock:
+            // Bounded inbox full: the beacon is dropped like a datagram
+            // against a full receive buffer.
+            ++dst->inbox_overflows;
+            break;
+          default:  // kClosed / kReset: delivery raced the shutdown.
+            ++dst->late_writes;
+            break;
+        }
+      });
+}
+
+// Checkpoint verification line for a live node: every node-local value the
+// next windows' behavior depends on. Computed at checkpoint time and again
+// after restore replay — any divergence rejects the segment.
+std::string VerifyLine(const ScaleNode& node) {
+  std::string line = StrFormat(
+      "fed:%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu|ack:%llu|pend:%llu|",
+      static_cast<unsigned long long>(node.beacons_sent),
+      static_cast<unsigned long long>(node.beacons_received),
+      static_cast<unsigned long long>(node.inbox_overflows),
+      static_cast<unsigned long long>(node.late_writes),
+      static_cast<unsigned long long>(node.last_remote_progress),
+      static_cast<unsigned long long>(node.retransmits),
+      static_cast<unsigned long long>(node.retx_abandoned),
+      static_cast<unsigned long long>(node.dup_discards),
+      static_cast<unsigned long long>(node.acks_sent),
+      static_cast<unsigned long long>(node.acks_received),
+      static_cast<unsigned long long>(node.tx_acked),
+      static_cast<unsigned long long>(node.pending_deliveries));
+  line += RunStatsDigest(NodeRunStats(node));
+  line += StrFormat("|chat:%llu,%llu",
+                    static_cast<unsigned long long>(node.volano->messages_sent()),
+                    static_cast<unsigned long long>(node.volano->messages_delivered()));
+  if (node.tx != nullptr) {
+    line += "|" + node.tx->EncodeState();
+  }
+  if (node.rx != nullptr) {
+    line += "|" + node.rx->EncodeState();
+  }
+  return line;
+}
+
 // Builds (or rebuilds, incarnation > 0) a node's simulated machine, chat
 // workload over node->room_ids, inbox, and federation relays, and starts it.
 void BootNode(ScaleNode* node, const ScaleConfig& config) {
@@ -416,6 +527,19 @@ void BootNode(ScaleNode* node, const ScaleConfig& config) {
     params.behavior = node->rx.get();
     node->machine->CreateTask(params);
   }
+  // Checkpoint bookkeeping: a fresh incarnation starts a fresh arrival log,
+  // and the counter values right now are what replay will restart from.
+  node->arrival_log.clear();
+  node->boot_counters.beacons_sent = node->beacons_sent;
+  node->boot_counters.beacons_received = node->beacons_received;
+  node->boot_counters.inbox_overflows = node->inbox_overflows;
+  node->boot_counters.late_writes = node->late_writes;
+  node->boot_counters.last_remote_progress = node->last_remote_progress;
+  node->boot_counters.retransmits = node->retransmits;
+  node->boot_counters.retx_abandoned = node->retx_abandoned;
+  node->boot_counters.dup_discards = node->dup_discards;
+  node->boot_counters.acks_sent = node->acks_sent;
+  node->boot_counters.acks_received = node->acks_received;
   node->machine->Start();
 }
 
@@ -445,6 +569,15 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   const bool armed = config.faults.Enabled();
   shards = std::clamp(shards <= 0 ? 1 : shards, 1, num_nodes);
 
+  // Checkpoint knobs: explicit config wins, else the ELSC_SCALE_CKPT*
+  // environment, else disabled. The fingerprint binds segments to this exact
+  // scenario (and names them, so concurrent sweep cells never collide).
+  ScaleCheckpointOptions ckpt = config.ckpt;
+  if (ckpt.path.empty()) {
+    ckpt = ScaleCheckpointOptions::FromEnv();
+  }
+  const uint64_t config_fp = ckpt.armed() ? ScaleConfigFingerprint(config) : 0;
+
   ScaleRun run;
   run.nodes = num_nodes;
   run.shards = shards;
@@ -461,10 +594,14 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     router.SetLaneCapacity(config.fabric_lane_capacity);
   }
 
+  // The router's post-construction state: ResetState() below reimports it
+  // when a partially-applied restore is rejected mid-way.
+  const FabricRouterState virgin_router = router.ExportState();
+
   // ---- Build the federation ----
-  std::vector<std::unique_ptr<ScaleNode>> nodes;
-  nodes.reserve(static_cast<size_t>(num_nodes));
-  for (int i = 0; i < num_nodes; ++i) {
+  std::vector<std::unique_ptr<ScaleNode>> nodes(static_cast<size_t>(num_nodes));
+
+  const auto make_node = [&](int i) {
     auto node = std::make_unique<ScaleNode>();
     node->index = i;
     node->first_room = i * config.rooms_per_node;
@@ -473,48 +610,22 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     node->config = &config;
     node->router = gossip ? &router : nullptr;
     node->armed = armed;
-    const int owned =
-        std::min(config.rooms_per_node, config.rooms - node->first_room);
-    node->room_ids.reserve(static_cast<size_t>(owned));
-    for (int r = 0; r < owned; ++r) {
-      node->room_ids.push_back(node->first_room + r);
-    }
-    BootNode(node.get(), config);
-    nodes.push_back(std::move(node));
-  }
+    node->log_arrivals = ckpt.armed();
+    return node;
+  };
 
-  // ---- Delivery sink: schedules a beacon's arrival on its destination ----
-  // Runs on the coordinator thread at barriers (no shard is advancing), so
-  // ScheduleAt into the destination engine is race-free; the event itself
-  // fires on whichever shard advances the destination through `arrival`.
-  const auto sink = [&nodes](const FabricMessage& msg,
-                             Cycles arrival) -> FabricRouter::Delivery {
-    ScaleNode* dst = nodes[static_cast<size_t>(msg.dst_node)].get();
-    if (dst == nullptr) {
-      return FabricRouter::Delivery::kRefused;
+  const auto build_cold = [&] {
+    for (int i = 0; i < num_nodes; ++i) {
+      auto node = make_node(i);
+      const int owned =
+          std::min(config.rooms_per_node, config.rooms - node->first_room);
+      node->room_ids.reserve(static_cast<size_t>(owned));
+      for (int r = 0; r < owned; ++r) {
+        node->room_ids.push_back(node->first_room + r);
+      }
+      BootNode(node.get(), config);
+      nodes[static_cast<size_t>(i)] = std::move(node);
     }
-    if (dst->down || dst->machine == nullptr) {
-      return FabricRouter::Delivery::kDown;
-    }
-    ++dst->pending_deliveries;
-    // A restarted machine's clock is offset: schedule at local time.
-    dst->machine->engine().ScheduleAt(
-        arrival - dst->clock_offset, [dst, payload = msg.payload] {
-          --dst->pending_deliveries;
-          switch (dst->inbox->TryWriteMsg(*dst->machine, payload)) {
-            case SockStatus::kOk:
-              break;
-            case SockStatus::kWouldBlock:
-              // Bounded inbox full: the beacon is dropped like a datagram
-              // against a full receive buffer.
-              ++dst->inbox_overflows;
-              break;
-            default:  // kClosed / kReset: delivery raced the shutdown.
-              ++dst->late_writes;
-              break;
-          }
-        });
-    return FabricRouter::Delivery::kDelivered;
   };
 
   // ---- Conservative time-windowed lock-step ----
@@ -530,6 +641,32 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
   Cycles inbox_close_at = 0;  // 0 = fabric still open.
   bool inboxes_closed = !gossip;
   uint64_t window_index = 0;
+  // Window indices the fabric closed / the inboxes EOF'd at (0 = not yet):
+  // checkpoint replay must re-apply both at exactly the original barriers.
+  uint64_t router_close_window = 0;
+  uint64_t inbox_close_window = 0;
+  bool stopped_early = false;  // ckpt.stop_after_window tripped.
+
+  // ---- Delivery sink: schedules a beacon's arrival on its destination ----
+  // Runs on the coordinator thread at barriers (no shard is advancing), so
+  // ScheduleAt into the destination engine is race-free; the event itself
+  // fires on whichever shard advances the destination through `arrival`.
+  const auto sink = [&nodes, &window_index](
+                        const FabricMessage& msg,
+                        Cycles arrival) -> FabricRouter::Delivery {
+    ScaleNode* dst = nodes[static_cast<size_t>(msg.dst_node)].get();
+    if (dst == nullptr) {
+      return FabricRouter::Delivery::kRefused;
+    }
+    if (dst->down || dst->machine == nullptr) {
+      return FabricRouter::Delivery::kDown;
+    }
+    if (dst->log_arrivals) {
+      dst->arrival_log.push_back(CkptArrival{window_index, arrival, msg.payload});
+    }
+    ScheduleArrivalOn(dst, arrival, msg.payload);
+    return FabricRouter::Delivery::kDelivered;
+  };
 
   // Folds every still-live node as failed (partial per-node stats included)
   // and stamps the run's failure — the deadline and watchdog exits.
@@ -581,6 +718,325 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
       run.stats.failure = why;
     }
   };
+
+  // ---- Checkpoint machinery (scale_ckpt.h) ------------------------------
+
+  // Serializes the coordinator-visible federation state at the current
+  // (post-Exchange, post-fold) barrier.
+  const auto snapshot = [&] {
+    ScaleCheckpoint c;
+    c.config_fp = config_fp;
+    c.seed = config.seed;
+    c.window_index = window_index;
+    c.num_nodes = num_nodes;
+    c.chats_done = chats_done;
+    c.all_completed = all_completed;
+    c.inboxes_closed = inboxes_closed;
+    c.inbox_close_at = inbox_close_at;
+    c.router_close_window = router_close_window;
+    c.inbox_close_window = inbox_close_window;
+    c.digest = run.digest;
+    c.messages_sent = run.messages_sent;
+    c.messages_delivered = run.messages_delivered;
+    c.beacons_sent = run.beacons_sent;
+    c.beacons_received = run.beacons_received;
+    c.inbox_overflows = run.inbox_overflows;
+    c.late_writes = run.late_writes;
+    c.node_crashes = run.node_crashes;
+    c.node_restarts = run.node_restarts;
+    c.windows_degraded = run.windows_degraded;
+    c.retransmits = run.retransmits;
+    c.retx_abandoned = run.retx_abandoned;
+    c.dup_discards = run.dup_discards;
+    c.acks_sent = run.acks_sent;
+    c.acks_received = run.acks_received;
+    c.chat_messages_lost = run.chat_messages_lost;
+    c.crash_inflight_dropped = run.crash_inflight_dropped;
+    c.peak_live_tasks = run.peak_live_tasks;
+    c.peak_live_nodes = run.peak_live_nodes;
+    c.peak_task_arena_bytes = run.peak_task_arena_bytes;
+    c.peak_live_sockets = run.peak_live_sockets;
+    c.agg_stats = EncodeRunStats(run.stats);
+    c.fabric = router.ExportState();
+    for (const auto& owner : nodes) {
+      const ScaleNode* node = owner.get();
+      if (node == nullptr) {
+        continue;  // Folded: its contribution lives in digest/stats above.
+      }
+      CkptNode cn;
+      cn.index = node->index;
+      cn.state = node->down ? 2 : 1;
+      cn.incarnation = node->incarnation;
+      cn.clock_offset = node->clock_offset;
+      cn.crashes = node->crashes;
+      cn.restart_window = node->restart_window;
+      cn.chat_done = node->chat_done;
+      cn.banked_sent = node->banked_sent;
+      cn.banked_delivered = node->banked_delivered;
+      cn.chat_messages_lost = node->chat_messages_lost;
+      cn.crash_inflight_dropped = node->crash_inflight_dropped;
+      if (node->down) {
+        // Nothing to replay: current values restore directly.
+        cn.beacons_sent = node->beacons_sent;
+        cn.beacons_received = node->beacons_received;
+        cn.inbox_overflows = node->inbox_overflows;
+        cn.late_writes = node->late_writes;
+        cn.last_remote_progress = node->last_remote_progress;
+        cn.retransmits = node->retransmits;
+        cn.retx_abandoned = node->retx_abandoned;
+        cn.dup_discards = node->dup_discards;
+        cn.acks_sent = node->acks_sent;
+        cn.acks_received = node->acks_received;
+      } else {
+        // Live: the boot snapshot; replay re-adds this incarnation's deltas.
+        const ScaleNode::FedSnapshot& b = node->boot_counters;
+        cn.beacons_sent = b.beacons_sent;
+        cn.beacons_received = b.beacons_received;
+        cn.inbox_overflows = b.inbox_overflows;
+        cn.late_writes = b.late_writes;
+        cn.last_remote_progress = b.last_remote_progress;
+        cn.retransmits = b.retransmits;
+        cn.retx_abandoned = b.retx_abandoned;
+        cn.dup_discards = b.dup_discards;
+        cn.acks_sent = b.acks_sent;
+        cn.acks_received = b.acks_received;
+        cn.arrivals = node->arrival_log;
+        cn.verify = VerifyLine(*node);
+      }
+      cn.room_ids = node->room_ids;
+      if (node->has_carried_stats) {
+        cn.carried_stats = EncodeRunStats(node->carried_stats);
+      }
+      c.nodes.push_back(std::move(cn));
+    }
+    return c;
+  };
+
+  const auto write_checkpoint = [&] {
+    std::string error;
+    if (!WriteCheckpointSegment(ckpt, snapshot(), &error)) {
+      std::fprintf(stderr,
+                   "elsc-scale: checkpoint write failed (continuing "
+                   "uncheckpointed): %s\n",
+                   error.c_str());
+    }
+  };
+
+  // Reconstructs a live node by deterministic replay of its current
+  // incarnation: boot exactly as the original did (same derived seed), step
+  // window by window re-scheduling the logged arrivals at their original
+  // barriers, and re-apply the router-close / inbox-EOF transitions at the
+  // windows the coordinator originally performed them. The node's own
+  // re-emissions go into a throwaway per-node router — per node because the
+  // closed flag must flip at this node's original window (it gates the
+  // transmit relay's exit condition) — and are discarded: the originals
+  // already reached their destinations, which logged or folded them.
+  const auto replay_live_node = [&](ScaleNode* node, const CkptNode& cn) {
+    const uint64_t boot_window = node->incarnation == 0 ? 0 : cn.restart_window;
+    FabricRouter replay_router(num_nodes, window, latency);
+    if (gossip) {
+      node->router = &replay_router;
+    }
+    const FabricRouter::Sink discard = [](const FabricMessage&, Cycles) {
+      return FabricRouter::Delivery::kRefused;
+    };
+    size_t cursor = 0;
+    for (uint64_t w = boot_window; w <= window_index; ++w) {
+      const Cycles replay_barrier = static_cast<Cycles>(w) * window;
+      if (w > boot_window) {
+        // The original run advanced the node through window w before the
+        // barrier-w exchange. At the boot window itself the machine had not
+        // run yet: arrivals landed on the untouched fresh engine, and
+        // stepping it here would fire t=0 start events too early, changing
+        // event insertion order.
+        node->machine->engine().RunUntil(replay_barrier - node->clock_offset);
+        if (gossip) {
+          replay_router.Exchange(replay_barrier, discard);
+        }
+      }
+      while (cursor < cn.arrivals.size() && cn.arrivals[cursor].window == w) {
+        ScheduleArrivalOn(node, cn.arrivals[cursor].arrival,
+                          cn.arrivals[cursor].payload);
+        ++cursor;
+      }
+      if (gossip && router_close_window != 0 && w == router_close_window) {
+        replay_router.Close();
+      }
+      if (gossip && inbox_close_window != 0 && w == inbox_close_window) {
+        node->inbox->Close(*node->machine);
+      }
+    }
+    if (gossip) {
+      node->router = &router;
+    }
+    if (cursor != cn.arrivals.size()) {
+      return false;  // An arrival tagged past the checkpoint window: corrupt.
+    }
+    return VerifyLine(*node) == cn.verify;
+  };
+
+  // Installs one decoded checkpoint. False leaves partially-applied state —
+  // the caller must reset_state() before continuing.
+  const auto restore_from = [&](const ScaleCheckpoint& c) {
+    run.digest = c.digest;
+    run.messages_sent = c.messages_sent;
+    run.messages_delivered = c.messages_delivered;
+    run.beacons_sent = c.beacons_sent;
+    run.beacons_received = c.beacons_received;
+    run.inbox_overflows = c.inbox_overflows;
+    run.late_writes = c.late_writes;
+    run.node_crashes = c.node_crashes;
+    run.node_restarts = c.node_restarts;
+    run.windows_degraded = c.windows_degraded;
+    run.retransmits = c.retransmits;
+    run.retx_abandoned = c.retx_abandoned;
+    run.dup_discards = c.dup_discards;
+    run.acks_sent = c.acks_sent;
+    run.acks_received = c.acks_received;
+    run.chat_messages_lost = c.chat_messages_lost;
+    run.crash_inflight_dropped = c.crash_inflight_dropped;
+    run.peak_live_tasks = c.peak_live_tasks;
+    run.peak_live_nodes = c.peak_live_nodes;
+    run.peak_task_arena_bytes = c.peak_task_arena_bytes;
+    run.peak_live_sockets = c.peak_live_sockets;
+    if (!DecodeRunStats(c.agg_stats, &run.stats)) {
+      return false;
+    }
+    chats_done = c.chats_done;
+    all_completed = c.all_completed;
+    inboxes_closed = c.inboxes_closed;
+    inbox_close_at = c.inbox_close_at;
+    router_close_window = c.router_close_window;
+    inbox_close_window = c.inbox_close_window;
+    window_index = c.window_index;
+    router.ImportState(c.fabric);
+    live = 0;
+    for (const CkptNode& cn : c.nodes) {
+      auto node = make_node(cn.index);
+      node->incarnation = cn.incarnation;
+      node->clock_offset = cn.clock_offset;
+      node->crashes = cn.crashes;
+      node->restart_window = cn.restart_window;
+      node->chat_done = cn.chat_done;
+      node->banked_sent = cn.banked_sent;
+      node->banked_delivered = cn.banked_delivered;
+      node->chat_messages_lost = cn.chat_messages_lost;
+      node->crash_inflight_dropped = cn.crash_inflight_dropped;
+      node->beacons_sent = cn.beacons_sent;
+      node->beacons_received = cn.beacons_received;
+      node->inbox_overflows = cn.inbox_overflows;
+      node->late_writes = cn.late_writes;
+      node->last_remote_progress = cn.last_remote_progress;
+      node->retransmits = cn.retransmits;
+      node->retx_abandoned = cn.retx_abandoned;
+      node->dup_discards = cn.dup_discards;
+      node->acks_sent = cn.acks_sent;
+      node->acks_received = cn.acks_received;
+      node->room_ids = cn.room_ids;
+      if (!cn.carried_stats.empty()) {
+        if (!DecodeRunStats(cn.carried_stats, &node->carried_stats)) {
+          return false;
+        }
+        node->has_carried_stats = true;
+      }
+      // Cheap structural sanity before committing to a replay: a live
+      // node's boot barrier must match its clock offset and lie at or
+      // before the checkpoint window; a down node's restart must still be
+      // in the future.
+      const Cycles expect_offset =
+          cn.incarnation == 0 ? 0
+                              : static_cast<Cycles>(cn.restart_window) * window;
+      if (node->clock_offset != expect_offset || cn.room_ids.empty()) {
+        return false;
+      }
+      if (cn.state == 2) {
+        if (cn.restart_window <= c.window_index) {
+          return false;
+        }
+        node->down = true;
+      } else {
+        if (cn.incarnation > 0 && cn.restart_window > c.window_index) {
+          return false;
+        }
+        BootNode(node.get(), config);
+        if (!replay_live_node(node.get(), cn)) {
+          return false;
+        }
+        node->arrival_log = cn.arrivals;  // The next segment still needs it.
+      }
+      nodes[static_cast<size_t>(cn.index)] = std::move(node);
+      ++live;
+    }
+    return live > 0;
+  };
+
+  // Returns the function-local state to cold-start values after a rejected
+  // restore attempt (nodes, aggregate run, loop state, router).
+  const auto reset_state = [&] {
+    for (auto& node : nodes) {
+      node.reset();
+    }
+    ScaleRun fresh;
+    fresh.nodes = num_nodes;
+    fresh.shards = shards;
+    fresh.rooms = static_cast<uint64_t>(config.rooms);
+    fresh.connections = config.connections();
+    fresh.fault_model = armed;
+    fresh.digest = kFnvOffset;
+    run = fresh;
+    router.ImportState(virgin_router);
+    live = num_nodes;
+    chats_done = 0;
+    all_completed = true;
+    inbox_close_at = 0;
+    inboxes_closed = !gossip;
+    window_index = 0;
+    router_close_window = 0;
+    inbox_close_window = 0;
+  };
+
+  // Resumes from the newest valid segment. Every rejection — unreadable,
+  // torn, checksum-failed, wrong scenario, or post-replay verification
+  // mismatch — is logged with a one-line repro and the next-older segment
+  // is tried; false means cold start.
+  const auto try_restore = [&] {
+    if (!ckpt.armed()) {
+      return false;
+    }
+    for (const CheckpointSegmentInfo& seg :
+         ListCheckpointSegments(ckpt.path, config_fp)) {
+      std::string contents;
+      std::string why;
+      ScaleCheckpoint c;
+      if (!ReadFileToString(seg.path, &contents)) {
+        why = "unreadable";
+      } else if (!DecodeScaleCheckpoint(contents, &c, &why)) {
+        // `why` was set by the decoder.
+      } else if (c.config_fp != config_fp || c.seed != config.seed ||
+                 c.num_nodes != num_nodes) {
+        why = "scenario binding mismatch (fingerprint/seed/nodes)";
+      } else if (!restore_from(c)) {
+        why = "restore verification failed";
+        reset_state();
+      } else {
+        std::fprintf(
+            stderr,
+            "elsc-scale: resumed from %s (window %llu, %d node(s) live)\n",
+            seg.path.c_str(), static_cast<unsigned long long>(c.window_index),
+            live);
+        return true;
+      }
+      std::fprintf(stderr,
+                   "elsc-scale: rejected checkpoint %s: %s — repro: rerun "
+                   "with ELSC_SCALE_CKPT=%s and this file preserved\n",
+                   seg.path.c_str(), why.c_str(), ckpt.path.c_str());
+    }
+    return false;
+  };
+
+  if (!try_restore()) {
+    build_cold();
+  }
 
   while (live > 0) {
     ++window_index;
@@ -674,6 +1130,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
           }
         }
         node->room_ids = std::move(unfinished);
+        node->arrival_log.clear();  // Dead incarnation: never replayed.
         // Teardown in the member-destruction order a folded node uses.
         node->rx.reset();
         node->tx.reset();
@@ -746,6 +1203,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
     if (gossip && !router.closed() && chats_done == num_nodes) {
       router.Close();
       inbox_close_at = barrier + latency;
+      router_close_window = window_index;
     }
     if (!inboxes_closed && inbox_close_at != 0 && barrier >= inbox_close_at) {
       for (const auto& node : nodes) {
@@ -754,6 +1212,7 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
         }
       }
       inboxes_closed = true;
+      inbox_close_window = window_index;
     }
 
     // Streaming fold: finished nodes are folded into the aggregate in node
@@ -829,10 +1288,39 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
                             static_cast<unsigned long long>(window_index)));
       break;
     }
+
+    // ---- Checkpoint / kill / shutdown points (end of barrier) ----
+    if (live > 0) {
+      if (ckpt.armed()) {
+        const bool due = ckpt.every > 0 && window_index % ckpt.every == 0;
+        // Forced segments: the stop-after test hook, a pending graceful
+        // shutdown (flush state before unwinding), and the kill injector
+        // (the drill resumes from this very segment).
+        const bool forced =
+            (ckpt.stop_after_window != 0 &&
+             window_index == ckpt.stop_after_window) ||
+            ShutdownRequested() ||
+            ScaleKillWindow() == static_cast<int64_t>(window_index);
+        if (due || forced) {
+          write_checkpoint();
+        }
+      }
+      MaybeKillAtScaleWindow(window_index);
+      if (ShutdownRequested()) {
+        throw GracefulShutdownRequested{};
+      }
+      if (ckpt.armed() && ckpt.stop_after_window != 0 &&
+          window_index == ckpt.stop_after_window) {
+        stopped_early = true;
+        break;
+      }
+    }
   }
 
   run.windows = window_index;
-  run.completed = all_completed;
+  // stopped_early leaves nodes live: a deliberately-partial run (the test
+  // stand-in for a mid-scenario kill) is never "completed".
+  run.completed = all_completed && live == 0;
   run.fabric = router.stats();
   run.deliveries_lost = run.beacons_sent > run.beacons_received
                             ? run.beacons_sent - run.beacons_received
@@ -876,6 +1364,12 @@ ScaleRun RunShardedVolano(const ScaleConfig& config, int shards) {
                   static_cast<unsigned long long>(run.fabric.dropped_crashed),
                   static_cast<unsigned long long>(run.fabric.dropped_lane_overflow),
                   static_cast<unsigned long long>(run.fabric.duplicated)));
+  }
+  if (ckpt.armed() && live == 0 && !run.stats.failed) {
+    // Clean completion: stale segments must never resurrect a finished
+    // scenario (a same-fingerprint rerun starts cold). Failed runs keep
+    // theirs for post-mortem.
+    RemoveCheckpointSegments(ckpt.path, config_fp);
   }
   return run;
 }

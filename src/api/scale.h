@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "src/api/scale_ckpt.h"
 #include "src/api/simulation.h"
 #include "src/net/backoff.h"
 #include "src/sim/fabric.h"
@@ -101,6 +102,13 @@ struct ScaleConfig {
   // = off), negative = force off. A stuck federation folds into a
   // completed=false run instead of hanging the process.
   double window_wall_budget_sec = 0.0;
+
+  // Window-granular checkpoint/restore (scale_ckpt.h, docs/SCALE.md
+  // "Checkpoint & recovery"). When path is empty the options resolve from
+  // ELSC_SCALE_CKPT* at run time; fully disabled when that is unset too.
+  // Execution machinery, like `shards` and the wall budget — never part of
+  // the digest, signature, JSON, or config fingerprint.
+  ScaleCheckpointOptions ckpt;
 
   int nodes() const {
     return rooms_per_node > 0 ? (rooms + rooms_per_node - 1) / rooms_per_node : rooms;
@@ -172,9 +180,21 @@ struct ScaleRun {
   uint64_t digest = 0;
 };
 
+// FNV-1a over a canonical encoding of every behavior-shaping ScaleConfig
+// field (scenario shape, chat parameters, federation timing, fault plan,
+// recovery protocol — everything the digest is a function of; execution
+// knobs like shards / wall budget / ckpt excluded). Binds checkpoint
+// segments to their scenario: a segment whose header fingerprint differs is
+// rejected, never replayed into the wrong run.
+uint64_t ScaleConfigFingerprint(const ScaleConfig& config);
+
 // Runs the sharded scenario on `shards` worker threads (clamped to
 // [1, nodes]; <= 0 means 1). Deterministic: the returned ScaleRun (minus
-// `shards`) depends only on `config`.
+// `shards`) depends only on `config` — including across a checkpoint/restore
+// cycle, which resumes from the newest valid segment and produces the exact
+// digest of an uninterrupted run. Throws GracefulShutdownRequested at the
+// next barrier after SIGTERM/SIGINT (writing a final segment first when
+// checkpointing is armed).
 ScaleRun RunShardedVolano(const ScaleConfig& config, int shards);
 
 // Canonical digest line for golden tests and logs:

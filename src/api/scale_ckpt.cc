@@ -1,0 +1,634 @@
+#include "src/api/scale_ckpt.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/api/scale.h"
+#include "src/base/atomic_file.h"
+#include "src/base/string_util.h"
+#include "src/harness/journal.h"
+
+namespace elsc {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv64(const char* data, size_t size) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  *out += StrFormat("%llu ", static_cast<unsigned long long>(v));
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  *out += StrFormat("%lld ", static_cast<long long>(v));
+}
+
+void AppendHex64(std::string* out, uint64_t v) {
+  *out += StrFormat("%016llx ", static_cast<unsigned long long>(v));
+}
+
+void AppendF64(std::string* out, double v) {
+  // %a hex-float: exact round-trip, no precision loss (the journal codec
+  // discipline from src/api/simulation.cc).
+  *out += StrFormat("%a ", v);
+}
+
+// Strict space-separated token scanner; every getter returns false on a
+// missing or malformed token, so a decoder can reject torn lines instead of
+// reading garbage.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string s) : s_(std::move(s)) {}
+
+  bool U64(uint64_t* out) {
+    SkipSpaces();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    *out = std::strtoull(s_.c_str() + pos_, &end, 10);
+    return Advance(end);
+  }
+
+  bool I64(int64_t* out) {
+    SkipSpaces();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    *out = std::strtoll(s_.c_str() + pos_, &end, 10);
+    return Advance(end);
+  }
+
+  bool Hex64(uint64_t* out) {
+    SkipSpaces();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    char* end = nullptr;
+    *out = std::strtoull(s_.c_str() + pos_, &end, 16);
+    return Advance(end);
+  }
+
+  bool Bool(bool* out) {
+    uint64_t v = 0;
+    if (!U64(&v) || v > 1) {
+      return false;
+    }
+    *out = v != 0;
+    return true;
+  }
+
+  bool Int(int* out) {
+    int64_t v = 0;
+    if (!I64(&v) || v < INT32_MIN || v > INT32_MAX) {
+      return false;
+    }
+    *out = static_cast<int>(v);
+    return true;
+  }
+
+  bool Done() {
+    SkipSpaces();
+    return pos_ >= s_.size();
+  }
+
+ private:
+  void SkipSpaces() {
+    while (pos_ < s_.size() && s_[pos_] == ' ') {
+      ++pos_;
+    }
+  }
+  bool Advance(char* end) {
+    const char* start = s_.c_str() + pos_;
+    if (end == start) {
+      return false;
+    }
+    pos_ = static_cast<size_t>(end - s_.c_str());
+    return pos_ >= s_.size() || s_[pos_] == ' ';
+  }
+
+  // Owned copy: callers routinely pass `line.substr(n)` temporaries, and a
+  // reference member would dangle the moment that statement ends.
+  const std::string s_;
+  size_t pos_ = 0;
+};
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+uint64_t ScaleConfigFingerprint(const ScaleConfig& c) {
+  std::string enc = "scalefp v1 ";
+  // Scenario shape + per-node machine.
+  AppendI64(&enc, c.rooms);
+  AppendI64(&enc, c.rooms_per_node);
+  AppendI64(&enc, static_cast<int64_t>(c.kernel));
+  AppendI64(&enc, static_cast<int64_t>(c.scheduler));
+  AppendU64(&enc, c.seed);
+  // Lock-step / federation timing.
+  AppendU64(&enc, c.window);
+  AppendU64(&enc, c.fabric_latency);
+  AppendU64(&enc, c.gossip_period);
+  AppendU64(&enc, c.beacon_cycles);
+  AppendU64(&enc, c.gossip_process_cycles);
+  AppendU64(&enc, c.fabric_inbox_capacity);
+  AppendU64(&enc, c.deadline);
+  // Chat workload (every field of VolanoConfig shapes behavior).
+  const VolanoConfig& v = c.chat;
+  AppendI64(&enc, v.rooms);
+  AppendI64(&enc, v.users_per_room);
+  AppendI64(&enc, v.messages_per_user);
+  AppendF64(&enc, v.yield_probability);
+  AppendI64(&enc, v.max_yield_spin);
+  AppendU64(&enc, v.yield_spin_cycles);
+  AppendI64(&enc, v.spin_yields_before_block);
+  AppendI64(&enc, v.lock_spin_yields);
+  AppendU64(&enc, v.lock_acquire_cycles);
+  AppendU64(&enc, v.accept_work_cycles);
+  AppendU64(&enc, v.accept_latency_mean);
+  AppendI64(&enc, v.connect_spin_yields);
+  AppendI64(&enc, v.ack_spin_yields);
+  AppendU64(&enc, v.compose_cycles);
+  AppendU64(&enc, v.client_process_cycles);
+  AppendU64(&enc, v.server_parse_cycles);
+  AppendU64(&enc, v.broadcast_enqueue_cycles);
+  AppendU64(&enc, v.server_write_cycles);
+  AppendU64(&enc, v.syscall_cycles);
+  AppendF64(&enc, v.work_jitter);
+  AppendU64(&enc, v.socket_capacity);
+  AppendU64(&enc, v.outqueue_capacity);
+  AppendU64(&enc, v.churn ? 1 : 0);
+  AppendU64(&enc, v.ack_timeout);
+  AppendU64(&enc, v.backoff.base);
+  AppendU64(&enc, v.backoff.max);
+  AppendI64(&enc, v.backoff.max_retries);
+  // Federation failure model.
+  const FederationFaultPlan& f = c.faults;
+  AppendU64(&enc, f.seed);
+  AppendF64(&enc, f.node_crash_rate);
+  AppendU64(&enc, f.crash_window_min);
+  AppendU64(&enc, f.crash_window_span);
+  AppendU64(&enc, f.down_windows_min);
+  AppendU64(&enc, f.down_windows_span);
+  AppendF64(&enc, f.link_partition_rate);
+  AppendU64(&enc, f.partition_window_min);
+  AppendU64(&enc, f.partition_window_span);
+  AppendU64(&enc, f.partition_duration_min);
+  AppendU64(&enc, f.partition_duration_span);
+  AppendF64(&enc, f.loss_rate);
+  AppendF64(&enc, f.dup_rate);
+  // Recovery protocol.
+  AppendU64(&enc, c.retransmit ? 1 : 0);
+  AppendU64(&enc, c.retransmit_backoff.base);
+  AppendU64(&enc, c.retransmit_backoff.max);
+  AppendI64(&enc, c.retransmit_backoff.max_retries);
+  AppendU64(&enc, c.retransmit_buffer);
+  AppendU64(&enc, c.recovery_gap_span);
+  AppendU64(&enc, c.fabric_lane_capacity);
+  return Fnv64(enc.data(), enc.size());
+}
+
+ScaleCheckpointOptions ScaleCheckpointOptions::FromEnv() {
+  ScaleCheckpointOptions opts;
+  const char* path = std::getenv("ELSC_SCALE_CKPT");
+  if (path != nullptr && *path != '\0') {
+    opts.path = path;
+  }
+  if (const char* every = std::getenv("ELSC_SCALE_CKPT_EVERY")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(every, &end, 10);
+    if (end != every && *end == '\0') {
+      opts.every = v;
+    }
+  }
+  if (const char* keep = std::getenv("ELSC_SCALE_CKPT_KEEP")) {
+    const int v = std::atoi(keep);
+    if (v >= 1) {
+      opts.keep = v;
+    }
+  }
+  return opts;
+}
+
+std::string EncodeScaleCheckpoint(const ScaleCheckpoint& ck) {
+  std::string out = StrFormat(
+      "elscscale v1 fp=%016llx seed=%llu window=%llu nodes=%d\n",
+      static_cast<unsigned long long>(ck.config_fp),
+      static_cast<unsigned long long>(ck.seed),
+      static_cast<unsigned long long>(ck.window_index), ck.num_nodes);
+
+  out += "run ";
+  AppendHex64(&out, ck.digest);
+  AppendU64(&out, ck.messages_sent);
+  AppendU64(&out, ck.messages_delivered);
+  AppendU64(&out, ck.beacons_sent);
+  AppendU64(&out, ck.beacons_received);
+  AppendU64(&out, ck.inbox_overflows);
+  AppendU64(&out, ck.late_writes);
+  AppendU64(&out, ck.node_crashes);
+  AppendU64(&out, ck.node_restarts);
+  AppendU64(&out, ck.windows_degraded);
+  AppendU64(&out, ck.retransmits);
+  AppendU64(&out, ck.retx_abandoned);
+  AppendU64(&out, ck.dup_discards);
+  AppendU64(&out, ck.acks_sent);
+  AppendU64(&out, ck.acks_received);
+  AppendU64(&out, ck.chat_messages_lost);
+  AppendU64(&out, ck.crash_inflight_dropped);
+  AppendU64(&out, ck.peak_live_tasks);
+  AppendU64(&out, ck.peak_live_nodes);
+  AppendU64(&out, ck.peak_task_arena_bytes);
+  AppendU64(&out, ck.peak_live_sockets);
+  AppendI64(&out, ck.chats_done);
+  AppendU64(&out, ck.all_completed ? 1 : 0);
+  AppendU64(&out, ck.inboxes_closed ? 1 : 0);
+  AppendU64(&out, ck.inbox_close_at);
+  AppendU64(&out, ck.router_close_window);
+  AppendU64(&out, ck.inbox_close_window);
+  out += '\n';
+
+  out += "stats " + JournalEscape(ck.agg_stats) + "\n";
+
+  out += "fabric ";
+  AppendU64(&out, ck.fabric.closed ? 1 : 0);
+  const FabricStats& fs = ck.fabric.stats;
+  AppendU64(&out, fs.emitted);
+  AppendU64(&out, fs.routed);
+  AppendU64(&out, fs.refused);
+  AppendU64(&out, fs.dropped_closed);
+  AppendU64(&out, fs.exchanges);
+  AppendU64(&out, fs.max_window_backlog);
+  AppendU64(&out, fs.dropped_loss);
+  AppendU64(&out, fs.dropped_partition);
+  AppendU64(&out, fs.dropped_crashed);
+  AppendU64(&out, fs.dropped_lane_overflow);
+  AppendU64(&out, fs.duplicated);
+  AppendU64(&out, ck.fabric.next_seq.size());
+  for (uint64_t seq : ck.fabric.next_seq) {
+    AppendU64(&out, seq);
+  }
+  out += '\n';
+
+  for (const CkptNode& n : ck.nodes) {
+    out += "node ";
+    AppendI64(&out, n.index);
+    AppendI64(&out, n.state);
+    AppendI64(&out, n.incarnation);
+    AppendU64(&out, n.clock_offset);
+    AppendU64(&out, n.crashes);
+    AppendU64(&out, n.restart_window);
+    AppendU64(&out, n.chat_done ? 1 : 0);
+    AppendU64(&out, n.banked_sent);
+    AppendU64(&out, n.banked_delivered);
+    AppendU64(&out, n.chat_messages_lost);
+    AppendU64(&out, n.crash_inflight_dropped);
+    AppendU64(&out, n.beacons_sent);
+    AppendU64(&out, n.beacons_received);
+    AppendU64(&out, n.inbox_overflows);
+    AppendU64(&out, n.late_writes);
+    AppendU64(&out, n.last_remote_progress);
+    AppendU64(&out, n.retransmits);
+    AppendU64(&out, n.retx_abandoned);
+    AppendU64(&out, n.dup_discards);
+    AppendU64(&out, n.acks_sent);
+    AppendU64(&out, n.acks_received);
+    AppendU64(&out, n.room_ids.size());
+    for (int room : n.room_ids) {
+      AppendI64(&out, room);
+    }
+    out += '\n';
+    if (!n.carried_stats.empty()) {
+      out += StrFormat("carried %d ", n.index) + JournalEscape(n.carried_stats) +
+             "\n";
+    }
+    for (const CkptArrival& a : n.arrivals) {
+      out += "arr ";
+      AppendI64(&out, n.index);
+      AppendU64(&out, a.window);
+      AppendU64(&out, a.arrival);
+      AppendU64(&out, a.payload.id);
+      AppendI64(&out, a.payload.sender);
+      AppendI64(&out, a.payload.room);
+      AppendU64(&out, a.payload.sent_at);
+      AppendU64(&out, a.payload.payload);
+      out += '\n';
+    }
+    if (!n.verify.empty()) {
+      out += StrFormat("verify %d ", n.index) + JournalEscape(n.verify) + "\n";
+    }
+  }
+
+  out += StrFormat("end %016llx\n",
+                   static_cast<unsigned long long>(Fnv64(out.data(), out.size())));
+  return out;
+}
+
+bool DecodeScaleCheckpoint(const std::string& contents, ScaleCheckpoint* ck,
+                           std::string* error) {
+  *ck = ScaleCheckpoint{};
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+
+  bool saw_header = false;
+  bool saw_run = false;
+  bool saw_stats = false;
+  bool saw_fabric = false;
+  bool saw_end = false;
+  size_t start = 0;
+  size_t line_no = 0;
+  while (start < contents.size()) {
+    const size_t nl = contents.find('\n', start);
+    if (nl == std::string::npos) {
+      return fail(StrFormat("truncated: unterminated line %zu", line_no + 1));
+    }
+    const size_t line_start = start;
+    const std::string line = contents.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+    if (saw_end) {
+      return fail("trailing data after the end record");
+    }
+
+    if (!saw_header) {
+      unsigned long long fp = 0;
+      unsigned long long seed = 0;
+      unsigned long long window = 0;
+      int nodes = 0;
+      int consumed = -1;
+      if (std::sscanf(line.c_str(), "elscscale v1 fp=%llx seed=%llu window=%llu nodes=%d%n",
+                      &fp, &seed, &window, &nodes, &consumed) != 4 ||
+          consumed != static_cast<int>(line.size())) {
+        return fail("bad header (wrong magic or version): \"" + line + "\"");
+      }
+      if (nodes < 1) {
+        return fail("bad header: node count < 1");
+      }
+      ck->config_fp = fp;
+      ck->seed = seed;
+      ck->window_index = window;
+      ck->num_nodes = nodes;
+      saw_header = true;
+      continue;
+    }
+
+    if (StartsWith(line, "run ")) {
+      if (saw_run) {
+        return fail("duplicate run record");
+      }
+      TokenReader tr(line.substr(4));
+      bool ok = tr.Hex64(&ck->digest) && tr.U64(&ck->messages_sent) &&
+                tr.U64(&ck->messages_delivered) && tr.U64(&ck->beacons_sent) &&
+                tr.U64(&ck->beacons_received) && tr.U64(&ck->inbox_overflows) &&
+                tr.U64(&ck->late_writes) && tr.U64(&ck->node_crashes) &&
+                tr.U64(&ck->node_restarts) && tr.U64(&ck->windows_degraded) &&
+                tr.U64(&ck->retransmits) && tr.U64(&ck->retx_abandoned) &&
+                tr.U64(&ck->dup_discards) && tr.U64(&ck->acks_sent) &&
+                tr.U64(&ck->acks_received) && tr.U64(&ck->chat_messages_lost) &&
+                tr.U64(&ck->crash_inflight_dropped) &&
+                tr.U64(&ck->peak_live_tasks) && tr.U64(&ck->peak_live_nodes) &&
+                tr.U64(&ck->peak_task_arena_bytes) &&
+                tr.U64(&ck->peak_live_sockets) && tr.Int(&ck->chats_done) &&
+                tr.Bool(&ck->all_completed) && tr.Bool(&ck->inboxes_closed) &&
+                tr.U64(&ck->inbox_close_at) && tr.U64(&ck->router_close_window) &&
+                tr.U64(&ck->inbox_close_window) && tr.Done();
+      if (!ok) {
+        return fail(StrFormat("bad run record at line %zu", line_no));
+      }
+      saw_run = true;
+      continue;
+    }
+
+    if (StartsWith(line, "stats ")) {
+      if (saw_stats || !JournalUnescape(line.substr(6), &ck->agg_stats)) {
+        return fail(StrFormat("bad stats record at line %zu", line_no));
+      }
+      saw_stats = true;
+      continue;
+    }
+
+    if (StartsWith(line, "fabric ")) {
+      if (saw_fabric) {
+        return fail("duplicate fabric record");
+      }
+      TokenReader tr(line.substr(7));
+      FabricStats& fs = ck->fabric.stats;
+      uint64_t lanes = 0;
+      bool ok = tr.Bool(&ck->fabric.closed) && tr.U64(&fs.emitted) &&
+                tr.U64(&fs.routed) && tr.U64(&fs.refused) &&
+                tr.U64(&fs.dropped_closed) && tr.U64(&fs.exchanges) &&
+                tr.U64(&fs.max_window_backlog) && tr.U64(&fs.dropped_loss) &&
+                tr.U64(&fs.dropped_partition) && tr.U64(&fs.dropped_crashed) &&
+                tr.U64(&fs.dropped_lane_overflow) && tr.U64(&fs.duplicated) &&
+                tr.U64(&lanes);
+      if (!ok || lanes != static_cast<uint64_t>(ck->num_nodes)) {
+        return fail(StrFormat("bad fabric record at line %zu", line_no));
+      }
+      ck->fabric.next_seq.resize(lanes);
+      for (uint64_t l = 0; l < lanes; ++l) {
+        if (!tr.U64(&ck->fabric.next_seq[l])) {
+          return fail(StrFormat("bad fabric record at line %zu", line_no));
+        }
+      }
+      if (!tr.Done()) {
+        return fail(StrFormat("bad fabric record at line %zu", line_no));
+      }
+      saw_fabric = true;
+      continue;
+    }
+
+    if (StartsWith(line, "node ")) {
+      TokenReader tr(line.substr(5));
+      CkptNode n;
+      uint64_t rooms = 0;
+      bool ok = tr.Int(&n.index) && tr.Int(&n.state) &&
+                tr.Int(&n.incarnation) && tr.U64(&n.clock_offset) &&
+                tr.U64(&n.crashes) && tr.U64(&n.restart_window) &&
+                tr.Bool(&n.chat_done) && tr.U64(&n.banked_sent) &&
+                tr.U64(&n.banked_delivered) && tr.U64(&n.chat_messages_lost) &&
+                tr.U64(&n.crash_inflight_dropped) && tr.U64(&n.beacons_sent) &&
+                tr.U64(&n.beacons_received) && tr.U64(&n.inbox_overflows) &&
+                tr.U64(&n.late_writes) && tr.U64(&n.last_remote_progress) &&
+                tr.U64(&n.retransmits) && tr.U64(&n.retx_abandoned) &&
+                tr.U64(&n.dup_discards) && tr.U64(&n.acks_sent) &&
+                tr.U64(&n.acks_received) && tr.U64(&rooms);
+      if (!ok || n.index < 0 || n.index >= ck->num_nodes ||
+          (n.state != 1 && n.state != 2) || n.incarnation < 0 ||
+          rooms > static_cast<uint64_t>(INT32_MAX)) {
+        return fail(StrFormat("bad node record at line %zu", line_no));
+      }
+      if (!ck->nodes.empty() && ck->nodes.back().index >= n.index) {
+        return fail(StrFormat("node records out of order at line %zu", line_no));
+      }
+      n.room_ids.resize(rooms);
+      for (uint64_t r = 0; r < rooms; ++r) {
+        if (!tr.Int(&n.room_ids[r])) {
+          return fail(StrFormat("bad node record at line %zu", line_no));
+        }
+      }
+      if (!tr.Done()) {
+        return fail(StrFormat("bad node record at line %zu", line_no));
+      }
+      ck->nodes.push_back(std::move(n));
+      continue;
+    }
+
+    if (StartsWith(line, "carried ") || StartsWith(line, "arr ") ||
+        StartsWith(line, "verify ")) {
+      const bool carried = StartsWith(line, "carried ");
+      const bool arr = StartsWith(line, "arr ");
+      const size_t skip = carried ? 8 : (arr ? 4 : 7);
+      // These records attach to the most recent node line.
+      int owner = -1;
+      if (carried || StartsWith(line, "verify ")) {
+        char* end = nullptr;
+        owner = static_cast<int>(std::strtol(line.c_str() + skip, &end, 10));
+        const size_t payload_at = static_cast<size_t>(end - line.c_str()) + 1;
+        if (end == line.c_str() + skip || *end != ' ' ||
+            ck->nodes.empty() || ck->nodes.back().index != owner) {
+          return fail(StrFormat("orphaned %s record at line %zu",
+                                carried ? "carried" : "verify", line_no));
+        }
+        std::string* dst =
+            carried ? &ck->nodes.back().carried_stats : &ck->nodes.back().verify;
+        if (!dst->empty() ||
+            !JournalUnescape(line.substr(payload_at), dst)) {
+          return fail(StrFormat("bad %s record at line %zu",
+                                carried ? "carried" : "verify", line_no));
+        }
+        continue;
+      }
+      TokenReader tr(line.substr(skip));
+      CkptArrival a;
+      int64_t sender = 0;
+      int64_t room = 0;
+      bool ok = tr.Int(&owner) && tr.U64(&a.window) && tr.U64(&a.arrival) &&
+                tr.U64(&a.payload.id) && tr.I64(&sender) && tr.I64(&room) &&
+                tr.U64(&a.payload.sent_at) && tr.U64(&a.payload.payload) &&
+                tr.Done();
+      if (!ok || ck->nodes.empty() || ck->nodes.back().index != owner) {
+        return fail(StrFormat("bad arr record at line %zu", line_no));
+      }
+      a.payload.sender = static_cast<int>(sender);
+      a.payload.room = static_cast<int>(room);
+      // Arrival logs are appended in barrier order; enforce it so a replay
+      // cursor can trust the ordering.
+      if (!ck->nodes.back().arrivals.empty() &&
+          ck->nodes.back().arrivals.back().window > a.window) {
+        return fail(StrFormat("arr records out of order at line %zu", line_no));
+      }
+      ck->nodes.back().arrivals.push_back(a);
+      continue;
+    }
+
+    if (StartsWith(line, "end ")) {
+      TokenReader tr(line.substr(4));
+      uint64_t sum = 0;
+      if (!tr.Hex64(&sum) || !tr.Done()) {
+        return fail("bad end record");
+      }
+      if (Fnv64(contents.data(), line_start) != sum) {
+        return fail("checksum mismatch (torn or bit-flipped segment)");
+      }
+      saw_end = true;
+      continue;
+    }
+
+    return fail(StrFormat("unknown record at line %zu: \"%.32s\"", line_no,
+                          line.c_str()));
+  }
+
+  if (!saw_header || !saw_run || !saw_stats || !saw_fabric || !saw_end) {
+    return fail("incomplete segment (missing header/run/stats/fabric/end)");
+  }
+  return true;
+}
+
+std::string CheckpointSegmentPath(const std::string& prefix, uint64_t config_fp,
+                                  uint64_t window) {
+  return prefix + StrFormat(".%016llx.w%llu.ckpt",
+                            static_cast<unsigned long long>(config_fp),
+                            static_cast<unsigned long long>(window));
+}
+
+std::vector<CheckpointSegmentInfo> ListCheckpointSegments(
+    const std::string& prefix, uint64_t config_fp) {
+  std::vector<CheckpointSegmentInfo> segments;
+  const size_t slash = prefix.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : prefix.substr(0, slash);
+  const std::string base =
+      slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+  const std::string stem =
+      base + StrFormat(".%016llx.w", static_cast<unsigned long long>(config_fp));
+
+  DIR* d = ::opendir(dir.empty() ? "/" : dir.c_str());
+  if (d == nullptr) {
+    return segments;
+  }
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= stem.size() + 5 || name.rfind(stem, 0) != 0 ||
+        name.compare(name.size() - 5, 5, ".ckpt") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(stem.size(), name.size() - stem.size() - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    CheckpointSegmentInfo info;
+    info.window = std::strtoull(digits.c_str(), nullptr, 10);
+    info.path = (dir == "." && slash == std::string::npos ? name : dir + "/" + name);
+    segments.push_back(std::move(info));
+  }
+  ::closedir(d);
+  std::sort(segments.begin(), segments.end(),
+            [](const CheckpointSegmentInfo& a, const CheckpointSegmentInfo& b) {
+              return a.window > b.window;
+            });
+  return segments;
+}
+
+bool WriteCheckpointSegment(const ScaleCheckpointOptions& options,
+                            const ScaleCheckpoint& ckpt, std::string* error) {
+  const std::string path =
+      CheckpointSegmentPath(options.path, ckpt.config_fp, ckpt.window_index);
+  if (!AtomicWriteFile(path, EncodeScaleCheckpoint(ckpt), error)) {
+    return false;
+  }
+  const int keep = options.keep >= 1 ? options.keep : 1;
+  const auto segments = ListCheckpointSegments(options.path, ckpt.config_fp);
+  for (size_t i = static_cast<size_t>(keep); i < segments.size(); ++i) {
+    std::remove(segments[i].path.c_str());
+  }
+  return true;
+}
+
+void RemoveCheckpointSegments(const std::string& prefix, uint64_t config_fp) {
+  for (const CheckpointSegmentInfo& seg :
+       ListCheckpointSegments(prefix, config_fp)) {
+    std::remove(seg.path.c_str());
+  }
+}
+
+}  // namespace elsc

@@ -1,0 +1,82 @@
+#include "src/base/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace elsc {
+
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + " (" + std::strerror(errno) + ")";
+  }
+}
+
+// fsync the directory containing `path` so a completed rename survives a
+// crash. Best-effort: some filesystems refuse O_RDONLY directory fsync.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error) {
+  // Unique per process AND per call: concurrent writers targeting the same
+  // path (e.g. checkpoint segments from sweep cells that differ only in an
+  // execution knob) must not interleave on a shared temp file.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    SetError(error, "cannot create " + tmp);
+    return false;
+  }
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) == contents.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    SetError(error, "cannot write " + tmp);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "cannot rename " + tmp + " over " + path);
+    std::remove(tmp.c_str());
+    return false;
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents) {
+  contents->clear();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents->append(buf, got);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace elsc

@@ -1,0 +1,32 @@
+// Crash-consistent whole-file writes: write-temp + fsync + rename.
+//
+// A plain fopen/fwrite sequence interrupted by SIGKILL or power loss can
+// leave a torn file — half a record, or a valid prefix with a corrupt tail.
+// AtomicWriteFile guarantees readers observe either the old contents or the
+// complete new contents, never a mixture: the bytes are written to a
+// temporary sibling, fsync'd to media, then rename(2)'d over the target
+// (atomic within a filesystem), and the parent directory is fsync'd so the
+// rename itself is durable. Used by the run journal, the quarantine file,
+// and the scale-layer checkpoint segments.
+
+#ifndef SRC_BASE_ATOMIC_FILE_H_
+#define SRC_BASE_ATOMIC_FILE_H_
+
+#include <string>
+
+namespace elsc {
+
+// Atomically replaces `path` with `contents`. Returns false (with *error
+// set, when non-null) on any I/O failure; the target is untouched and the
+// temporary is cleaned up best-effort.
+bool AtomicWriteFile(const std::string& path, const std::string& contents,
+                     std::string* error = nullptr);
+
+// Reads the whole file into *contents. Returns false if the file cannot be
+// opened (missing file is the common, non-error case for callers that treat
+// absence as "start fresh").
+bool ReadFileToString(const std::string& path, std::string* contents);
+
+}  // namespace elsc
+
+#endif  // SRC_BASE_ATOMIC_FILE_H_

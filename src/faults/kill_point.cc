@@ -1,0 +1,47 @@
+#include "src/faults/kill_point.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace elsc {
+
+namespace {
+
+int64_t ParseKillWindow() {
+  const char* raw = std::getenv("ELSC_SCALE_INJECT_KILL");
+  if (raw == nullptr || *raw == '\0') {
+    return -1;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "kill_point: ignoring unparsable ELSC_SCALE_INJECT_KILL=%s\n",
+                 raw);
+    return -1;
+  }
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace
+
+int64_t ScaleKillWindow() {
+  static const int64_t window = ParseKillWindow();
+  return window;
+}
+
+void MaybeKillAtScaleWindow(uint64_t window_index) {
+  const int64_t target = ScaleKillWindow();
+  if (target < 0 || static_cast<uint64_t>(target) != window_index) {
+    return;
+  }
+  std::fprintf(stderr,
+               "kill_point: ELSC_SCALE_INJECT_KILL=%lld hit at window %llu, exiting %d\n",
+               static_cast<long long>(target),
+               static_cast<unsigned long long>(window_index), kInjectedKillExitCode);
+  std::fflush(nullptr);
+  // _Exit: no stack unwinding, no atexit handlers — mimic an abrupt kill as
+  // closely as possible while keeping a distinctive exit status for CI.
+  std::_Exit(kInjectedKillExitCode);
+}
+
+}  // namespace elsc

@@ -1,16 +1,13 @@
 #include "src/harness/journal.h"
 
-#include <unistd.h>
-
-#include <cerrno>
 #include <cinttypes>
-#include <cstring>
+#include <cstdio>
+
+#include "src/base/atomic_file.h"
 
 namespace elsc {
 
-namespace {
-
-std::string EscapePayload(const std::string& raw) {
+std::string JournalEscape(const std::string& raw) {
   std::string out;
   out.reserve(raw.size());
   for (char c : raw) {
@@ -24,7 +21,7 @@ std::string EscapePayload(const std::string& raw) {
   return out;
 }
 
-bool UnescapePayload(const std::string& escaped, std::string* raw) {
+bool JournalUnescape(const std::string& escaped, std::string* raw) {
   raw->clear();
   raw->reserve(escaped.size());
   for (size_t i = 0; i < escaped.size(); ++i) {
@@ -45,8 +42,6 @@ bool UnescapePayload(const std::string& escaped, std::string* raw) {
   return true;
 }
 
-}  // namespace
-
 uint64_t RunJournal::Fingerprint(const std::string& data) {
   uint64_t h = 14695981039346656037ull;
   for (unsigned char c : data) {
@@ -56,26 +51,29 @@ uint64_t RunJournal::Fingerprint(const std::string& data) {
   return h;
 }
 
-RunJournal::~RunJournal() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-  }
-}
-
 bool RunJournal::Open(const std::string& path, uint64_t matrix_id, size_t cells) {
   entries_.clear();
   error_.clear();
+  contents_.clear();
+  opened_ = false;
+  path_ = path;
 
   char header[96];
   std::snprintf(header, sizeof(header), "elscjournal v1 id=%016" PRIx64 " cells=%zu",
                 matrix_id, cells);
 
-  if (std::FILE* in = std::fopen(path.c_str(), "r")) {
-    std::string line;
+  std::string valid_records;
+  std::string existing;
+  if (ReadFileToString(path, &existing)) {
     bool saw_header = false;
-    char buf[4096];
-    bool line_complete = false;
-    auto process_line = [&]() -> bool {  // false = stop parsing (corruption).
+    size_t start = 0;
+    while (start < existing.size()) {
+      const size_t nl = existing.find('\n', start);
+      if (nl == std::string::npos) {
+        break;  // A final line with no '\n' is by definition torn: ignored.
+      }
+      const std::string line = existing.substr(start, nl - start);
+      start = nl + 1;
       if (!saw_header) {
         if (line != header) {
           error_ = "journal header mismatch: expected \"" + std::string(header) +
@@ -83,7 +81,7 @@ bool RunJournal::Open(const std::string& path, uint64_t matrix_id, size_t cells)
           return false;
         }
         saw_header = true;
-        return true;
+        continue;
       }
       // cell <index> <attempts> <fnv64 hex> <escaped payload>
       size_t index = 0;
@@ -93,77 +91,49 @@ bool RunJournal::Open(const std::string& path, uint64_t matrix_id, size_t cells)
       if (std::sscanf(line.c_str(), "cell %zu %d %" SCNx64 " %n", &index,
                       &attempts, &sum, &consumed) != 3 ||
           consumed < 0) {
-        return false;  // Malformed (likely torn final line): stop, keep prior.
+        break;  // Malformed (likely a legacy torn line): stop, keep prior.
       }
       std::string payload;
-      if (!UnescapePayload(line.substr(static_cast<size_t>(consumed)), &payload) ||
+      if (!JournalUnescape(line.substr(static_cast<size_t>(consumed)), &payload) ||
           Fingerprint(payload) != sum) {
-        return false;  // Torn or corrupt: stop here.
+        break;  // Torn or corrupt: stop here.
       }
       if (index < cells) {  // Ignore out-of-range records (id collision guard).
         entries_[index] = JournalEntry{attempts, std::move(payload)};
       }
-      return true;
-    };
-    bool stop = false;
-    while (!stop) {
-      const size_t got = std::fread(buf, 1, sizeof(buf), in);
-      if (got == 0) {
-        break;
-      }
-      size_t start = 0;
-      for (size_t i = 0; i < got && !stop; ++i) {
-        if (buf[i] == '\n') {
-          line.append(buf + start, i - start);
-          start = i + 1;
-          line_complete = true;
-          if (!process_line()) {
-            stop = true;
-          }
-          line.clear();
-          line_complete = false;
-        }
-      }
-      if (!stop) {
-        line.append(buf + start, got - start);
-      }
-    }
-    (void)line_complete;
-    // A final line with no trailing '\n' is by definition torn: Append always
-    // writes the newline, so it is ignored.
-    std::fclose(in);
-    if (!error_.empty()) {
-      return false;
+      valid_records += line;
+      valid_records += '\n';
     }
   }
 
-  std::FILE* out = std::fopen(path.c_str(), "a");
-  if (out == nullptr) {
-    error_ = "cannot open journal for append: " + path + " (" +
-             std::strerror(errno) + ")";
+  contents_ = std::string(header) + "\n" + valid_records;
+  // Rewrite the healed snapshot (also creates a fresh journal, and truncates
+  // any torn tail a legacy append-mode build may have left).
+  std::string write_error;
+  if (!AtomicWriteFile(path_, contents_, &write_error)) {
+    error_ = "cannot write journal " + path + ": " + write_error;
     return false;
   }
-  // Write the header only when starting a fresh journal.
-  long pos = std::ftell(out);
-  if (pos == 0) {
-    std::fprintf(out, "%s\n", header);
-    std::fflush(out);
-    ::fsync(fileno(out));
-  }
-  file_ = out;
+  opened_ = true;
   return true;
 }
 
 void RunJournal::Append(size_t index, int attempts, const std::string& payload) {
-  if (file_ == nullptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opened_) {
     return;
   }
-  const std::string escaped = EscapePayload(payload);
-  std::lock_guard<std::mutex> lock(mu_);
-  std::fprintf(file_, "cell %zu %d %016" PRIx64 " %s\n", index, attempts,
-               Fingerprint(payload), escaped.c_str());
-  std::fflush(file_);
-  ::fsync(fileno(file_));
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "cell %zu %d %016" PRIx64 " ", index,
+                attempts, Fingerprint(payload));
+  contents_ += prefix;
+  contents_ += JournalEscape(payload);
+  contents_ += '\n';
+  std::string write_error;
+  if (!AtomicWriteFile(path_, contents_, &write_error)) {
+    std::fprintf(stderr, "journal: durable append failed: %s\n",
+                 write_error.c_str());
+  }
 }
 
 }  // namespace elsc

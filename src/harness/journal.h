@@ -1,4 +1,4 @@
-// Append-only, fsync'd run journal for checkpoint/resume of matrix runs.
+// Crash-consistent, fsync'd run journal for checkpoint/resume of matrix runs.
 //
 // Format (plain text, one record per line):
 //
@@ -13,24 +13,33 @@
 // newline/backslash escaped, and each line carries an FNV-1a 64 checksum of
 // the unescaped payload.
 //
-// Crash tolerance: every Append is fflush'd and fsync'd before returning, so
-// a record is durable once the supervisor counts the cell as complete. A
-// process killed mid-Append leaves at most one torn final line; loading stops
-// at the first malformed or checksum-failing line and keeps everything before
-// it. If an index appears more than once (a cell re-run after a fix), the
-// last record wins.
+// Crash tolerance: every mutation rewrites the whole file through
+// AtomicWriteFile (write-temp + fsync + rename), so the on-disk journal is
+// always a complete, internally-consistent snapshot — a kill at any instant
+// leaves either the previous snapshot or the new one, never a torn line.
+// Loading still tolerates journals written by older append-mode builds:
+// parsing stops at the first malformed or checksum-failing line and keeps
+// everything before it (Open() then rewrites the healed snapshot). If an
+// index appears more than once, the last record wins.
 
 #ifndef SRC_HARNESS_JOURNAL_H_
 #define SRC_HARNESS_JOURNAL_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <cstdio>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 namespace elsc {
+
+// Journal-style payload escaping, shared by every line-oriented durable
+// format in the tree (run journal, quarantine file, scale checkpoints):
+// backslash, newline, and carriage return become two-character sequences so
+// an arbitrary payload fits in one record line. Unescape returns false on a
+// malformed sequence (the signature of a torn or corrupted write).
+std::string JournalEscape(const std::string& raw);
+bool JournalUnescape(const std::string& escaped, std::string* raw);
 
 struct JournalEntry {
   int attempts = 0;
@@ -40,7 +49,6 @@ struct JournalEntry {
 class RunJournal {
  public:
   RunJournal() = default;
-  ~RunJournal();
 
   RunJournal(const RunJournal&) = delete;
   RunJournal& operator=(const RunJournal&) = delete;
@@ -56,7 +64,7 @@ class RunJournal {
   // Durably records cell `index` as complete. Thread-safe.
   void Append(size_t index, int attempts, const std::string& payload);
 
-  bool open() const { return file_ != nullptr; }
+  bool open() const { return opened_; }
   const std::string& error() const { return error_; }
   const std::unordered_map<size_t, JournalEntry>& entries() const {
     return entries_;
@@ -66,8 +74,12 @@ class RunJournal {
   static uint64_t Fingerprint(const std::string& data);
 
  private:
-  std::FILE* file_ = nullptr;
+  bool opened_ = false;
   std::mutex mu_;
+  std::string path_;
+  // The full current file image (header + every valid record line); each
+  // Append extends it and atomically rewrites the file.
+  std::string contents_;
   std::string error_;
   std::unordered_map<size_t, JournalEntry> entries_;
 };

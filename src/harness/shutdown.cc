@@ -1,0 +1,38 @@
+#include "src/harness/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace elsc {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleShutdownSignal(int /*signo*/) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallGracefulShutdown() {
+  struct sigaction sa;
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: a second signal falls back to the default disposition and
+  // terminates immediately, so an operator can always force an exit.
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdownForTest(bool requested) {
+  g_shutdown_requested.store(requested, std::memory_order_relaxed);
+}
+
+}  // namespace elsc

@@ -1,0 +1,38 @@
+// Cooperative graceful shutdown for bench binaries.
+//
+// SIGTERM/SIGINT set an async-signal-safe flag; long-running loops poll
+// ShutdownRequested() at safe points (window barriers, cell boundaries) and
+// unwind by throwing GracefulShutdownRequested. The type deliberately does
+// NOT derive from std::exception: the supervisor's failure taxonomy catches
+// std::exception subclasses and would otherwise journal the interrupted
+// cell as quarantined, poisoning the resume. Like CellDeadlineExceeded, it
+// punches through those handlers and is caught explicitly.
+//
+// Handlers are installed with SA_RESETHAND, so a second SIGTERM/SIGINT
+// kills the process immediately — the escape hatch if shutdown hangs.
+
+#ifndef SRC_HARNESS_SHUTDOWN_H_
+#define SRC_HARNESS_SHUTDOWN_H_
+
+namespace elsc {
+
+// Exit status for a run cut short by SIGTERM/SIGINT after flushing durable
+// state (journal, checkpoint segments). 75 = EX_TEMPFAIL: rerun to resume.
+inline constexpr int kShutdownExitCode = 75;
+
+// Thrown from barrier/cell poll points once a shutdown signal arrives.
+// Intentionally not a std::exception — see file comment.
+struct GracefulShutdownRequested {};
+
+// Installs SIGTERM/SIGINT handlers that set the shutdown flag. Idempotent.
+void InstallGracefulShutdown();
+
+// True once SIGTERM/SIGINT was received (or a test forced the flag).
+bool ShutdownRequested();
+
+// Test hook: force or clear the shutdown flag without raising a signal.
+void RequestShutdownForTest(bool requested);
+
+}  // namespace elsc
+
+#endif  // SRC_HARNESS_SHUTDOWN_H_

@@ -12,9 +12,11 @@
 #include <thread>
 
 #include "src/base/assert.h"
+#include "src/base/atomic_file.h"
 #include "src/base/watchdog.h"
 #include "src/harness/journal.h"
 #include "src/harness/run_matrix.h"
+#include "src/harness/shutdown.h"
 
 namespace elsc {
 
@@ -125,10 +127,17 @@ void ReportQuarantine(const SupervisorOptions& options, size_t index,
                 outcome.error.c_str(), repro.c_str());
   std::fprintf(stderr, "%s\n", line);
   if (!options.quarantine_path.empty()) {
+    // Read-append-rewrite through AtomicWriteFile: a kill mid-report leaves
+    // either the previous quarantine file or the new one, never a torn line.
     std::lock_guard<std::mutex> lock(g_quarantine_mu);
-    if (std::FILE* f = std::fopen(options.quarantine_path.c_str(), "a")) {
-      std::fprintf(f, "%s\n", line);
-      std::fclose(f);
+    std::string contents;
+    ReadFileToString(options.quarantine_path, &contents);
+    contents += line;
+    contents += '\n';
+    std::string write_error;
+    if (!AtomicWriteFile(options.quarantine_path, contents, &write_error)) {
+      std::fprintf(stderr, "elsc-supervisor: cannot write quarantine file: %s\n",
+                   write_error.c_str());
     }
   }
 }
@@ -229,7 +238,9 @@ EncodedSupervisedRun RunSupervisedEncoded(
     if (resumed[i]) {
       return;  // Loaded from the journal; outcome already filled in.
     }
-    if (stop.load(std::memory_order_acquire)) {
+    if (stop.load(std::memory_order_acquire) || ShutdownRequested()) {
+      // The interrupt hook fired or SIGTERM/SIGINT arrived: stop starting
+      // cells. Skipped cells are never journaled, so a rerun resumes them.
       outcome.status = CellStatus::kSkipped;
       return;
     }
@@ -252,6 +263,15 @@ EncodedSupervisedRun RunSupervisedEncoded(
             stop.store(true, std::memory_order_release);
           }
         }
+        return;
+      } catch (const GracefulShutdownRequested&) {
+        // SIGTERM/SIGINT unwound the cell mid-run. Deliberately NOT a
+        // failure: the cell is marked skipped and never journaled (nor
+        // quarantined), so a rerun under the same journal resumes it — from
+        // its own checkpoint segment, if the cell wrote one on the way out.
+        outcome.status = CellStatus::kSkipped;
+        outcome.attempts = attempt + 1;
+        stop.store(true, std::memory_order_release);
         return;
       } catch (const CellDeadlineExceeded& deadline) {
         kind = FailureKind::kTimeout;

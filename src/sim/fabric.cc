@@ -106,4 +106,28 @@ void FabricRouter::Exchange(Cycles barrier_time, const Sink& sink) {
   }
 }
 
+FabricRouterState FabricRouter::ExportState() const {
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    ELSC_CHECK_MSG(lanes_[l].empty() && lane_overflows_[l] == 0,
+                   "fabric state export requires drained lanes (post-Exchange)");
+  }
+  FabricRouterState state;
+  state.closed = closed_;
+  state.next_seq = next_seq_;
+  state.stats = stats_;
+  return state;
+}
+
+void FabricRouter::ImportState(const FabricRouterState& state) {
+  ELSC_CHECK_MSG(state.next_seq.size() == next_seq_.size(),
+                 "fabric state import: node count mismatch");
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    ELSC_CHECK_MSG(lanes_[l].empty() && lane_overflows_[l] == 0,
+                   "fabric state import requires drained lanes");
+  }
+  closed_ = state.closed;
+  next_seq_ = state.next_seq;
+  stats_ = state.stats;
+}
+
 }  // namespace elsc

@@ -70,6 +70,18 @@ struct FabricStats {
   }
 };
 
+// Checkpointable fabric state. Lanes are deliberately absent: checkpoints
+// are taken at post-Exchange barriers, where every lane is empty — in-flight
+// traffic has already been scheduled on its destination node. What must
+// survive a restart are the per-source emission counters (loss/dup fault
+// coins are keyed by (src, dst, seq), so a reset counter would re-roll
+// different coins), the cumulative stats, and the closed flag.
+struct FabricRouterState {
+  bool closed = false;
+  std::vector<uint64_t> next_seq;
+  FabricStats stats;
+};
+
 class FabricRouter {
  public:
   enum class Delivery {
@@ -115,6 +127,12 @@ class FabricRouter {
   // (dropped_lane_overflow), not unbounded growth — a partitioned or crashed
   // destination cannot OOM the fabric.
   void SetLaneCapacity(size_t capacity) { lane_capacity_ = capacity; }
+
+  // Snapshot / restore for window-barrier checkpoints. Both abort unless
+  // every lane is empty (i.e. called right after an Exchange); ImportState
+  // additionally requires a matching node count.
+  FabricRouterState ExportState() const;
+  void ImportState(const FabricRouterState& state);
 
   int nodes() const { return static_cast<int>(lanes_.size()); }
   Cycles window() const { return window_; }

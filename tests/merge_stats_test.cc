@@ -1,0 +1,138 @@
+// MergeRunStats (src/api/simulation.h) algebra: the streaming-aggregation
+// primitive every folding path relies on — the sharded runner folds nodes at
+// barriers in node-index order, and checkpoint restore re-installs a folded
+// aggregate and keeps folding into it. That only reproduces an
+// uninterrupted run if merging is associative with a default-constructed
+// identity, which is what this suite pins (via EncodeRunStats equality, the
+// same byte-exact lens the checkpoint codec uses).
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/api/simulation.h"
+
+namespace elsc {
+namespace {
+
+// Distinct, fully-populated operands: every counter class (sched, machine,
+// events, faults, audit, memory), both max-folded fields, and the
+// failed/failure verdict.
+RunStats Sample(uint64_t base, bool failed, const std::string& failure) {
+  RunStats s;
+  s.sched.schedule_calls = base + 1;
+  s.sched.lock_wait_cycles = base * 3;
+  s.sched.wakeups = base + 7;
+  s.machine.ticks = base * 11;
+  s.machine.context_switches = base + 13;
+  s.machine.peak_live_tasks = base % 17;
+  s.events.scheduled = base + 19;
+  s.events.fired = base + 18;
+  s.events.max_heap_depth = base % 23;   // Max-folded.
+  s.faults.tick_drops = base % 5;
+  s.audit.audits = base + 29;
+  s.memory.task_arena_bytes = base * 31;
+  s.memory.task_arena_chunks = base % 7;
+  s.memory.peak_live_sockets = base % 37;
+  s.elapsed_sec = static_cast<double>(base % 41) * 0.25;  // Max-folded.
+  s.failed = failed;
+  s.failure = failure;
+  return s;
+}
+
+RunStats Merge(const RunStats& a, const RunStats& b) {
+  RunStats out = a;
+  MergeRunStats(&out, b);
+  return out;
+}
+
+TEST(MergeStatsTest, DefaultConstructedIsTheIdentity) {
+  const RunStats a = Sample(100, true, "node 3: watchdog");
+  const std::string before = EncodeRunStats(a);
+  // Right identity.
+  EXPECT_EQ(EncodeRunStats(Merge(a, RunStats{})), before);
+  // Left identity.
+  EXPECT_EQ(EncodeRunStats(Merge(RunStats{}, a)), before);
+}
+
+TEST(MergeStatsTest, MergeIsAssociative) {
+  const RunStats a = Sample(3, false, "");
+  const RunStats b = Sample(1000, true, "b failed first");
+  const RunStats c = Sample(77, true, "c failed too");
+  EXPECT_EQ(EncodeRunStats(Merge(Merge(a, b), c)),
+            EncodeRunStats(Merge(a, Merge(b, c))));
+  // And for a longer left-fold vs right-fold chain.
+  const RunStats d = Sample(999983, false, "");
+  EXPECT_EQ(EncodeRunStats(Merge(Merge(Merge(a, b), c), d)),
+            EncodeRunStats(Merge(a, Merge(b, Merge(c, d)))));
+}
+
+TEST(MergeStatsTest, CountersSumAndPeaksFoldAsDocumented) {
+  const RunStats a = Sample(10, false, "");
+  const RunStats b = Sample(20, false, "");
+  const RunStats merged = Merge(a, b);
+  // Counters sum.
+  EXPECT_EQ(merged.sched.schedule_calls,
+            a.sched.schedule_calls + b.sched.schedule_calls);
+  EXPECT_EQ(merged.machine.ticks, a.machine.ticks + b.machine.ticks);
+  EXPECT_EQ(merged.memory.task_arena_bytes,
+            a.memory.task_arena_bytes + b.memory.task_arena_bytes);
+  // Per-machine peaks sum too (total-footprint bound for coexisting nodes).
+  EXPECT_EQ(merged.machine.peak_live_tasks,
+            a.machine.peak_live_tasks + b.machine.peak_live_tasks);
+  // max_heap_depth and elapsed_sec take the max.
+  EXPECT_EQ(merged.events.max_heap_depth,
+            std::max(a.events.max_heap_depth, b.events.max_heap_depth));
+  EXPECT_EQ(merged.elapsed_sec, std::max(a.elapsed_sec, b.elapsed_sec));
+}
+
+TEST(MergeStatsTest, FailureVerdictOrsAndFirstDiagnosisWins) {
+  const RunStats clean = Sample(5, false, "");
+  const RunStats broken = Sample(6, true, "node 2: deadline");
+  const RunStats also_broken = Sample(7, true, "node 5: deadline");
+
+  EXPECT_FALSE(Merge(clean, clean).failed);
+  EXPECT_TRUE(Merge(clean, broken).failed);
+  EXPECT_EQ(Merge(clean, broken).failure, "node 2: deadline");
+  EXPECT_TRUE(Merge(broken, clean).failed);
+  EXPECT_EQ(Merge(broken, clean).failure, "node 2: deadline");
+  // Both failed: the fold order picks the first non-empty diagnosis, which
+  // is exactly why every fold site merges in node-index order.
+  EXPECT_EQ(Merge(broken, also_broken).failure, "node 2: deadline");
+}
+
+TEST(MergeStatsTest, CounterOverflowWrapsWithoutUB) {
+  // uint64 counters are modular: merging near-max values must wrap silently
+  // (unsigned arithmetic), not trap — a year-long soak on a huge federation
+  // is allowed to tick cycles_in_schedule past 2^64.
+  RunStats a;
+  a.sched.cycles_in_schedule = UINT64_MAX - 1;
+  a.machine.ticks = UINT64_MAX;
+  RunStats b;
+  b.sched.cycles_in_schedule = 3;
+  b.machine.ticks = 2;
+  const RunStats merged = Merge(a, b);
+  EXPECT_EQ(merged.sched.cycles_in_schedule, 1u);
+  EXPECT_EQ(merged.machine.ticks, 1u);
+  // The wrapped aggregate still round-trips through the codec exactly.
+  RunStats decoded;
+  ASSERT_TRUE(DecodeRunStats(EncodeRunStats(merged), &decoded));
+  EXPECT_EQ(EncodeRunStats(decoded), EncodeRunStats(merged));
+}
+
+TEST(MergeStatsTest, MergeMatchesCheckpointRestoreShape) {
+  // The restore path: encode a partial aggregate, decode it into a fresh
+  // RunStats, keep folding. Must equal the never-interrupted fold.
+  const RunStats a = Sample(11, false, "");
+  const RunStats b = Sample(22, true, "node 1: wedged");
+  const RunStats c = Sample(33, false, "");
+  const RunStats uninterrupted = Merge(Merge(a, b), c);
+
+  RunStats resumed;
+  ASSERT_TRUE(DecodeRunStats(EncodeRunStats(Merge(a, b)), &resumed));
+  MergeRunStats(&resumed, c);
+  EXPECT_EQ(EncodeRunStats(resumed), EncodeRunStats(uninterrupted));
+}
+
+}  // namespace
+}  // namespace elsc
